@@ -1,0 +1,61 @@
+# Standard entry points for the In-Net reproduction. Everything is
+# plain `go` — this file just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fuzz fmt vet clean golden
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The paper's evaluation as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The paper's evaluation as printed tables (quick variant: seconds).
+experiments:
+	$(GO) run ./cmd/innet-bench -quick
+
+experiments-full:
+	$(GO) run ./cmd/innet-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pushnotify
+	$(GO) run ./examples/protocoltunnel
+	$(GO) run ./examples/ddos
+	$(GO) run ./examples/cdn
+
+# Short fuzzing passes over every parser.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/clicklang/
+	$(GO) test -fuzz=FuzzSplitArgs -fuzztime=15s ./internal/clicklang/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/flowspec/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/policy/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/topology/
+
+# Refresh the golden experiment tables after an intentional
+# calibration change.
+golden:
+	$(GO) test ./internal/bench -run Golden -update-golden
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -rf bin

@@ -1,0 +1,98 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs one experiment harness end to end;
+// `go test -bench=. -benchmem` therefore reproduces the full
+// evaluation. The per-figure shape assertions live in
+// internal/bench's tests; these benchmarks measure how long each
+// reproduction takes on this machine and keep allocations visible.
+package innet
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/bench"
+)
+
+func benchTable(b *testing.B, run func() *bench.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := run()
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", t.ID)
+		}
+	}
+}
+
+// BenchmarkFig05 reproduces Figure 5: ping RTTs of the first packets
+// of 100 concurrent flows through on-the-fly-booted ClickOS VMs.
+func BenchmarkFig05(b *testing.B) {
+	benchTable(b, func() *bench.Table { return bench.Fig5(true) })
+}
+
+// BenchmarkFig06 reproduces Figure 6: 100 concurrent capped HTTP
+// transfers through on-the-fly VMs.
+func BenchmarkFig06(b *testing.B) {
+	benchTable(b, func() *bench.Table { return bench.Fig6(true) })
+}
+
+// BenchmarkFig07 reproduces Figure 7: suspend/resume latency vs
+// resident VM count.
+func BenchmarkFig07(b *testing.B) { benchTable(b, bench.Fig7) }
+
+// BenchmarkFig08 reproduces Figure 8: consolidated-VM throughput vs
+// configurations per VM.
+func BenchmarkFig08(b *testing.B) { benchTable(b, bench.Fig8) }
+
+// BenchmarkFig09 reproduces Figure 9: 1,000 clients across VMs of
+// 50/100/200 configurations.
+func BenchmarkFig09(b *testing.B) { benchTable(b, bench.Fig9) }
+
+// BenchmarkFig10 reproduces Figure 10: static-analysis time vs
+// operator network size (real measurement).
+func BenchmarkFig10(b *testing.B) {
+	benchTable(b, func() *bench.Table { return bench.Fig10(true) })
+}
+
+// BenchmarkTable1 reproduces Table 1: safety verdicts for twelve
+// middlebox types and three requester classes.
+func BenchmarkTable1(b *testing.B) { benchTable(b, bench.Table1) }
+
+// BenchmarkFig11 reproduces Figure 11: the per-packet cost of
+// ChangeEnforcer sandboxing vs packet size (real measurement).
+func BenchmarkFig11(b *testing.B) {
+	benchTable(b, func() *bench.Table { return bench.Fig11(true) })
+}
+
+// BenchmarkFig12 reproduces Figure 12: per-middlebox-type aggregate
+// throughput vs VM count.
+func BenchmarkFig12(b *testing.B) { benchTable(b, bench.Fig12) }
+
+// BenchmarkFig13 reproduces Figure 13: handset energy vs notification
+// batching interval.
+func BenchmarkFig13(b *testing.B) { benchTable(b, bench.Fig13) }
+
+// BenchmarkFig14 reproduces Figure 14: SCTP over UDP vs TCP tunnels
+// under loss.
+func BenchmarkFig14(b *testing.B) {
+	benchTable(b, func() *bench.Table { return bench.Fig14(true) })
+}
+
+// BenchmarkFig15 reproduces Figure 15: Slowloris attack and In-Net
+// reverse-proxy defense.
+func BenchmarkFig15(b *testing.B) {
+	benchTable(b, func() *bench.Table { return bench.Fig15(true) })
+}
+
+// BenchmarkFig16 reproduces Figure 16: CDN vs origin download-delay
+// CDF.
+func BenchmarkFig16(b *testing.B) { benchTable(b, bench.Fig16) }
+
+// BenchmarkMAWI reproduces the §6 MAWI-trace concurrency analysis.
+func BenchmarkMAWI(b *testing.B) { benchTable(b, bench.MAWI) }
+
+// BenchmarkControllerLatency reproduces the §6.1 request-handling
+// measurement (Fig. 4 request on the Fig. 3 topology).
+func BenchmarkControllerLatency(b *testing.B) { benchTable(b, bench.ControllerLatency) }
+
+// BenchmarkHTTPvsHTTPS reproduces the §8 download-energy comparison.
+func BenchmarkHTTPvsHTTPS(b *testing.B) { benchTable(b, bench.HTTPvsHTTPS) }

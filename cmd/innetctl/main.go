@@ -1,0 +1,301 @@
+// Command innetctl is the tenant-side CLI for the In-Net controller
+// (paper §4.3 "client configuration"): it submits processing-module
+// deployment requests, lists deployments and kills modules.
+//
+//	innetctl -s http://127.0.0.1:8640 deploy \
+//	    -tenant alice -name Batcher -trust client \
+//	    -config batcher.click -requirements batcher.reach
+//	innetctl list
+//	innetctl kill pm-1
+//	innetctl classes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/in-net/innet/internal/api"
+	"github.com/in-net/innet/internal/controller"
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+)
+
+func main() {
+	server := flag.String("s", envOr("INNET_SERVER", "http://127.0.0.1:8640"), "controller base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	client := api.NewClient(*server)
+	var err error
+	switch args[0] {
+	case "deploy":
+		err = deploy(client, args[1:])
+	case "list":
+		err = list(client)
+	case "kill":
+		err = kill(client, args[1:])
+	case "classes":
+		err = classes(client)
+	case "query":
+		err = query(client, args[1:])
+	case "inject":
+		err = inject(client, args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "innetctl: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "innetctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: innetctl [-s URL] <command> [args]
+
+commands:
+  deploy -f REQUEST_FILE [-tenant T]
+  deploy -tenant T -name N -trust {third-party|client|operator}
+         [-config FILE | -stock NAME] [-requirements FILE]
+         [-whitelist ip,ip,...] [-transparent]
+  list
+  kill <id>
+  classes
+  query '<reach statement>'
+  inject -dst IP [-src IP] [-proto udp|tcp|icmp] [-sport N] [-dport N]
+         [-payload S] [-count N]      (innetd -simulate mode)
+`)
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func deploy(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+	var (
+		file        = fs.String("f", "", "request file (module + config + requirements in one document)")
+		tenant      = fs.String("tenant", "", "tenant name")
+		name        = fs.String("name", "", "module name")
+		trust       = fs.String("trust", "third-party", "trust class")
+		configFile  = fs.String("config", "", "Click configuration file")
+		stock       = fs.String("stock", "", "stock module name")
+		reqFile     = fs.String("requirements", "", "requirements file (reach statements)")
+		whitelist   = fs.String("whitelist", "", "comma-separated authorized destinations")
+		transparent = fs.Bool("transparent", false, "request transparent interposition (operator only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		parsed, err := controller.ParseRequestFile(string(data))
+		if err != nil {
+			return err
+		}
+		if *tenant != "" {
+			parsed.Tenant = *tenant
+		}
+		dep, err := c.Deploy(api.DeployRequest{
+			Tenant:       parsed.Tenant,
+			ModuleName:   parsed.ModuleName,
+			Config:       parsed.Config,
+			Stock:        parsed.Stock,
+			Requirements: parsed.Requirements,
+			Trust:        api.TrustName(parsed.Trust),
+			Whitelist:    parsed.Whitelist,
+			Transparent:  parsed.Transparent,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deployed %s on %s at %s (sandboxed=%v, compile %.2f ms, check %.2f ms)\n",
+			dep.ID, dep.Platform, dep.Addr, dep.Sandboxed, dep.CompileMS, dep.CheckMS)
+		return nil
+	}
+	req := api.DeployRequest{
+		Tenant:      *tenant,
+		ModuleName:  *name,
+		Stock:       *stock,
+		Trust:       *trust,
+		Transparent: *transparent,
+	}
+	if *configFile != "" {
+		data, err := os.ReadFile(*configFile)
+		if err != nil {
+			return err
+		}
+		req.Config = string(data)
+	}
+	if *reqFile != "" {
+		data, err := os.ReadFile(*reqFile)
+		if err != nil {
+			return err
+		}
+		req.Requirements = string(data)
+	}
+	if *whitelist != "" {
+		for _, w := range strings.Split(*whitelist, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				req.Whitelist = append(req.Whitelist, w)
+			}
+		}
+	}
+	dep, err := c.Deploy(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed %s on %s at %s (sandboxed=%v, compile %.2f ms, check %.2f ms)\n",
+		dep.ID, dep.Platform, dep.Addr, dep.Sandboxed, dep.CompileMS, dep.CheckMS)
+	return nil
+}
+
+func list(c *api.Client) error {
+	mods, err := c.List()
+	if err != nil {
+		return err
+	}
+	if len(mods) == 0 {
+		fmt.Println("no deployments")
+		return nil
+	}
+	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "SANDBOXED")
+	for _, m := range mods {
+		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %v\n",
+			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Sandboxed)
+	}
+	return nil
+}
+
+func kill(c *api.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("kill wants exactly one module id")
+	}
+	if err := c.Kill(args[0]); err != nil {
+		return err
+	}
+	fmt.Printf("killed %s\n", args[0])
+	return nil
+}
+
+func query(c *api.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("query wants one reach statement argument")
+	}
+	res, err := c.Query(args[0])
+	if err != nil {
+		return err
+	}
+	if res.Satisfied {
+		fmt.Printf("satisfied (compile %.2f ms, check %.2f ms)\n", res.CompileMS, res.CheckMS)
+		return nil
+	}
+	fmt.Printf("NOT satisfied: %s\n", res.Reason)
+	return nil
+}
+
+func inject(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	var (
+		dst     = fs.String("dst", "", "module address (required)")
+		src     = fs.String("src", "", "source address")
+		proto   = fs.String("proto", "udp", "protocol")
+		sport   = fs.Uint("sport", 4000, "source port")
+		dport   = fs.Uint("dport", 1500, "destination port")
+		payload = fs.String("payload", "hello", "payload text")
+		count   = fs.Int("count", 1, "packets to send")
+		pcapOut = fs.String("pcap", "", "also write the emitted packets to a pcap file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := c.Inject(api.InjectRequest{
+		Dst: *dst, Src: *src, Proto: *proto,
+		SrcPort: uint16(*sport), DstPort: uint16(*dport),
+		Payload: *payload, Count: *count,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sent %d packet(s) via %s (vm booted: %v); module emitted %d:\n",
+		res.Sent, res.Platform, res.BootedVM, len(res.Emitted))
+	for _, e := range res.Emitted {
+		fmt.Printf("  %s %s:%d -> %s:%d payload=%q latency=%.1fms\n",
+			e.Proto, e.Src, e.SrcPort, e.Dst, e.DstPort, e.Payload, e.LatencyMS)
+	}
+	if *pcapOut != "" {
+		if err := writePcap(*pcapOut, res.Emitted); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d packet(s) to %s\n", len(res.Emitted), *pcapOut)
+	}
+	return nil
+}
+
+// writePcap renders emitted packets as a LINKTYPE_RAW capture.
+func writePcap(path string, emitted []api.EmittedPacket) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := packet.NewPcapWriter(f, 0)
+	if err != nil {
+		return err
+	}
+	for _, e := range emitted {
+		src, err := packet.ParseIP(e.Src)
+		if err != nil {
+			return err
+		}
+		dst, err := packet.ParseIP(e.Dst)
+		if err != nil {
+			return err
+		}
+		var proto packet.Proto
+		switch e.Proto {
+		case "tcp":
+			proto = packet.ProtoTCP
+		case "icmp":
+			proto = packet.ProtoICMP
+		default:
+			proto = packet.ProtoUDP
+		}
+		pk := &packet.Packet{
+			Protocol: proto,
+			SrcIP:    src, DstIP: dst,
+			SrcPort: e.SrcPort, DstPort: e.DstPort,
+			TTL:       64,
+			Payload:   []byte(e.Payload),
+			Timestamp: int64(e.LatencyMS * 1e6),
+		}
+		if err := w.WritePacket(pk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func classes(c *api.Client) error {
+	cs, err := c.Classes()
+	if err != nil {
+		return err
+	}
+	for _, cl := range cs {
+		fmt.Println(cl)
+	}
+	return nil
+}

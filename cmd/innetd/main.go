@@ -1,0 +1,93 @@
+// Command innetd runs the In-Net controller as an HTTP daemon. It
+// loads an operator topology (the paper's Fig. 3 example by default),
+// verifies the operator policy against it, and serves the deployment
+// API that innetctl (or any HTTP client) talks to:
+//
+//	POST   /v1/modules      deploy a processing module
+//	GET    /v1/modules      list deployments
+//	GET    /v1/modules/{id} inspect one deployment
+//	DELETE /v1/modules/{id} kill a deployment
+//	GET    /v1/classes      list available Click element classes
+//
+// Example:
+//
+//	innetd -listen :8640 \
+//	  -policy 'reach from internet tcp src port 80 -> HTTPOptimizer -> client'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/in-net/innet/internal/api"
+	"github.com/in-net/innet/internal/controller"
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/topology"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:8640", "HTTP listen address")
+		topoName = flag.String("topology", "fig3", "built-in operator topology: fig3 | fig1 | grown:<n>")
+		topoFile = flag.String("topology-file", "", "operator topology description file (overrides -topology)")
+		policy   = flag.String("policy", "", "operator reach-statement policy (must hold on the base network)")
+		banUDP   = flag.Bool("ban-connectionless-replies", false,
+			"sandbox third-party modules whose reply traffic can be connectionless (amplification mitigation, paper §7)")
+		simulate = flag.Bool("simulate", false,
+			"attach an in-process platform emulation; deployments become live and POST /v1/inject drives packets through them")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	var err error
+	if *topoFile != "" {
+		data, rerr := os.ReadFile(*topoFile)
+		if rerr != nil {
+			log.Fatalf("innetd: %v", rerr)
+		}
+		topo, err = topology.Parse(string(data))
+	} else {
+		topo, err = loadTopology(*topoName)
+	}
+	if err != nil {
+		log.Fatalf("innetd: %v", err)
+	}
+	ctl, err := controller.NewWithOptions(topo, *policy, controller.Options{
+		BanConnectionlessReplies: *banUDP,
+	})
+	if err != nil {
+		log.Fatalf("innetd: %v", err)
+	}
+	var sim *api.Simulator
+	if *simulate {
+		sim = api.NewSimulator(topo.Platforms())
+		log.Printf("innetd: simulation mode on; POST /v1/inject to drive packets through deployed modules")
+	}
+	srv := api.NewServerWithSimulator(ctl, sim)
+	log.Printf("innetd: topology %q with platforms %v", *topoName, topo.Platforms())
+	log.Printf("innetd: listening on http://%s", *listen)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		log.Fatalf("innetd: %v", err)
+	}
+}
+
+func loadTopology(name string) (*topology.Topology, error) {
+	switch {
+	case name == "fig3":
+		return topology.PaperFig3()
+	case name == "fig1":
+		return topology.PaperFig1()
+	case len(name) > 6 && name[:6] == "grown:":
+		var n int
+		if _, err := fmt.Sscanf(name[6:], "%d", &n); err != nil || n < 0 {
+			return nil, fmt.Errorf("bad grown size %q", name[6:])
+		}
+		return topology.Grown(n)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown topology; use fig3, fig1 or grown:<n>")
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

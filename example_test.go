@@ -1,0 +1,95 @@
+package innet_test
+
+import (
+	"fmt"
+	"log"
+
+	innet "github.com/in-net/innet"
+)
+
+// Deploy the paper's Fig. 4 push-notification batcher on the Fig. 3
+// operator network: static analysis picks Platform 3, the only
+// platform reachable from the Internet.
+func ExampleNewController() {
+	topo, err := innet.Fig3Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := innet.NewController(topo,
+		"reach from internet tcp src port 80 -> HTTPOptimizer -> client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := ctl.Deploy(innet.Request{
+		Tenant:     "alice",
+		ModuleName: "Batcher",
+		Config: `
+FromNetfront() ->
+IPFilter(allow udp port 1500) ->
+IPRewriter(pattern - - 10.1.15.133 - 0 0)
+-> TimedUnqueue(120,100)
+-> dst::ToNetfront()
+`,
+		Requirements: `
+reach from internet udp
+-> Batcher:dst:0 dst 10.1.15.133
+-> client dst port 1500
+const proto && dst port && payload
+`,
+		Trust: innet.TrustClient,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dep.Platform, dep.Sandboxed)
+	// Output: Platform3 false
+}
+
+// Probe the network before picking a tunnel (the §8 protocol-tunneling
+// use case): the Fig. 1 operator firewall only lets UDP out.
+func ExampleController_Query() {
+	topo, err := innet.Fig1Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := innet.NewController(topo, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	udp, err := ctl.Query("reach from client udp -> internet const payload")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcp, err := ctl.Query("reach from client tcp -> internet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("udp:", udp.Satisfied, "tcp:", tcp.Satisfied)
+	// Output: udp: true tcp: false
+}
+
+// Provably unsafe modules never run: a third-party module aiming
+// traffic at a non-whitelisted constant is rejected outright.
+func ExampleController_Deploy_rejected() {
+	topo, err := innet.Fig3Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := innet.NewController(topo, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = ctl.Deploy(innet.Request{
+		Tenant:     "mallory",
+		ModuleName: "cannon",
+		Trust:      innet.TrustThirdParty,
+		Config: `
+in :: FromNetfront();
+atk :: SetIPDst(203.0.113.99);
+out :: ToNetfront();
+in -> atk -> out;
+`,
+	})
+	fmt.Println(err)
+	// Output: controller: request rejected: security: all egress traffic is unauthorized
+}

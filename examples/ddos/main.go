@@ -1,0 +1,76 @@
+// DoS protection — the paper's Slowloris defense use case (§8,
+// Fig. 15). A web origin under a Slowloris attack deploys In-Net
+// reverse-proxy stock modules at remote operators and redirects new
+// connections to them via geolocation DNS; the proxies' aggressive
+// slow-request timeouts starve the attack while valid requests flow.
+//
+// Run with: go run ./examples/ddos
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	innet "github.com/in-net/innet"
+	"github.com/in-net/innet/internal/traffic"
+)
+
+func main() {
+	// The origin operator deploys the reverse-proxy stock module on
+	// an In-Net platform (sandbox-free: the mirror-style proxy is
+	// statically safe, Table 1).
+	topo, err := innet.Fig3Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := innet.NewController(topo, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		dep, err := ctl.Deploy(innet.Request{
+			Tenant:     "webshop",
+			ModuleName: fmt.Sprintf("rproxy-%d", i),
+			Stock:      innet.StockReverseProxy,
+			Trust:      innet.TrustThirdParty,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reverse proxy %s on %s (sandboxed=%v)\n", dep.ID, dep.Platform, dep.Sandboxed)
+	}
+
+	// Timeline: valid clients at ~300 req/s; attack from t=180 s to
+	// t=630 s; the defended origin redirects at t=240 s.
+	single := traffic.SlowlorisScenario(traffic.DefaultSlowlorisConfig(false))
+	defended := traffic.SlowlorisScenario(traffic.DefaultSlowlorisConfig(true))
+
+	fmt.Println("\nvalid requests served per second:")
+	fmt.Printf("%8s  %14s  %12s\n", "time(s)", "single-server", "with-In-Net")
+	for sec := 0; sec < len(single); sec += 60 {
+		marker := ""
+		switch {
+		case sec == 180:
+			marker = "   <- attack starts"
+		case sec == 240:
+			marker = "   <- In-Net proxies take over"
+		case sec == 660:
+			marker = "   <- attack over"
+		}
+		fmt.Printf("%8d  %14.0f  %12.0f%s\n", sec, single[sec], defended[sec], marker)
+	}
+
+	window := func(s []float64, from, to int) float64 {
+		var sum float64
+		for i := from; i < to; i++ {
+			sum += s[i]
+		}
+		return sum / float64(to-from)
+	}
+	fmt.Println("\nsummary (avg req/s during the attack, t=400..600):")
+	fmt.Printf("  single server: %6.0f\n", window(single, 400, 600))
+	fmt.Printf("  with In-Net:   %6.0f\n", window(defended, 400, 600))
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("paper Fig. 15: In-Net quickly instantiates processing and diverts traffic, restoring the served-request rate")
+}

@@ -1,0 +1,101 @@
+// Push notifications for mobiles — the paper's unifying example
+// (§4.5) and energy evaluation (Fig. 13). A mobile client deploys the
+// Fig. 4 batcher module; UDP notifications sent to the module are
+// released in batches, and the handset's 3G radio model shows the
+// energy saving: the radio's DCH/FACH tails are paid once per batch
+// instead of once per message.
+//
+// Run with: go run ./examples/pushnotify
+package main
+
+import (
+	"fmt"
+	"log"
+
+	innet "github.com/in-net/innet"
+	"github.com/in-net/innet/internal/energy"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/platform"
+)
+
+func main() {
+	// 1. Deploy the batcher through the controller.
+	topo, err := innet.Fig3Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := innet.NewController(topo, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const interval = 120 // seconds between batch releases
+	dep, err := ctl.Deploy(innet.Request{
+		Tenant:     "mobile-7",
+		ModuleName: "Batcher",
+		Config: fmt.Sprintf(`
+FromNetfront() ->
+IPFilter(allow udp port 1500) ->
+IPRewriter(pattern - - 10.1.15.133 - 0 0)
+-> TimedUnqueue(%d,100)
+-> dst::ToNetfront()
+`, interval),
+		Requirements: "reach from internet udp -> Batcher:dst:0 dst 10.1.15.133 -> client dst port 1500 const payload",
+		Trust:        innet.TrustClient,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batcher deployed: %s on %s at %s\n",
+		dep.ID, dep.Platform, packet.IPString(dep.Addr))
+
+	// 2. Run the module on a simulated platform: one 1 KB
+	// notification every 30 s for an hour; record when batches reach
+	// the handset.
+	sim := netsim.New(1)
+	pl := platform.New(sim, platform.DefaultModel(), 16*1024)
+	if err := pl.Register(platform.ModuleSpec{
+		Addr:     dep.Addr,
+		Config:   dep.Config,
+		Stateful: true, // the batcher buffers packets
+	}); err != nil {
+		log.Fatal(err)
+	}
+	horizon := netsim.Seconds(3600)
+	var arrivals []netsim.Time
+	for t := netsim.Seconds(30); t <= horizon; t += netsim.Seconds(30) {
+		t := t
+		sim.At(t, func() {
+			pk := &packet.Packet{
+				Protocol: packet.ProtoUDP,
+				SrcIP:    packet.MustParseIP("192.0.2.50"), // app server
+				DstIP:    dep.Addr,
+				SrcPort:  4000, DstPort: 1500, TTL: 64,
+				Payload: make([]byte, 1024),
+			}
+			pl.Deliver(pk, func(iface int, out *packet.Packet) {
+				arrivals = append(arrivals, sim.Now())
+			})
+		})
+	}
+	sim.RunUntil(horizon)
+	// Distinct wake-ups: bursts of packets separated by >1 s.
+	wakeups := 0
+	var last netsim.Time = -netsim.Seconds(10)
+	for _, t := range arrivals {
+		if t-last > netsim.Second {
+			wakeups++
+		}
+		last = t
+	}
+	fmt.Printf("sent %d notifications, delivered %d in %d batches (radio wake-ups)\n",
+		int(horizon/netsim.Seconds(30)), len(arrivals), wakeups)
+
+	// 3. Energy comparison (the paper's Fig. 13 effect).
+	radio := energy.DefaultRadio()
+	unbatched := energy.BatchedArrivals(netsim.Seconds(30), netsim.Seconds(30), horizon)
+	fmt.Printf("\naverage handset power:\n")
+	fmt.Printf("  unbatched (every 30 s): %6.1f mW\n", radio.AveragePowerMW(unbatched, horizon))
+	fmt.Printf("  batched (every %3d s):  %6.1f mW\n", interval, radio.AveragePowerMW(arrivals, horizon))
+	fmt.Println("\n(paper Fig. 13: ≈240 mW unbatched down to ≈140 mW at 240 s batches)")
+}

@@ -1,0 +1,3 @@
+module github.com/in-net/innet
+
+go 1.22

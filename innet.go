@@ -1,0 +1,130 @@
+// Package innet is the public API of the In-Net reproduction: an
+// architecture that lets untrusted endpoints and content providers
+// deploy custom in-network packet processing (Click configurations)
+// on platforms owned by a network operator, with static analysis —
+// symbolic execution over abstract element models — standing between
+// tenant requests and the operator's network (Stoenescu et al.,
+// "In-Net: In-Network Processing for the Masses", EuroSys 2015).
+//
+// The typical flow:
+//
+//	topo, _ := innet.Fig3Topology()           // or build your own
+//	ctl, _ := innet.NewController(topo, operatorPolicy)
+//	dep, err := ctl.Deploy(innet.Request{
+//	    Tenant:     "alice",
+//	    ModuleName: "Batcher",
+//	    Config:     batcherClickSource,
+//	    Requirements: "reach from internet udp -> Batcher:dst:0 -> client",
+//	    Trust:      innet.TrustClient,
+//	})
+//
+// Deploy statically verifies the request: the client's reachability
+// and invariant requirements, the operator's own policy, and the
+// security rules (anti-spoofing and default-off destination
+// authorization). Statically-unprovable modules are wrapped in a
+// ChangeEnforcer sandbox; provably-unsafe ones are rejected.
+//
+// Subpackages under internal implement the substrates: the Click
+// element framework and ~30 element classes, the configuration and
+// flow-specification languages, the symbolic execution engine, the
+// ClickOS-style platform simulator and the evaluation harnesses. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-figure reproductions.
+package innet
+
+import (
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/clicklang"
+	"github.com/in-net/innet/internal/controller"
+	_ "github.com/in-net/innet/internal/elements" // register standard element classes
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/policy"
+	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// Controller is the operator's control plane: it verifies and places
+// tenant processing modules.
+type Controller = controller.Controller
+
+// Request is a tenant's deployment request.
+type Request = controller.Request
+
+// Deployment describes a placed processing module.
+type Deployment = controller.Deployment
+
+// RejectionError explains a refused request.
+type RejectionError = controller.RejectionError
+
+// QueryResult answers a reachability query (Controller.Query): the
+// probe of the paper's protocol-tunneling use case.
+type QueryResult = controller.QueryResult
+
+// Topology is the operator's network model.
+type Topology = topology.Topology
+
+// Trust classes for requests (the columns of the paper's Table 1).
+const (
+	TrustThirdParty = security.ThirdParty
+	TrustClient     = security.Client
+	TrustOperator   = security.Operator
+)
+
+// Stock module names accepted in Request.Stock.
+const (
+	StockReverseProxy  = controller.StockReverseProxy
+	StockExplicitProxy = controller.StockExplicitProxy
+	StockGeoDNS        = controller.StockGeoDNS
+	StockX86VM         = controller.StockX86VM
+)
+
+// NewController builds a controller for a topology and the operator's
+// own reach-statement policy (may be empty).
+func NewController(topo *Topology, operatorPolicy string) (*Controller, error) {
+	return controller.New(topo, operatorPolicy)
+}
+
+// NewTopology starts an empty operator topology with the given
+// residential-client subnet in CIDR form.
+func NewTopology(name, clientNet string) (*Topology, error) {
+	pfx, err := packet.ParsePrefix(clientNet)
+	if err != nil {
+		return nil, err
+	}
+	return topology.New(name, pfx), nil
+}
+
+// ParseTopology reads an operator network description in the text
+// format documented at topology.Parse (endpoints, routers with LPM
+// tables, Click middleboxes, platforms with module pools, links).
+func ParseTopology(src string) (*Topology, error) { return topology.Parse(src) }
+
+// Fig1Topology returns the paper's Fig. 1 example network (client
+// behind a UDP-only stateful firewall, one public platform).
+func Fig1Topology() (*Topology, error) { return topology.PaperFig1() }
+
+// Fig3Topology returns the paper's Fig. 3 example network (three
+// platforms, HTTP optimizer on the policy-routed bottom path).
+func Fig3Topology() (*Topology, error) { return topology.PaperFig3() }
+
+// ParseClick parses Click configuration source, returning an error
+// with line information on syntax problems. Useful for validating
+// tenant configurations before submission.
+func ParseClick(src string) error {
+	cfg, err := clicklang.Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = click.Build(cfg)
+	return err
+}
+
+// ParseRequirements validates reach-statement text.
+func ParseRequirements(src string) error {
+	_, err := policy.ParseAll(src)
+	return err
+}
+
+// ElementClasses lists the registered Click element classes tenants
+// may use.
+func ElementClasses() []string { return click.Classes() }

@@ -1,0 +1,125 @@
+package innet
+
+import (
+	"strings"
+	"testing"
+)
+
+const exampleBatcher = `
+FromNetfront() ->
+IPFilter(allow udp port 1500) ->
+IPRewriter(pattern - - 10.1.15.133 - 0 0)
+-> TimedUnqueue(120,100)
+-> dst::ToNetfront()
+`
+
+func TestPublicAPIDeployFlow(t *testing.T) {
+	topo, err := Fig3Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(topo, "reach from internet tcp src port 80 -> HTTPOptimizer -> client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := ctl.Deploy(Request{
+		Tenant:     "alice",
+		ModuleName: "Batcher",
+		Config:     exampleBatcher,
+		Requirements: `
+reach from internet udp
+-> Batcher:dst:0 dst 10.1.15.133
+-> client dst port 1500
+const proto && dst port && payload
+`,
+		Trust: TrustClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Platform != "Platform3" {
+		t.Errorf("platform = %s", dep.Platform)
+	}
+	if err := ctl.Kill(dep.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if err := ParseClick(exampleBatcher); err != nil {
+		t.Errorf("ParseClick: %v", err)
+	}
+	if err := ParseClick("garbage ::::"); err == nil {
+		t.Error("bad click accepted")
+	}
+	if err := ParseRequirements("reach from internet -> client"); err != nil {
+		t.Errorf("ParseRequirements: %v", err)
+	}
+	if err := ParseRequirements("nonsense"); err == nil {
+		t.Error("bad requirements accepted")
+	}
+}
+
+func TestElementClassesExposed(t *testing.T) {
+	classes := ElementClasses()
+	if len(classes) < 20 {
+		t.Errorf("classes = %d", len(classes))
+	}
+	found := false
+	for _, c := range classes {
+		if c == "IPRewriter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("IPRewriter missing")
+	}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := NewTopology("t", "not-a-prefix"); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	topo, err := NewTopology("t", "10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo == nil {
+		t.Fatal("nil topology")
+	}
+}
+
+func TestFig1Topology(t *testing.T) {
+	topo, err := Fig1Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Platforms()) != 1 {
+		t.Error("fig1 platforms")
+	}
+}
+
+func TestRejectionErrorSurface(t *testing.T) {
+	topo, _ := Fig3Topology()
+	ctl, err := NewController(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ctl.Deploy(Request{Tenant: "m", ModuleName: "atk", Trust: TrustThirdParty,
+		Config: `
+in :: FromNetfront();
+atk :: SetIPDst(203.0.113.99);
+out :: ToNetfront();
+in -> atk -> out;
+`})
+	var rej *RejectionError
+	if err == nil {
+		t.Fatal("attack module deployed")
+	}
+	if re, ok := err.(*RejectionError); ok {
+		rej = re
+	}
+	if rej == nil || !strings.Contains(rej.Error(), "rejected") {
+		t.Errorf("error = %v", err)
+	}
+}

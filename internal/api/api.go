@@ -1,0 +1,206 @@
+// Package api defines the JSON wire format of the In-Net controller
+// daemon (cmd/innetd) and a small client used by cmd/innetctl. The
+// paper's §4.3 assumes clients obtain the controller address
+// out-of-band and submit processing requests with their credentials;
+// this API is that interface.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// DeployRequest is the POST /v1/modules body.
+type DeployRequest struct {
+	Tenant       string   `json:"tenant"`
+	ModuleName   string   `json:"module_name"`
+	Config       string   `json:"config,omitempty"`
+	Stock        string   `json:"stock,omitempty"`
+	Requirements string   `json:"requirements,omitempty"`
+	Trust        string   `json:"trust"` // "third-party" | "client" | "operator"
+	Whitelist    []string `json:"whitelist,omitempty"`
+	Transparent  bool     `json:"transparent,omitempty"`
+}
+
+// DeployResponse describes a placed module.
+type DeployResponse struct {
+	ID        string  `json:"id"`
+	Platform  string  `json:"platform"`
+	Addr      string  `json:"addr"`
+	Sandboxed bool    `json:"sandboxed"`
+	CompileMS float64 `json:"compile_ms"`
+	CheckMS   float64 `json:"check_ms"`
+}
+
+// ModuleInfo is one entry of GET /v1/modules.
+type ModuleInfo struct {
+	ID         string `json:"id"`
+	Tenant     string `json:"tenant"`
+	ModuleName string `json:"module_name"`
+	Platform   string `json:"platform"`
+	Addr       string `json:"addr"`
+	Sandboxed  bool   `json:"sandboxed"`
+}
+
+// QueryRequest is the POST /v1/query body: reach statements to check
+// against the network as it currently stands, without deploying.
+type QueryRequest struct {
+	Requirements string `json:"requirements"`
+}
+
+// QueryResponse answers a reachability query.
+type QueryResponse struct {
+	Satisfied bool    `json:"satisfied"`
+	Reason    string  `json:"reason,omitempty"`
+	CompileMS float64 `json:"compile_ms"`
+	CheckMS   float64 `json:"check_ms"`
+}
+
+// ErrorResponse carries a controller refusal or server error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Client talks to an innetd instance.
+type Client struct {
+	// BaseURL is e.g. "http://127.0.0.1:8640".
+	BaseURL string
+	// HTTP is the underlying client (default with 30 s timeout).
+	HTTP *http.Client
+}
+
+// NewClient builds a client with sane defaults.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Deploy submits a deployment request.
+func (c *Client) Deploy(req DeployRequest) (*DeployResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/modules", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	var out DeployResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query checks reachability without deploying.
+func (c *Client) Query(requirements string) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{Requirements: requirements})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Inject sends test packets through a deployed module (innetd
+// -simulate mode only).
+func (c *Client) Inject(req InjectRequest) (*InjectResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v1/inject", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out InjectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Kill stops a deployed module.
+func (c *Client) Kill(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/v1/modules/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// List fetches the current deployments.
+func (c *Client) List() ([]ModuleInfo, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/modules")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out []ModuleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Classes fetches the element classes the platform offers.
+func (c *Client) Classes() ([]string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/classes")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var e ErrorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("api: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("api: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+}

@@ -1,0 +1,240 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/security"
+
+	"github.com/in-net/innet/internal/click"
+)
+
+// Server exposes a controller over HTTP.
+type Server struct {
+	ctl *controller.Controller
+	sim *Simulator
+	mux *http.ServeMux
+}
+
+// NewServer wraps a controller.
+func NewServer(ctl *controller.Controller) *Server {
+	return NewServerWithSimulator(ctl, nil)
+}
+
+// NewServerWithSimulator additionally attaches an embedded dataplane
+// emulation: deployments are registered on simulated platforms and
+// POST /v1/inject drives test traffic through them.
+func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server {
+	s := &Server{ctl: ctl, sim: sim, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/modules", s.modules)
+	s.mux.HandleFunc("/v1/modules/", s.moduleByID)
+	s.mux.HandleFunc("/v1/classes", s.classes)
+	s.mux.HandleFunc("/v1/query", s.query)
+	s.mux.HandleFunc("/v1/inject", s.inject)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var out []ModuleInfo
+		for _, d := range s.ctl.Deployments() {
+			out = append(out, ModuleInfo{
+				ID:         d.ID,
+				Tenant:     d.Tenant,
+				ModuleName: d.ModuleName,
+				Platform:   d.Platform,
+				Addr:       packet.IPString(d.Addr),
+				Sandboxed:  d.Sandboxed,
+			})
+		}
+		if out == nil {
+			out = []ModuleInfo{}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req DeployRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+			return
+		}
+		trust, err := ParseTrust(req.Trust)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		dep, err := s.ctl.Deploy(controller.Request{
+			Tenant:       req.Tenant,
+			ModuleName:   req.ModuleName,
+			Config:       req.Config,
+			Stock:        req.Stock,
+			Requirements: req.Requirements,
+			Trust:        trust,
+			Whitelist:    req.Whitelist,
+			Transparent:  req.Transparent,
+		})
+		if err != nil {
+			status := http.StatusInternalServerError
+			if _, ok := err.(*controller.RejectionError); ok {
+				status = http.StatusUnprocessableEntity
+			}
+			writeErr(w, status, err)
+			return
+		}
+		if s.sim != nil {
+			if err := s.sim.Register(dep); err != nil {
+				_ = s.ctl.Kill(dep.ID)
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusCreated, DeployResponse{
+			ID:        dep.ID,
+			Platform:  dep.Platform,
+			Addr:      packet.IPString(dep.Addr),
+			Sandboxed: dep.Sandboxed,
+			CompileMS: float64(dep.Timings.Compile.Microseconds()) / 1000,
+			CheckMS:   float64(dep.Timings.Check.Microseconds()) / 1000,
+		})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (s *Server) moduleByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/modules/")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing module id"))
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		dep, ok := s.ctl.Get(id)
+		if err := s.ctl.Kill(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if s.sim != nil && ok {
+			s.sim.Unregister(dep)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		d, ok := s.ctl.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no deployment %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, ModuleInfo{
+			ID:         d.ID,
+			Tenant:     d.Tenant,
+			ModuleName: d.ModuleName,
+			Platform:   d.Platform,
+			Addr:       packet.IPString(d.Addr),
+			Sandboxed:  d.Sandboxed,
+		})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func (s *Server) classes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, click.Classes())
+}
+
+func (s *Server) inject(w http.ResponseWriter, r *http.Request) {
+	if s.sim == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("simulation mode is off (start innetd with -simulate)"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req InjectRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	resp, err := s.sim.Inject(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	res, err := s.ctl.Query(req.Requirements)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if _, ok := err.(*controller.RejectionError); ok {
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Satisfied: res.Satisfied,
+		Reason:    res.Reason,
+		CompileMS: float64(res.Timings.Compile.Microseconds()) / 1000,
+		CheckMS:   float64(res.Timings.Check.Microseconds()) / 1000,
+	})
+}
+
+// TrustName maps a security class to its wire name.
+func TrustName(t security.TrustClass) string {
+	switch t {
+	case security.Client:
+		return "client"
+	case security.Operator:
+		return "operator"
+	default:
+		return "third-party"
+	}
+}
+
+// ParseTrust maps wire trust names to security classes. An empty
+// string defaults to third-party (least privilege).
+func ParseTrust(s string) (security.TrustClass, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "third-party", "thirdparty":
+		return security.ThirdParty, nil
+	case "client":
+		return security.Client, nil
+	case "operator":
+		return security.Operator, nil
+	default:
+		return 0, fmt.Errorf("unknown trust class %q", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

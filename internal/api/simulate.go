@@ -1,0 +1,171 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/platform"
+)
+
+// Simulator hosts an in-process dataplane emulation behind innetd's
+// -simulate mode: one simulated platform per topology platform, with
+// every successful deployment registered on its host. Clients can
+// then POST /v1/inject test packets and watch their modules process
+// them — boot-on-first-packet latency included.
+type Simulator struct {
+	mu        sync.Mutex
+	sim       *netsim.Sim
+	platforms map[string]*platform.Platform
+	byAddr    map[uint32]string // module addr -> platform name
+}
+
+// NewSimulator builds platforms for the given topology platform
+// names.
+func NewSimulator(platformNames []string) *Simulator {
+	s := &Simulator{
+		sim:       netsim.New(1),
+		platforms: make(map[string]*platform.Platform),
+		byAddr:    make(map[uint32]string),
+	}
+	for _, name := range platformNames {
+		s.platforms[name] = platform.New(s.sim, platform.DefaultModel(), 16*1024)
+	}
+	return s
+}
+
+// Register installs a deployment on its hosting platform.
+func (s *Simulator) Register(dep *controller.Deployment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.platforms[dep.Platform]
+	if !ok {
+		return fmt.Errorf("api: no simulated platform %q", dep.Platform)
+	}
+	if err := p.Register(dep.PlatformSpec()); err != nil {
+		return err
+	}
+	s.byAddr[dep.Addr] = dep.Platform
+	return nil
+}
+
+// Unregister removes a deployment.
+func (s *Simulator) Unregister(dep *controller.Deployment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.platforms[dep.Platform]; ok {
+		p.Unregister(dep.Addr)
+	}
+	delete(s.byAddr, dep.Addr)
+}
+
+// InjectRequest is the POST /v1/inject body: a test packet aimed at a
+// deployed module's address.
+type InjectRequest struct {
+	Dst     string `json:"dst"`
+	Src     string `json:"src"`
+	Proto   string `json:"proto"` // udp | tcp | icmp
+	SrcPort uint16 `json:"src_port"`
+	DstPort uint16 `json:"dst_port"`
+	Payload string `json:"payload,omitempty"`
+	// Count sends the packet multiple times (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+// EmittedPacket describes one packet a module emitted.
+type EmittedPacket struct {
+	Src       string  `json:"src"`
+	Dst       string  `json:"dst"`
+	Proto     string  `json:"proto"`
+	SrcPort   uint16  `json:"src_port"`
+	DstPort   uint16  `json:"dst_port"`
+	Payload   string  `json:"payload"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// InjectResponse reports what the module did with the test traffic.
+type InjectResponse struct {
+	Platform string          `json:"platform"`
+	Sent     int             `json:"sent"`
+	Emitted  []EmittedPacket `json:"emitted"`
+	// BootedVM is true when this injection instantiated the VM.
+	BootedVM bool `json:"booted_vm"`
+}
+
+// Inject delivers test packets to the module owning the destination
+// address and runs the virtual clock until the dataplane drains
+// (bounded by a 10-virtual-minute horizon so batching modules
+// release).
+func (s *Simulator) Inject(req InjectRequest) (*InjectResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, err := packet.ParseIP(req.Dst)
+	if err != nil {
+		return nil, fmt.Errorf("api: bad dst: %v", err)
+	}
+	platName, ok := s.byAddr[dst]
+	if !ok {
+		return nil, fmt.Errorf("api: no deployed module at %s", req.Dst)
+	}
+	p := s.platforms[platName]
+	src := packet.MustParseIP("192.0.2.99")
+	if req.Src != "" {
+		if src, err = packet.ParseIP(req.Src); err != nil {
+			return nil, fmt.Errorf("api: bad src: %v", err)
+		}
+	}
+	var proto packet.Proto
+	switch strings.ToLower(req.Proto) {
+	case "", "udp":
+		proto = packet.ProtoUDP
+	case "tcp":
+		proto = packet.ProtoTCP
+	case "icmp":
+		proto = packet.ProtoICMP
+	default:
+		return nil, fmt.Errorf("api: unknown proto %q", req.Proto)
+	}
+	count := req.Count
+	if count <= 0 {
+		count = 1
+	}
+	if count > 10000 {
+		return nil, fmt.Errorf("api: count %d too large", count)
+	}
+
+	resp := &InjectResponse{Platform: platName, Sent: count}
+	booted := p.VMFor(dst) == nil
+	start := s.sim.Now()
+	for i := 0; i < count; i++ {
+		pk := &packet.Packet{
+			Protocol: proto,
+			SrcIP:    src,
+			DstIP:    dst,
+			SrcPort:  req.SrcPort,
+			DstPort:  req.DstPort,
+			TTL:      64,
+			Payload:  []byte(req.Payload),
+		}
+		p.Deliver(pk, func(iface int, out *packet.Packet) {
+			resp.Emitted = append(resp.Emitted, EmittedPacket{
+				Src:       packet.IPString(out.SrcIP),
+				Dst:       packet.IPString(out.DstIP),
+				Proto:     out.Protocol.String(),
+				SrcPort:   out.SrcPort,
+				DstPort:   out.DstPort,
+				Payload:   string(out.Payload),
+				LatencyMS: float64(s.sim.Now()-start) / 1e6,
+			})
+		})
+	}
+	// Drain the virtual clock (bounded: batchers may hold packets).
+	s.sim.RunUntil(start + 10*60*netsim.Second)
+	resp.BootedVM = booted
+	if resp.Emitted == nil {
+		resp.Emitted = []EmittedPacket{}
+	}
+	return resp, nil
+}

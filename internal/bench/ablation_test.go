@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationConsolidation(t *testing.T) {
+	tb := AblationConsolidation()
+	if len(tb.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	perClientVMs := cell(t, tb, 0, 1)
+	consolidatedVMs := cell(t, tb, 1, 1)
+	if perClientVMs != 1000 || consolidatedVMs != 10 {
+		t.Errorf("vms: %v vs %v", perClientVMs, consolidatedVMs)
+	}
+	memPer := cell(t, tb, 0, 3)
+	memCons := cell(t, tb, 1, 3)
+	if memCons*50 > memPer {
+		t.Errorf("consolidation memory win too small: %v vs %v MB", memCons, memPer)
+	}
+}
+
+func TestAblationSuspendResume(t *testing.T) {
+	tb := AblationSuspendResume()
+	resume := cell(t, tb, 0, 1)
+	boot := cell(t, tb, 1, 1)
+	if resume <= 0 || boot <= 0 {
+		t.Fatal("latencies")
+	}
+	if tb.Rows[0][2] != "preserved" {
+		t.Error("resume must preserve state")
+	}
+	if tb.Rows[1][2] == "preserved" {
+		t.Error("reboot cannot preserve state")
+	}
+}
+
+func TestAblationSandbox(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock measurement is meaningless under the race detector")
+	}
+	tb := AblationSandbox(true)
+	bare := cell(t, tb, 0, 1)
+	enforced := cell(t, tb, 1, 1)
+	separate := cell(t, tb, 2, 1)
+	if bare >= enforced && bare < enforced*1.15 {
+		t.Skipf("bare %v vs enforced %v ns/pkt inside noise; machine under load", bare, enforced)
+	}
+	if !(bare < enforced && enforced < separate) {
+		t.Errorf("ordering: %v %v %v", bare, enforced, separate)
+	}
+	// The separate-VM relative factor is the §7.2 constant.
+	rel, err := strconv.ParseFloat(tb.Rows[2][2][:4], 64)
+	if err != nil || rel < 3.0 || rel > 3.6 {
+		t.Errorf("separate-VM relative = %v", tb.Rows[2][2])
+	}
+}

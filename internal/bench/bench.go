@@ -1,0 +1,112 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6, §7, §8) on this repository's substrates. Each
+// harness returns a Table whose rows mirror what the paper plots;
+// absolute numbers come from the calibrated models (or real
+// measurements of this machine where the experiment is CPU-bound),
+// and the shapes — who wins, by what factor, where the knees fall —
+// are asserted by the package's tests.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated paper table/figure.
+type Table struct {
+	// ID is the paper label ("Figure 5", "Table 1", ...).
+	ID string
+	// Title describes the experiment.
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes records calibration/substitution caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// d formats an integer.
+func d(v int) string { return fmt.Sprintf("%d", v) }
+
+// gbps formats bits/s as Gb/s.
+func gbps(bps float64) string { return fmt.Sprintf("%.2f", bps/1e9) }
+
+// All runs every experiment at the given scale and returns the
+// tables in paper order. quick shrinks the heavyweight sweeps for CI
+// runs; full reproduces the paper's parameter ranges.
+func All(quick bool) []*Table {
+	return []*Table{
+		Fig5(quick),
+		Fig6(quick),
+		Fig7(),
+		Fig8(),
+		Fig9(),
+		Fig10(quick),
+		Table1(),
+		Fig11(quick),
+		Fig12(),
+		Fig13(),
+		Fig14(quick),
+		Fig15(quick),
+		Fig16(),
+		MAWI(),
+		ControllerLatency(),
+		HTTPvsHTTPS(),
+	}
+}

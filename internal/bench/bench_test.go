@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell as float.
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d: %q not numeric", tb.ID, row, col, tb.Rows[row][col])
+	}
+	return v
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb := Fig5(true)
+	if len(tb.Rows) != 15 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	firstAvg := cell(t, tb, 0, 2)
+	warmAvg := cell(t, tb, 5, 2)
+	if firstAvg < 10 {
+		t.Errorf("first-probe avg = %.1f ms, boot cost missing", firstAvg)
+	}
+	if warmAvg > firstAvg/5 {
+		t.Errorf("warm probe avg %.2f vs first %.2f: RTT should collapse after boot", warmAvg, firstAvg)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb := Fig6(true)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := range tb.Rows {
+		if tr := cell(t, tb, i, 2); tr < 16 || tr > 18.5 {
+			t.Errorf("row %d transfer = %.2f s", i, tr)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tb := Fig7()
+	first := cell(t, tb, 0, 2)
+	last := cell(t, tb, len(tb.Rows)-1, 2)
+	if last <= first {
+		t.Error("resume latency must grow with resident VMs")
+	}
+	if first < 30 || last > 110 {
+		t.Errorf("resume band %.1f..%.1f ms, Fig. 7 is ≈30-100 ms", first, last)
+	}
+}
+
+func TestFig8Knee(t *testing.T) {
+	tb := Fig8()
+	at24 := cell(t, tb, 0, 1)
+	var at144, at252 float64
+	for i := range tb.Rows {
+		switch tb.Rows[i][0] {
+		case "144":
+			at144 = cell(t, tb, i, 1)
+		case "252":
+			at252 = cell(t, tb, i, 1)
+		}
+	}
+	if at24 < 9.5 || at144 < 9.5 {
+		t.Errorf("line rate not sustained: 24->%.2f 144->%.2f Gb/s", at24, at144)
+	}
+	if at252 >= at144 || at252 < 7.5 || at252 > 9.3 {
+		t.Errorf("252 configs -> %.2f Gb/s, want a moderate decline (paper ≈8.2)", at252)
+	}
+}
+
+func TestFig9AllSeriesScale(t *testing.T) {
+	tb := Fig9()
+	last := tb.Rows[len(tb.Rows)-1]
+	for col := 1; col <= 3; col++ {
+		v, _ := strconv.ParseFloat(last[col], 64)
+		if v < 7.5 {
+			t.Errorf("1000 clients, col %d = %.2f Gb/s; platform should carry ≈8 Gb/s", col, v)
+		}
+	}
+}
+
+func TestFig10Linear(t *testing.T) {
+	tb := Fig10(true)
+	n := len(tb.Rows)
+	smallC := cell(t, tb, 0, 1) + cell(t, tb, 0, 2)
+	bigC := cell(t, tb, n-1, 1) + cell(t, tb, n-1, 2)
+	sizes0, _ := strconv.Atoi(tb.Rows[0][0])
+	sizesN, _ := strconv.Atoi(tb.Rows[n-1][0])
+	if bigC <= smallC {
+		t.Error("analysis time must grow with network size")
+	}
+	// Roughly linear: the per-middlebox cost at the large end must
+	// not blow up more than ~8x over the small end (sub-quadratic).
+	perSmall := smallC / float64(sizes0+4)
+	perBig := bigC / float64(sizesN+4)
+	if perBig > perSmall*8 {
+		t.Errorf("per-middlebox cost grew %.1fx: not linear", perBig/perSmall)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tb := Table1()
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	want := map[string][3]string{
+		"IP Router":             {"X", "X", "OK"},
+		"DPI":                   {"X", "X", "OK"},
+		"NAT":                   {"X", "X", "OK"},
+		"Transparent Proxy":     {"X", "X", "OK"},
+		"Flow meter":            {"OK", "OK", "OK"},
+		"Rate limiter":          {"OK", "OK", "OK"},
+		"Firewall":              {"OK", "OK", "OK"},
+		"Tunnel":                {"OK(s)", "OK", "OK"},
+		"Multicast":             {"OK", "OK", "OK"},
+		"DNS Server (stock)":    {"OK", "OK", "OK"},
+		"Reverse proxy (stock)": {"OK", "OK", "OK"},
+		"x86 VM":                {"OK(s)", "OK(s)", "OK"},
+	}
+	for _, row := range tb.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected row %q", row[0])
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			if row[i+1] != w[i] {
+				t.Errorf("%s col %d = %s want %s", row[0], i, row[i+1], w[i])
+			}
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock measurement is meaningless under the race detector")
+	}
+	tb := Fig11(true)
+	// At 64 B the enforcer visibly costs; at 1472 B both are at line
+	// rate (no measurable drop) — the paper's key shape.
+	no64, sb64 := cell(t, tb, 0, 1), cell(t, tb, 0, 2)
+	noBig, sbBig := cell(t, tb, len(tb.Rows)-1, 1), cell(t, tb, len(tb.Rows)-1, 2)
+	if sb64 >= no64 {
+		if sb64 < no64*1.1 {
+			t.Skipf("64 B measurement inside noise (plain %.2f vs sandbox %.2f Mpps); machine under load", no64, sb64)
+		}
+		t.Errorf("64 B: sandbox %.2f >= plain %.2f Mpps", sb64, no64)
+	}
+	if noBig != sbBig {
+		lineRate1472 := 10e9 / float64((1472+24)*8) / 1e6
+		if noBig < lineRate1472*0.999 {
+			t.Skipf("1472 B below line rate (%.2f Mpps); machine under load", noBig)
+		}
+		t.Errorf("1472 B: plain %.2f vs sandbox %.2f Mpps — both should hit the line-rate cap", noBig, sbBig)
+	}
+	sep64 := cell(t, tb, 0, 3)
+	if sep64 > no64*0.35 {
+		t.Errorf("separate-VM 64 B = %.2f Mpps vs plain %.2f: want ≈70%% drop", sep64, no64)
+	}
+}
+
+func TestFig12SpreadAndFlatness(t *testing.T) {
+	tb := Fig12()
+	for i := range tb.Rows {
+		nat := cell(t, tb, i, 1)
+		fm := cell(t, tb, i, 4)
+		if nat > fm {
+			t.Errorf("row %d: nat %.2f > flowmeter %.2f", i, nat, fm)
+		}
+		if nat < 7 {
+			t.Errorf("row %d: nat %.2f Gb/s too low for Fig. 12", i, nat)
+		}
+	}
+}
+
+func TestFig13Monotone(t *testing.T) {
+	tb := Fig13()
+	prev := 1e18
+	for i := range tb.Rows {
+		v := cell(t, tb, i, 1)
+		if v >= prev {
+			t.Errorf("row %d: %.1f mW not decreasing", i, v)
+		}
+		prev = v
+	}
+	if first := cell(t, tb, 0, 1); first < 220 || first > 260 {
+		t.Errorf("30 s batch = %.1f mW, paper ≈240", first)
+	}
+}
+
+func TestFig14Ratios(t *testing.T) {
+	tb := Fig14(true)
+	for i := range tb.Rows {
+		loss := cell(t, tb, i, 0)
+		if loss == 0 {
+			continue
+		}
+		ratio := cell(t, tb, i, 3)
+		if ratio < 1.6 || ratio > 7 {
+			t.Errorf("loss %.0f%%: udp/tcp = %.2f, want the paper's 2-5x regime", loss, ratio)
+		}
+	}
+}
+
+func TestFig15Recovery(t *testing.T) {
+	tb := Fig15(true)
+	// Find a row in the attack window and compare series.
+	for i := range tb.Rows {
+		sec, _ := strconv.Atoi(tb.Rows[i][0])
+		if sec == 480 {
+			single := cell(t, tb, i, 1)
+			withIN := cell(t, tb, i, 2)
+			if single > 120 {
+				t.Errorf("single-server under attack = %.0f req/s", single)
+			}
+			if withIN < 200 {
+				t.Errorf("defended under attack = %.0f req/s", withIN)
+			}
+			return
+		}
+	}
+	t.Fatal("no row at t=480s")
+}
+
+func TestFig16Ratios(t *testing.T) {
+	tb := Fig16()
+	var med, p90 [2]float64
+	for i := range tb.Rows {
+		switch tb.Rows[i][0] {
+		case "50.0":
+			med[0], med[1] = cell(t, tb, i, 1), cell(t, tb, i, 2)
+		case "90.0":
+			p90[0], p90[1] = cell(t, tb, i, 1), cell(t, tb, i, 2)
+		}
+	}
+	if r := med[0] / med[1]; r < 1.5 || r > 3.5 {
+		t.Errorf("median ratio = %.2f", r)
+	}
+	if r := p90[0] / p90[1]; r < 2.5 || r > 6.5 {
+		t.Errorf("p90 ratio = %.2f", r)
+	}
+}
+
+func TestMAWIInBands(t *testing.T) {
+	tb := MAWI()
+	for i := range tb.Rows {
+		conns := cell(t, tb, i, 2)
+		clients := cell(t, tb, i, 3)
+		if conns < 1200 || conns > 4500 {
+			t.Errorf("day %d conns = %.0f", i, conns)
+		}
+		if clients < 300 || clients > 1000 {
+			t.Errorf("day %d clients = %.0f", i, clients)
+		}
+	}
+}
+
+func TestControllerLatencySmall(t *testing.T) {
+	tb := ControllerLatency()
+	total := cell(t, tb, 0, 1) + cell(t, tb, 1, 1)
+	if total <= 0 || total > 5000 {
+		t.Errorf("handling time = %.1f ms", total)
+	}
+}
+
+func TestHTTPvsHTTPSTable(t *testing.T) {
+	tb := HTTPvsHTTPS()
+	http, https := cell(t, tb, 0, 1), cell(t, tb, 1, 1)
+	if https <= http {
+		t.Error("TLS should cost more")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		ID: "T", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"hello"},
+	}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	for _, want := range []string{"T — demo", "a", "bb", "1", "2", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllQuickRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables := All(true)
+	if len(tables) != 16 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.ID == "" || len(tb.Rows) == 0 {
+			t.Errorf("table %q empty", tb.ID)
+		}
+	}
+}

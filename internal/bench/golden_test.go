@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment tables")
+
+// Golden regression tests for the fully deterministic experiments
+// (model-driven or fixed-seed simulations — no wall-clock
+// measurement). A diff here means a calibration constant or a
+// simulator changed behaviour; if intentional, refresh with
+//
+//	go test ./internal/bench -run Golden -update-golden
+func TestGoldenTables(t *testing.T) {
+	cases := []struct {
+		file string
+		run  func() *Table
+	}{
+		{"fig7.golden", Fig7},
+		{"fig8.golden", Fig8},
+		{"fig9.golden", Fig9},
+		{"fig12.golden", Fig12},
+		{"fig13.golden", Fig13},
+		{"table1.golden", Table1},
+		{"fig14.golden", func() *Table { return Fig14(false) }},
+		{"fig16.golden", Fig16},
+		{"mawi.golden", MAWI},
+		{"https.golden", HTTPvsHTTPS},
+		{"ablation_a.golden", AblationConsolidation},
+		{"ablation_b.golden", AblationSuspendResume},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			got := c.run().String()
+			path := filepath.Join("testdata", c.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("table drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

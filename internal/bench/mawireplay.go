@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/in-net/innet/internal/mawi"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/platform"
+)
+
+// MAWIReplay closes the loop on the paper's §6 take-away: "a single
+// In-Net platform running on commodity hardware could run
+// personalized firewalls for all active sources on the MAWI
+// backbone." It replays a synthetic MAWI trace against the platform
+// simulator — every client gets a personalized stateless firewall
+// module, booted on its first connection, reclaimed when idle — and
+// reports the peak resident footprint on a 16 GB box.
+func MAWIReplay(quick bool) *Table {
+	cfg := mawi.DefaultConfig()
+	if quick {
+		cfg.Window = netsim.Seconds(3 * 60)
+	}
+	conns := mawi.Generate(cfg)
+
+	sim := netsim.New(9)
+	p := platform.New(sim, platform.DefaultModel(), 16*1024)
+	p.Consolidate = true
+	p.ConsolidatePerVM = 100
+
+	base := packet.MustParseIP("100.64.0.0")
+	registered := make(map[uint32]bool)
+	peakVMs, peakMemMB := 0, 0
+
+	for _, conn := range conns {
+		addr := base + 1 + conn.Client
+		if !registered[addr] {
+			registered[addr] = true
+			if err := p.Register(platform.ModuleSpec{Addr: addr, Config: ablationFirewall}); err != nil {
+				panic(err)
+			}
+		}
+		conn := conn
+		sim.At(conn.Start, func() {
+			pk := &packet.Packet{
+				Protocol: packet.ProtoTCP,
+				SrcIP:    1, DstIP: addr,
+				TCPFlags: packet.TCPSyn, TTL: 64,
+			}
+			p.Deliver(pk, func(int, *packet.Packet) {})
+			if p.ResidentVMs() > peakVMs {
+				peakVMs = p.ResidentVMs()
+			}
+			if p.MemUsedMB > peakMemMB {
+				peakMemMB = p.MemUsedMB
+			}
+		})
+	}
+	// Reclaim idle firewalls once a minute, like a real platform.
+	for ts := netsim.Seconds(60); ts < cfg.Window; ts += netsim.Seconds(60) {
+		sim.At(ts, func() { p.ReclaimIdle(netsim.Seconds(120)) })
+	}
+	sim.RunUntil(cfg.Window)
+
+	st := mawi.Analyze(conns, cfg.Window)
+	t := &Table{
+		ID:      "MAWI replay (§6)",
+		Title:   "personalized firewalls for every active MAWI source on one 16 GB platform",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("trace connections", d(len(conns)))
+	t.AddRow("distinct clients", d(len(registered)))
+	t.AddRow("max active clients (trace)", d(st.MaxActiveClients))
+	t.AddRow("peak resident VMs", d(peakVMs))
+	t.AddRow("peak platform memory (MB)", d(peakMemMB))
+	t.AddRow("VM boots", d(int(p.Boots)))
+	t.AddRow("VMs reclaimed", d(int(p.Destroys)))
+	t.AddRow("memory headroom", fmt.Sprintf("%.1f%% of 16 GB used", 100*float64(peakMemMB)/(16*1024)))
+	t.Notes = append(t.Notes,
+		"with consolidation and idle reclamation, the full backbone's active sources fit in a sliver of one inexpensive server — the paper's scaling claim")
+	return t
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; wall-clock microbenchmark assertions are meaningless under
+// its ~10x slowdown.
+const raceEnabled = true

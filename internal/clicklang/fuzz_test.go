@@ -1,0 +1,56 @@
+package clicklang
+
+import "testing"
+
+// FuzzParse runs the parser over hostile inputs; with plain `go test`
+// it exercises the seed corpus, and `go test -fuzz=FuzzParse` explores
+// further. The invariant: never panic, and a successful parse must
+// re-parse from its own String() rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"a :: Discard();",
+		"FromNetfront() -> Discard();",
+		"a :: IPFilter(allow udp, deny all); b :: FromNetfront(); b -> a;",
+		"x[1] -> [2]y;",
+		"a :: B(c(d,e), \"f,g\");",
+		"/* comment */ a :: Discard(); // end",
+		"a :: Discard( unterminated",
+		"name :: Class(args) -> other :: Class2() -> third;",
+		"\x00\x01\x02",
+		"a::b();a->a;",
+		"🎉 :: Discard();",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(cfg.String()); err != nil {
+			t.Fatalf("String() of a valid config does not re-parse: %v\noriginal: %q\nrendered: %q",
+				err, src, cfg.String())
+		}
+	})
+}
+
+// FuzzSplitArgs checks SplitArgs never panics and never fabricates
+// content longer than its input.
+func FuzzSplitArgs(f *testing.F) {
+	for _, s := range []string{"", "a,b", "f(x,y),z", `"a,b",c`, "((((", ",,,,", `"unterminated`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		parts := SplitArgs(raw)
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		if total > len(raw) {
+			t.Fatalf("SplitArgs(%q) fabricated content: %q", raw, parts)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package clicklang parses the Click modular-router configuration
+// language used by In-Net clients to describe processing modules
+// (paper §4.1). The supported grammar covers the subset the paper
+// exercises: element declarations, inline/anonymous declarations and
+// connection chains with optional port indices:
+//
+//	src :: FromNetfront();
+//	src -> IPFilter(allow udp port 1500)
+//	    -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+//	    -> TimedUnqueue(120, 100)
+//	    -> dst :: ToNetfront();
+//	a[1] -> [0]b;
+//
+// Comments use // and /* */. Statements are terminated by ';'.
+package clicklang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokColonColon // ::
+	tokArrow      // ->
+	tokLBracket
+	tokRBracket
+	tokSemicolon
+	tokArgs // raw text between balanced parentheses
+	tokNumber
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokColonColon:
+		return "'::'"
+	case tokArrow:
+		return "'->'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokSemicolon:
+		return "';'"
+	case tokArgs:
+		return "argument list"
+	case tokNumber:
+		return "number"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// Error is a parse error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("clicklang: line %d: %s", e.Line, e.Msg) }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			start := l.line
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return &Error{Line: start, Msg: "unterminated /* comment"}
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '@' || unicode.IsLetter(rune(c))
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '@' || c == '/' || c == '.' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	switch {
+	case c == ';':
+		l.pos++
+		return token{kind: tokSemicolon, text: ";", line: l.line}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", line: l.line}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", line: l.line}, nil
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == ':' {
+			l.pos += 2
+			return token{kind: tokColonColon, text: "::", line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected ':'")
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{kind: tokArrow, text: "->", line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected '-'")
+	case c == '(':
+		return l.lexArgs()
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	default:
+		return token{}, l.errf("unexpected character %q", string(rune(c)))
+	}
+}
+
+// lexArgs captures raw text between balanced parentheses, honoring
+// nested parens and double-quoted strings.
+func (l *lexer) lexArgs() (token, error) {
+	startLine := l.line
+	l.pos++ // consume '('
+	depth := 1
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\n':
+			l.line++
+			b.WriteByte(c)
+			l.pos++
+		case '(':
+			depth++
+			b.WriteByte(c)
+			l.pos++
+		case ')':
+			depth--
+			l.pos++
+			if depth == 0 {
+				return token{kind: tokArgs, text: b.String(), line: startLine}, nil
+			}
+			b.WriteByte(c)
+		case '"':
+			b.WriteByte(c)
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return token{}, &Error{Line: startLine, Msg: "unterminated string"}
+			}
+			b.WriteByte('"')
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, &Error{Line: startLine, Msg: "unterminated argument list"}
+}
+
+// SplitArgs splits a raw Click argument string on top-level commas,
+// trimming whitespace, honoring nested parentheses and quotes. An
+// empty input yields no arguments.
+func SplitArgs(raw string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	flush := func(end int) {
+		s := strings.TrimSpace(raw[start:end])
+		if s != "" || len(out) > 0 || end < len(raw) {
+			out = append(out, s)
+		}
+	}
+	for i := 0; i < len(raw); i++ {
+		switch raw[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	if s := strings.TrimSpace(raw[start:]); s != "" {
+		out = append(out, s)
+	} else if len(out) > 0 {
+		out = append(out, "")
+	}
+	return out
+}

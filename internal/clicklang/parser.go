@@ -1,0 +1,286 @@
+package clicklang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Decl is one element declaration: name :: Class(args).
+type Decl struct {
+	Name  string
+	Class string
+	// Args are the comma-separated configuration arguments.
+	Args []string
+	// RawArgs is the unsplit argument text.
+	RawArgs string
+	Line    int
+}
+
+// Conn is a directed edge from one element output port to another
+// element input port.
+type Conn struct {
+	From     string
+	FromPort int
+	To       string
+	ToPort   int
+	Line     int
+}
+
+// Config is a parsed Click configuration.
+type Config struct {
+	Decls []Decl
+	Conns []Conn
+
+	byName map[string]*Decl
+}
+
+// Decl returns the declaration with the given element name, or nil.
+func (c *Config) Decl(name string) *Decl {
+	if d, ok := c.byName[name]; ok {
+		return d
+	}
+	return nil
+}
+
+// String renders the configuration back to (canonical) Click syntax.
+func (c *Config) String() string {
+	var b strings.Builder
+	for _, d := range c.Decls {
+		fmt.Fprintf(&b, "%s :: %s(%s);\n", d.Name, d.Class, d.RawArgs)
+	}
+	for _, cn := range c.Conns {
+		fmt.Fprintf(&b, "%s[%d] -> [%d]%s;\n", cn.From, cn.FromPort, cn.ToPort, cn.To)
+	}
+	return b.String()
+}
+
+type parser struct {
+	lx    *lexer
+	tok   token
+	anonN int
+	cfg   *Config
+}
+
+// Parse parses Click configuration source.
+func Parse(src string) (*Config, error) {
+	p := &parser{
+		lx:  newLexer(src),
+		cfg: &Config{byName: make(map[string]*Decl)},
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p.cfg, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// statement parses either a standalone declaration or a connection
+// chain (whose endpoints may be inline declarations).
+func (p *parser) statement() error {
+	first, outPort, err := p.endpoint()
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokArrow {
+		// Standalone declaration; nothing more to do.
+		if outPort >= 0 {
+			return p.errf("dangling output port on %s", first)
+		}
+		return p.expectEnd()
+	}
+	prev, prevPort := first, outPort
+	for p.tok.kind == tokArrow {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return err
+		}
+		inPort := -1
+		if p.tok.kind == tokLBracket {
+			inPort, err = p.portIndex()
+			if err != nil {
+				return err
+			}
+		}
+		name, nextOut, err := p.endpoint()
+		if err != nil {
+			return err
+		}
+		fp, tp := prevPort, inPort
+		if fp < 0 {
+			fp = 0
+		}
+		if tp < 0 {
+			tp = 0
+		}
+		p.cfg.Conns = append(p.cfg.Conns, Conn{
+			From: prev, FromPort: fp, To: name, ToPort: tp, Line: line,
+		})
+		prev, prevPort = name, nextOut
+	}
+	if prevPort >= 0 {
+		return p.errf("dangling output port on %s", prev)
+	}
+	return p.expectEnd()
+}
+
+func (p *parser) expectEnd() error {
+	switch p.tok.kind {
+	case tokSemicolon:
+		return p.advance()
+	case tokEOF:
+		return nil
+	default:
+		return p.errf("expected ';', got %v", p.tok.kind)
+	}
+}
+
+// portIndex parses "[n]" with the '[' as current token.
+func (p *parser) portIndex() (int, error) {
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tokNumber {
+		return 0, p.errf("expected port number, got %v", p.tok.kind)
+	}
+	n, err := strconv.Atoi(p.tok.text)
+	if err != nil || n < 0 || n > 255 {
+		return 0, p.errf("bad port index %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tokRBracket {
+		return 0, p.errf("expected ']', got %v", p.tok.kind)
+	}
+	return n, p.advance()
+}
+
+// endpoint parses one element reference and returns its name plus the
+// trailing output port index (or -1). Forms:
+//
+//	name
+//	name [n]
+//	name :: Class(args)
+//	Class(args)            (anonymous; class must start upper-case)
+func (p *parser) endpoint() (name string, outPort int, err error) {
+	outPort = -1
+	if p.tok.kind != tokIdent {
+		return "", 0, p.errf("expected element name or class, got %v", p.tok.kind)
+	}
+	ident := p.tok.text
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return "", 0, err
+	}
+	switch p.tok.kind {
+	case tokColonColon:
+		// name :: Class(args)
+		if err := p.advance(); err != nil {
+			return "", 0, err
+		}
+		if p.tok.kind != tokIdent {
+			return "", 0, p.errf("expected class after '::'")
+		}
+		class := p.tok.text
+		if err := p.advance(); err != nil {
+			return "", 0, err
+		}
+		raw := ""
+		if p.tok.kind == tokArgs {
+			raw = p.tok.text
+			if err := p.advance(); err != nil {
+				return "", 0, err
+			}
+		}
+		if err := p.declare(ident, class, raw, line); err != nil {
+			return "", 0, err
+		}
+		name = ident
+	case tokArgs:
+		// Class(args) anonymous declaration.
+		raw := p.tok.text
+		if err := p.advance(); err != nil {
+			return "", 0, err
+		}
+		p.anonN++
+		name = fmt.Sprintf("%s@%d", ident, p.anonN)
+		if err := p.declare(name, ident, raw, line); err != nil {
+			return "", 0, err
+		}
+	default:
+		name = ident
+	}
+	if p.tok.kind == tokLBracket {
+		n, err := p.portIndex()
+		if err != nil {
+			return "", 0, err
+		}
+		outPort = n
+	}
+	return name, outPort, nil
+}
+
+func (p *parser) declare(name, class, rawArgs string, line int) error {
+	if _, dup := p.cfg.byName[name]; dup {
+		return &Error{Line: line, Msg: fmt.Sprintf("element %q redeclared", name)}
+	}
+	d := Decl{
+		Name: name, Class: class,
+		Args: SplitArgs(rawArgs), RawArgs: rawArgs, Line: line,
+	}
+	p.cfg.Decls = append(p.cfg.Decls, d)
+	p.cfg.byName[name] = &p.cfg.Decls[len(p.cfg.Decls)-1]
+	return nil
+}
+
+// validate checks that every connection references a declared element
+// and that no output port is doubly connected (push outputs connect to
+// exactly one input; fan-in to a shared input port is legal Click).
+func (p *parser) validate() error {
+	type portKey struct {
+		name string
+		port int
+	}
+	outs := make(map[portKey]int)
+	for _, c := range p.cfg.Conns {
+		if p.cfg.Decl(c.From) == nil {
+			return &Error{Line: c.Line, Msg: fmt.Sprintf("connection from undeclared element %q", c.From)}
+		}
+		if p.cfg.Decl(c.To) == nil {
+			return &Error{Line: c.Line, Msg: fmt.Sprintf("connection to undeclared element %q", c.To)}
+		}
+		ok := portKey{c.From, c.FromPort}
+		if prev, dup := outs[ok]; dup {
+			return &Error{Line: c.Line, Msg: fmt.Sprintf("output %s[%d] already connected at line %d", c.From, c.FromPort, prev)}
+		}
+		outs[ok] = c.Line
+	}
+	return nil
+}

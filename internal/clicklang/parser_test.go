@@ -1,0 +1,243 @@
+package clicklang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The batcher module from the paper's Fig. 4.
+const fig4 = `
+FromNetfront() ->
+IPFilter(allow udp port 1500) ->
+IPRewriter(pattern - - 172.16.15.133 - 0 0)
+-> TimedUnqueue(120,100)
+-> dst::ToNetfront()
+`
+
+func TestParseFig4(t *testing.T) {
+	cfg, err := Parse(fig4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 5 {
+		t.Fatalf("decls = %d want 5: %+v", len(cfg.Decls), cfg.Decls)
+	}
+	classes := make([]string, len(cfg.Decls))
+	for i, d := range cfg.Decls {
+		classes[i] = d.Class
+	}
+	want := []string{"FromNetfront", "IPFilter", "IPRewriter", "TimedUnqueue", "ToNetfront"}
+	if !reflect.DeepEqual(classes, want) {
+		t.Errorf("classes = %v want %v", classes, want)
+	}
+	if len(cfg.Conns) != 4 {
+		t.Fatalf("conns = %d want 4", len(cfg.Conns))
+	}
+	// The last element is explicitly named "dst".
+	if cfg.Decl("dst") == nil || cfg.Decl("dst").Class != "ToNetfront" {
+		t.Error("named inline declaration dst::ToNetfront missing")
+	}
+	// TimedUnqueue args split on commas.
+	var tu *Decl
+	for i := range cfg.Decls {
+		if cfg.Decls[i].Class == "TimedUnqueue" {
+			tu = &cfg.Decls[i]
+		}
+	}
+	if tu == nil || !reflect.DeepEqual(tu.Args, []string{"120", "100"}) {
+		t.Errorf("TimedUnqueue args = %+v", tu)
+	}
+}
+
+func TestParseDeclarationAndChain(t *testing.T) {
+	src := `
+// A firewall module.
+fw :: IPFilter(allow tcp dst port 80, deny all);
+in :: FromNetfront();
+out :: ToNetfront();
+in -> fw -> out;
+`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 3 || len(cfg.Conns) != 2 {
+		t.Fatalf("got %d decls %d conns", len(cfg.Decls), len(cfg.Conns))
+	}
+	fw := cfg.Decl("fw")
+	if fw == nil {
+		t.Fatal("fw not declared")
+	}
+	if want := []string{"allow tcp dst port 80", "deny all"}; !reflect.DeepEqual(fw.Args, want) {
+		t.Errorf("fw args = %v want %v", fw.Args, want)
+	}
+}
+
+func TestParsePortIndices(t *testing.T) {
+	src := `
+cl :: Classifier(a, b);
+q0 :: Queue();
+q1 :: Queue();
+cl[0] -> q0;
+cl[1] -> [0]q1;
+`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Conns) != 2 {
+		t.Fatalf("conns = %d", len(cfg.Conns))
+	}
+	if cfg.Conns[0].FromPort != 0 || cfg.Conns[1].FromPort != 1 {
+		t.Errorf("from ports: %+v", cfg.Conns)
+	}
+	if cfg.Conns[1].ToPort != 0 {
+		t.Errorf("to port: %+v", cfg.Conns[1])
+	}
+}
+
+func TestParsePortInChain(t *testing.T) {
+	src := `c :: Classifier(x, y); d :: Discard(); c[1] -> d;`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Conns[0].FromPort != 1 {
+		t.Errorf("FromPort = %d", cfg.Conns[0].FromPort)
+	}
+}
+
+func TestFanInAllowed(t *testing.T) {
+	src := `
+a :: FromNetfront(); b :: FromNetfront(); d :: Discard();
+a -> d; b -> d;`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("fan-in should be legal: %v", err)
+	}
+}
+
+func TestDuplicateOutputRejected(t *testing.T) {
+	src := `
+a :: FromNetfront(); d :: Discard(); e :: Discard();
+a -> d; a -> e;`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("duplicate output connection should be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undeclared", `a -> b;`},
+		{"redeclared", `a :: Discard(); a :: Discard();`},
+		{"bad token", `a :: : Discard();`},
+		{"unterminated args", `a :: Discard(foo`},
+		{"unterminated comment", `/* hello`},
+		{"unterminated string", `a :: Discard("abc`},
+		{"dangling arrow", `a :: Discard(); a -> ;`},
+		{"dangling port", `a :: Discard(); a[1];`},
+		{"bad port", `a :: Discard(); b :: Discard(); a[x] -> b;`},
+		{"missing semicolon", `a :: Discard() b :: Discard()`},
+		{"stray char", `a %% b`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks position: %v", c.name, err)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+/* block
+   comment */
+a :: FromNetfront(); // trailing
+// full line
+a -> Discard();
+`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 2 || len(cfg.Conns) != 1 {
+		t.Errorf("decls=%d conns=%d", len(cfg.Decls), len(cfg.Conns))
+	}
+}
+
+func TestAnonymousNamesAreUnique(t *testing.T) {
+	src := `FromNetfront() -> Discard(); FromNetfront() -> Discard();`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, d := range cfg.Decls {
+		if seen[d.Name] {
+			t.Fatalf("duplicate generated name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cfg, err := Parse(fig4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse(cfg.String())
+	if err != nil {
+		t.Fatalf("reparse of String(): %v\n%s", err, cfg.String())
+	}
+	if len(re.Decls) != len(cfg.Decls) || len(re.Conns) != len(cfg.Conns) {
+		t.Errorf("round trip changed shape: %d/%d vs %d/%d",
+			len(re.Decls), len(re.Conns), len(cfg.Decls), len(cfg.Conns))
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a, b, c", []string{"a", "b", "c"}},
+		{"f(x, y), b", []string{"f(x, y)", "b"}},
+		{`"a,b", c`, []string{`"a,b"`, "c"}},
+		{"pattern - - 172.16.15.133 - 0 0", []string{"pattern - - 172.16.15.133 - 0 0"}},
+		{" spaced , out ", []string{"spaced", "out"}},
+	}
+	for _, c := range cases {
+		got := SplitArgs(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitArgs(%q) = %#v want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	src := "a :: Discard();\n\n\nb -> a;\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("line = %d want 4 (%v)", pe.Line, err)
+	}
+}
+
+func BenchmarkParseFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(fig4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

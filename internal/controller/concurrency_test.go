@@ -1,0 +1,128 @@
+package controller
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// TestConcurrentQueries exercises §4.3's controller-parallelization
+// claim: many reachability queries run simultaneously against the
+// same controller (run with -race to validate the locking).
+func TestConcurrentQueries(t *testing.T) {
+	c := newController(t)
+	if _, err := c.Deploy(batcherRequest()); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"reach from client udp -> internet",
+		"reach from internet tcp src port 80 -> HTTPOptimizer -> client",
+		"reach from internet udp -> Batcher:dst:0 -> client",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				res, err := c.Query(queries[(i+j)%len(queries)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Satisfied {
+					errs <- fmt.Errorf("query unsatisfied: %s", res.Reason)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentDeploys checks that racing deployments serialize
+// correctly: unique IDs, unique addresses, consistent bookkeeping.
+func TestConcurrentDeploys(t *testing.T) {
+	c := newController(t)
+	const n = 12
+	var wg sync.WaitGroup
+	deps := make(chan *Deployment, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("FW%d", i)
+			dep, err := c.Deploy(Request{
+				Tenant:     "tenant",
+				ModuleName: name,
+				Trust:      security.ThirdParty,
+				Whitelist:  []string{"192.0.2.1"},
+				Config: `
+in :: FromNetfront();
+f :: IPFilter(allow udp, deny all);
+fwd :: SetIPDst(192.0.2.1);
+out :: ToNetfront();
+in -> f -> fwd -> out;
+`,
+				Requirements: strings.ReplaceAll(
+					"reach from internet udp -> NAME:out:0", "NAME", name),
+			})
+			if err != nil {
+				t.Errorf("deploy %d: %v", i, err)
+				return
+			}
+			deps <- dep
+		}(i)
+	}
+	wg.Wait()
+	close(deps)
+	ids := map[string]bool{}
+	addrs := map[uint32]bool{}
+	count := 0
+	for d := range deps {
+		count++
+		if ids[d.ID] {
+			t.Errorf("duplicate id %s", d.ID)
+		}
+		if addrs[d.Addr] {
+			t.Errorf("duplicate address %d", d.Addr)
+		}
+		ids[d.ID] = true
+		addrs[d.Addr] = true
+	}
+	if count != n {
+		t.Errorf("deployed %d of %d", count, n)
+	}
+	if got := len(c.Deployments()); got != n {
+		t.Errorf("Deployments() = %d", got)
+	}
+}
+
+func BenchmarkParallelQueries(b *testing.B) {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(topo, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := c.Query("reach from client udp -> internet")
+			if err != nil || !res.Satisfied {
+				b.Fatalf("query: %v %v", err, res)
+			}
+		}
+	})
+}

@@ -1,0 +1,612 @@
+// Package controller implements the In-Net controller (paper §4.3):
+// it receives client requests (a Click configuration or a stock
+// module, plus requirements), statically verifies them against the
+// operator's topology, policy and the security rules, picks a
+// platform, assigns the module an address, and — when static checking
+// cannot prove safety — transparently wraps the module in a
+// ChangeEnforcer sandbox.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/clicklang"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/platform"
+	"github.com/in-net/innet/internal/policy"
+	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// Request is a client's processing-module deployment request
+// (paper §4.1, Fig. 4): a configuration plus requirements.
+type Request struct {
+	// Tenant identifies the requesting customer.
+	Tenant string
+	// ModuleName is the client-chosen module name; requirements
+	// reference elements as "<ModuleName>:<element>:<port>".
+	ModuleName string
+	// Config is Click source. Empty if Stock is set.
+	Config string
+	// Stock names a platform-provided stock module (§4.1): one of
+	// StockModules. Empty if Config is set.
+	Stock string
+	// Requirements is reach-statement text (may be empty).
+	Requirements string
+	// Trust is the requester's class.
+	Trust security.TrustClass
+	// Whitelist lists destination addresses the tenant owns
+	// (explicit authorization, §2.1).
+	Whitelist []string
+	// Transparent requests interposition on traffic not addressed to
+	// the module; operator-only.
+	Transparent bool
+}
+
+// Stock module catalog (§4.1: "a reverse-HTTP proxy appliance, an
+// explicit proxy, a DNS server that uses geolocation, and an
+// arbitrary x86 VM").
+const (
+	StockReverseProxy  = "reverse-proxy"
+	StockExplicitProxy = "explicit-proxy"
+	StockGeoDNS        = "geo-dns"
+	StockX86VM         = "x86-vm"
+)
+
+// StockModules maps stock module names to their Click sources; the
+// x86 VM maps to the empty string (opaque to analysis).
+var StockModules = map[string]string{
+	StockReverseProxy: `
+in :: FromNetfront();
+f :: IPFilter(allow tcp dst port 80);
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> mir -> out;
+`,
+	StockExplicitProxy: `
+in :: FromNetfront();
+f :: IPFilter(allow tcp);
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> mir -> out;
+`,
+	StockGeoDNS: `
+in :: FromNetfront();
+f :: IPFilter(allow udp dst port 53);
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> mir -> out;
+`,
+	StockX86VM: "",
+}
+
+// Timings breaks down the controller's handling latency, mirroring
+// the split reported in §6.1 (compilation vs. analysis).
+type Timings struct {
+	// Compile covers parsing and building the network snapshots.
+	Compile time.Duration
+	// Check covers symbolic execution (requirements, policy,
+	// security).
+	Check time.Duration
+}
+
+// Deployment is a successfully placed processing module.
+type Deployment struct {
+	ID         string
+	Tenant     string
+	ModuleName string
+	Platform   string
+	// Addr is the address clients use to reach the module.
+	Addr uint32
+	// Sandboxed reports whether a ChangeEnforcer was injected.
+	Sandboxed bool
+	// Security is the security-check report.
+	Security *security.Report
+	// Config is the (possibly sandbox-wrapped) deployed source.
+	Config string
+	// Timings is the handling-latency breakdown.
+	Timings Timings
+
+	module topology.HostedModule
+}
+
+// statefulClasses lists element classes that hold cross-packet state:
+// the platform must not consolidate such modules and uses
+// suspend/resume instead of destroy/boot for them (§5).
+var statefulClasses = map[string]bool{
+	"StatefulFirewall": true,
+	"IPRewriter":       true,
+	"FlowMeter":        true,
+	"Queue":            true,
+	"TimedUnqueue":     true,
+	"RatedUnqueue":     true,
+	"ChangeEnforcer":   true,
+}
+
+// Stateful reports whether the deployed configuration holds
+// cross-packet state.
+func (d *Deployment) Stateful() bool {
+	cfg, err := clicklang.Parse(d.Config)
+	if err != nil {
+		return true // be conservative
+	}
+	for _, decl := range cfg.Decls {
+		if statefulClasses[decl.Class] {
+			return true
+		}
+	}
+	return false
+}
+
+// PlatformSpec converts the deployment into the module spec the
+// hosting platform registers — the integration point between the
+// control plane and the (simulated) dataplane.
+func (d *Deployment) PlatformSpec() platform.ModuleSpec {
+	return platform.ModuleSpec{
+		Addr:     d.Addr,
+		Config:   d.Config,
+		Kind:     platform.ClickOS,
+		Stateful: d.Stateful(),
+	}
+}
+
+// Options are operator-wide policy knobs.
+type Options struct {
+	// BanConnectionlessReplies enables the §7 amplification-attack
+	// mitigation: third-party modules whose reply-to-sender traffic
+	// can be connectionless are sandboxed instead of trusted.
+	BanConnectionlessReplies bool
+}
+
+// Controller is the operator's control plane.
+type Controller struct {
+	mu   sync.Mutex
+	opts Options
+	topo *topology.Topology
+	// operatorPolicy must hold before and after every placement.
+	operatorPolicy []*policy.Requirement
+	deployments    map[string]*Deployment
+	nextID         int
+
+	// Placed, Rejections count controller decisions.
+	Placed     int
+	Rejections int
+}
+
+// New builds a controller for the given operator topology and policy
+// (reach statements that must always hold; may be empty).
+func New(topo *topology.Topology, operatorPolicy string) (*Controller, error) {
+	return NewWithOptions(topo, operatorPolicy, Options{})
+}
+
+// NewWithOptions builds a controller with operator policy knobs.
+func NewWithOptions(topo *topology.Topology, operatorPolicy string, opts Options) (*Controller, error) {
+	c := &Controller{
+		opts:        opts,
+		topo:        topo,
+		deployments: make(map[string]*Deployment),
+	}
+	if strings.TrimSpace(operatorPolicy) != "" {
+		reqs, err := policy.ParseAll(operatorPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("controller: operator policy: %v", err)
+		}
+		c.operatorPolicy = reqs
+	}
+	// The policy must hold on the pristine network.
+	net, nm, err := topo.Compile(c.hostedLocked(nil))
+	if err != nil {
+		return nil, fmt.Errorf("controller: %v", err)
+	}
+	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: topo.ClientNet}
+	for _, r := range c.operatorPolicy {
+		res, err := r.Check(env)
+		if err != nil {
+			return nil, fmt.Errorf("controller: operator policy %q: %v", r, err)
+		}
+		if !res.Satisfied {
+			return nil, fmt.Errorf("controller: operator policy %q does not hold on the base network: %s", r, res.Reason)
+		}
+	}
+	return c, nil
+}
+
+// RejectionError explains why a request was not deployed.
+type RejectionError struct {
+	Reason string
+}
+
+func (e *RejectionError) Error() string { return "controller: request rejected: " + e.Reason }
+
+// Deploy handles one client request end to end. On success the module
+// is recorded as hosted and its deployment descriptor returned; a
+// *RejectionError explains refusals.
+func (c *Controller) Deploy(req Request) (*Deployment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if req.ModuleName == "" {
+		return nil, &RejectionError{Reason: "missing module name"}
+	}
+	for _, d := range c.deployments {
+		if d.Tenant == req.Tenant && d.ModuleName == req.ModuleName {
+			return nil, &RejectionError{Reason: fmt.Sprintf("module %q already deployed", req.ModuleName)}
+		}
+	}
+	src, isVM, err := resolveConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	var whitelist []uint32
+	for _, w := range req.Whitelist {
+		ip, err := packet.ParseIP(w)
+		if err != nil {
+			return nil, &RejectionError{Reason: fmt.Sprintf("bad whitelist address %q", w)}
+		}
+		whitelist = append(whitelist, ip)
+	}
+	var reqs []*policy.Requirement
+	if strings.TrimSpace(req.Requirements) != "" {
+		reqs, err = policy.ParseAll(req.Requirements)
+		if err != nil {
+			return nil, &RejectionError{Reason: fmt.Sprintf("bad requirements: %v", err)}
+		}
+	}
+
+	var timings Timings
+	// Iterate over the platforms (§4.3: "it iterates through all its
+	// available platforms, pretends it has instantiated the client
+	// processing, checking all operator and client requirements").
+	var lastReason string
+	for _, pl := range c.topo.Platforms() {
+		dep, reason, err := c.tryPlatform(req, src, isVM, whitelist, reqs, pl, &timings)
+		if err != nil {
+			return nil, err
+		}
+		if dep != nil {
+			dep.Timings = timings
+			c.deployments[dep.ID] = dep
+			c.Placed++
+			return dep, nil
+		}
+		lastReason = reason
+	}
+	c.Rejections++
+	if lastReason == "" {
+		lastReason = "no platform available"
+	}
+	return nil, &RejectionError{Reason: lastReason}
+}
+
+// tryPlatform attempts a tentative placement on one platform.
+// It returns (nil, reason, nil) when this platform does not fit.
+func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist []uint32, reqs []*policy.Requirement, platformName string, timings *Timings) (*Deployment, string, error) {
+	addr, ok := c.allocAddrLocked(platformName)
+	if !ok {
+		return nil, fmt.Sprintf("platform %s address pool exhausted", platformName), nil
+	}
+	// The module's address is only known now: substitute the
+	// $MODULE_IP placeholder so configurations can refer to their own
+	// assigned address (e.g. a tunnel's SNAT stage).
+	src = strings.ReplaceAll(src, "$MODULE_IP", packet.IPString(addr))
+
+	// Security check first: its verdict (sandbox) can change the
+	// deployed configuration.
+	checkStart := time.Now()
+	var mod *click.Router
+	deploySrc := src
+	if !isVM {
+		var err error
+		mod, err = buildConfig(src)
+		if err != nil {
+			return nil, "", &RejectionError{Reason: fmt.Sprintf("bad configuration: %v", err)}
+		}
+	}
+	rep, err := security.Check(security.Input{
+		ModuleID:                 req.ModuleName,
+		Module:                   mod,
+		Addr:                     addr,
+		Trust:                    req.Trust,
+		Whitelist:                whitelist,
+		Transparent:              req.Transparent,
+		BanConnectionlessReplies: c.opts.BanConnectionlessReplies,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	timings.Check += time.Since(checkStart)
+	if rep.Verdict == security.Rejected {
+		return nil, "", &RejectionError{Reason: "security: " + strings.Join(rep.Reasons, "; ")}
+	}
+	sandboxed := rep.Verdict == security.NeedsSandbox
+	if sandboxed && !isVM {
+		wrapped, err := SandboxConfig(src, whitelist)
+		if err != nil {
+			return nil, "", &RejectionError{Reason: fmt.Sprintf("cannot sandbox: %v", err)}
+		}
+		deploySrc = wrapped
+	}
+
+	// Build the tentative module (x86 VMs are modeled as an opaque
+	// mirror responder wrapped by a separate-VM enforcer).
+	compileStart := time.Now()
+	buildSrc := deploySrc
+	if isVM {
+		var err error
+		buildSrc, err = SandboxConfig(StockModules[StockReverseProxy], whitelist)
+		if err != nil {
+			return nil, "", err
+		}
+		deploySrc = buildSrc
+	}
+	tentative, err := buildConfig(buildSrc)
+	if err != nil {
+		return nil, "", &RejectionError{Reason: fmt.Sprintf("bad configuration: %v", err)}
+	}
+	hosted := topology.HostedModule{
+		ID: req.ModuleName, Platform: platformName, Addr: addr, Router: tentative,
+	}
+	all := c.hostedLocked(&hosted)
+	net, nm, err := c.topo.Compile(all)
+	if err != nil {
+		return nil, fmt.Sprintf("platform %s: %v", platformName, err), nil
+	}
+	timings.Compile += time.Since(compileStart)
+
+	// Client requirements and operator policy must all hold.
+	checkStart = time.Now()
+	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: c.topo.ClientNet}
+	for _, r := range reqs {
+		res, err := r.Check(env)
+		if err != nil {
+			timings.Check += time.Since(checkStart)
+			return nil, fmt.Sprintf("platform %s: requirement %q: %v", platformName, r, err), nil
+		}
+		if !res.Satisfied {
+			timings.Check += time.Since(checkStart)
+			return nil, fmt.Sprintf("platform %s: requirement %q: %s", platformName, r, res.Reason), nil
+		}
+	}
+	for _, r := range c.operatorPolicy {
+		res, err := r.Check(env)
+		if err != nil {
+			return nil, "", err
+		}
+		if !res.Satisfied {
+			timings.Check += time.Since(checkStart)
+			return nil, fmt.Sprintf("platform %s: operator policy %q violated: %s", platformName, r, res.Reason), nil
+		}
+	}
+	timings.Check += time.Since(checkStart)
+
+	c.nextID++
+	dep := &Deployment{
+		ID:         fmt.Sprintf("pm-%d", c.nextID),
+		Tenant:     req.Tenant,
+		ModuleName: req.ModuleName,
+		Platform:   platformName,
+		Addr:       addr,
+		Sandboxed:  sandboxed || isVM,
+		Security:   rep,
+		Config:     deploySrc,
+		module:     hosted,
+	}
+	return dep, "", nil
+}
+
+// QueryResult answers a reachability query.
+type QueryResult struct {
+	Satisfied bool
+	Reason    string
+	Timings   Timings
+}
+
+// Query checks reachability requirements against the network as it
+// currently stands — deployed modules included — without deploying
+// anything. This is the probe of the paper's protocol-tunneling use
+// case (§8): "the sender could use the In-Net API to send a UDP
+// reachability requirement to the network... after which the client
+// can make the optimal tunnel choice" instead of waiting out a
+// transport timeout.
+func (c *Controller) Query(requirements string) (*QueryResult, error) {
+	reqs, err := policy.ParseAll(requirements)
+	if err != nil {
+		return nil, &RejectionError{Reason: fmt.Sprintf("bad requirements: %v", err)}
+	}
+	// Queries are read-only: snapshot the deployment set under the
+	// lock, then compile and check concurrently with other queries —
+	// §4.3's observation that "it is fairly easy to parallelize the
+	// controller by simply having multiple machines answer the
+	// queries" holds within one process too.
+	c.mu.Lock()
+	hosted := c.hostedLocked(nil)
+	c.mu.Unlock()
+	out := &QueryResult{Satisfied: true}
+	compileStart := time.Now()
+	net, nm, err := c.topo.Compile(hosted)
+	if err != nil {
+		return nil, err
+	}
+	out.Timings.Compile = time.Since(compileStart)
+	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: c.topo.ClientNet}
+	checkStart := time.Now()
+	for _, r := range reqs {
+		res, err := r.Check(env)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Satisfied {
+			out.Satisfied = false
+			out.Reason = fmt.Sprintf("%q: %s", r, res.Reason)
+			break
+		}
+	}
+	out.Timings.Check = time.Since(checkStart)
+	return out, nil
+}
+
+// Kill stops a processing module (§4.3: "clients can stop processing
+// modules by issuing a kill command with the proper identifier").
+func (c *Controller) Kill(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.deployments[id]; !ok {
+		return fmt.Errorf("controller: no deployment %q", id)
+	}
+	delete(c.deployments, id)
+	return nil
+}
+
+// Deployments lists current deployments sorted by ID.
+func (c *Controller) Deployments() []*Deployment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Deployment, 0, len(c.deployments))
+	for _, d := range c.deployments {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns a deployment by ID.
+func (c *Controller) Get(id string) (*Deployment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.deployments[id]
+	return d, ok
+}
+
+// hostedLocked lists all hosted modules plus an optional tentative
+// one.
+func (c *Controller) hostedLocked(extra *topology.HostedModule) []topology.HostedModule {
+	var out []topology.HostedModule
+	for _, d := range c.deployments {
+		out = append(out, d.module)
+	}
+	if extra != nil {
+		out = append(out, *extra)
+	}
+	return out
+}
+
+// allocAddrLocked picks the lowest free host address in the
+// platform's pool, so addresses freed by Kill are reused.
+func (c *Controller) allocAddrLocked(platform string) (uint32, bool) {
+	node := c.topo.Node(platform)
+	if node == nil {
+		return 0, false
+	}
+	lo, hi := node.Pool.Range()
+	used := make(map[uint32]bool)
+	for _, d := range c.deployments {
+		if d.Platform == platform {
+			used[d.Addr] = true
+		}
+	}
+	// lo is the network address, hi the broadcast; both excluded.
+	for a := lo + 1; a < hi; a++ {
+		if !used[a] {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// resolveConfig picks the Click source for the request.
+func resolveConfig(req Request) (src string, isVM bool, err error) {
+	switch {
+	case req.Config != "" && req.Stock != "":
+		return "", false, &RejectionError{Reason: "request has both a configuration and a stock module"}
+	case req.Config != "":
+		return req.Config, false, nil
+	case req.Stock != "":
+		src, ok := StockModules[req.Stock]
+		if !ok {
+			return "", false, &RejectionError{Reason: fmt.Sprintf("unknown stock module %q", req.Stock)}
+		}
+		return src, src == "", nil
+	default:
+		return "", false, &RejectionError{Reason: "request has no configuration"}
+	}
+}
+
+func buildConfig(src string) (*click.Router, error) {
+	cfg, err := clicklang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return click.Build(cfg)
+}
+
+// SandboxConfig wraps a single-interface configuration with a
+// ChangeEnforcer (§4.4): the enforcer is injected on the path from
+// FromNetfront into the module and on the path from the module to
+// ToNetfront, and is configured with the tenant's whitelist. The
+// enforcer becomes part of the client configuration — "this has the
+// benefit of billing the user for the sandboxing".
+func SandboxConfig(src string, whitelist []uint32) (string, error) {
+	cfg, err := clicklang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var fromName, toName string
+	for _, d := range cfg.Decls {
+		switch d.Class {
+		case "FromNetfront", "FromDevice":
+			if fromName != "" {
+				return "", fmt.Errorf("controller: cannot sandbox a module with multiple ingress elements")
+			}
+			fromName = d.Name
+		case "ToNetfront", "ToDevice":
+			if toName != "" {
+				return "", fmt.Errorf("controller: cannot sandbox a module with multiple egress elements")
+			}
+			toName = d.Name
+		}
+	}
+	if fromName == "" || toName == "" {
+		return "", fmt.Errorf("controller: module must have FromNetfront and ToNetfront to be sandboxed")
+	}
+	var wl []string
+	for _, ip := range whitelist {
+		wl = append(wl, packet.IPString(ip))
+	}
+	wlArg := ""
+	if len(wl) > 0 {
+		wlArg = "whitelist " + strings.Join(wl, " ")
+	}
+
+	var b strings.Builder
+	for _, d := range cfg.Decls {
+		fmt.Fprintf(&b, "%s :: %s(%s);\n", d.Name, d.Class, d.RawArgs)
+	}
+	fmt.Fprintf(&b, "__sandbox :: ChangeEnforcer(%s);\n", wlArg)
+	egressWired := false
+	for _, cn := range cfg.Conns {
+		from, fromPort, to, toPort := cn.From, cn.FromPort, cn.To, cn.ToPort
+		if from == fromName {
+			// ingress -> enforcer(inbound) -> original target
+			fmt.Fprintf(&b, "%s[%d] -> [0]__sandbox;\n", from, fromPort)
+			fmt.Fprintf(&b, "__sandbox[0] -> [%d]%s;\n", toPort, to)
+			continue
+		}
+		if to == toName {
+			// original source(s) -> enforcer(outbound) -> egress; the
+			// egress side is wired once even with fan-in.
+			fmt.Fprintf(&b, "%s[%d] -> [1]__sandbox;\n", from, fromPort)
+			if !egressWired {
+				fmt.Fprintf(&b, "__sandbox[1] -> [%d]%s;\n", toPort, to)
+				egressWired = true
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "%s[%d] -> [%d]%s;\n", from, fromPort, toPort, to)
+	}
+	return b.String(), nil
+}

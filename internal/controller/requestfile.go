@@ -1,0 +1,132 @@
+package controller
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/in-net/innet/internal/security"
+)
+
+// ParseRequestFile parses the textual client-request format modeled
+// on the paper's Fig. 4, where one document carries the processing
+// module and its requirements:
+//
+//	# the push-notification batcher
+//	module: Batcher
+//	tenant: alice
+//	trust: client
+//	whitelist: 192.0.2.1, 192.0.2.2
+//
+//	config:
+//	  FromNetfront() ->
+//	  IPFilter(allow udp port 1500) ->
+//	  IPRewriter(pattern - - 172.16.15.133 - 0 0)
+//	  -> TimedUnqueue(120,100)
+//	  -> dst::ToNetfront()
+//
+//	requirements:
+//	  reach from internet udp
+//	  -> Batcher:dst:0 dst 172.16.15.133
+//	  -> client dst port 1500
+//	  const proto && dst port && payload
+//
+// Header keys: module (required), tenant, trust
+// (third-party|client|operator), whitelist (comma-separated),
+// transparent (true|false), stock (stock module name). The config:
+// and requirements: sections run to the next section or EOF. Lines
+// starting with # are comments.
+func ParseRequestFile(src string) (Request, error) {
+	var req Request
+	lines := strings.Split(src, "\n")
+	section := "" // "", "config", "requirements"
+	var config, requirements []string
+
+	for i, raw := range lines {
+		line := strings.TrimRight(raw, " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		lower := strings.ToLower(trimmed)
+		switch {
+		case lower == "config:":
+			section = "config"
+			continue
+		case lower == "requirements:":
+			section = "requirements"
+			continue
+		}
+		switch section {
+		case "config":
+			config = append(config, line)
+			continue
+		case "requirements":
+			requirements = append(requirements, line)
+			continue
+		}
+		if trimmed == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return req, fmt.Errorf("controller: request line %d: expected 'key: value', got %q", i+1, trimmed)
+		}
+		value = strings.TrimSpace(value)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "module", "name":
+			req.ModuleName = value
+		case "tenant":
+			req.Tenant = value
+		case "trust":
+			trust, err := parseTrustName(value)
+			if err != nil {
+				return req, fmt.Errorf("controller: request line %d: %v", i+1, err)
+			}
+			req.Trust = trust
+		case "whitelist":
+			for _, w := range strings.Split(value, ",") {
+				if w = strings.TrimSpace(w); w != "" {
+					req.Whitelist = append(req.Whitelist, w)
+				}
+			}
+		case "transparent":
+			switch strings.ToLower(value) {
+			case "true", "yes":
+				req.Transparent = true
+			case "false", "no", "":
+				req.Transparent = false
+			default:
+				return req, fmt.Errorf("controller: request line %d: bad transparent value %q", i+1, value)
+			}
+		case "stock":
+			req.Stock = value
+		default:
+			return req, fmt.Errorf("controller: request line %d: unknown key %q", i+1, key)
+		}
+	}
+	req.Config = strings.TrimSpace(strings.Join(config, "\n"))
+	req.Requirements = strings.TrimSpace(strings.Join(requirements, "\n"))
+	if req.ModuleName == "" {
+		return req, fmt.Errorf("controller: request file missing 'module:'")
+	}
+	if req.Config == "" && req.Stock == "" {
+		return req, fmt.Errorf("controller: request file needs a config: section or a stock: module")
+	}
+	if req.Config != "" && req.Stock != "" {
+		return req, fmt.Errorf("controller: request file has both config: and stock:")
+	}
+	return req, nil
+}
+
+func parseTrustName(s string) (security.TrustClass, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "third-party", "thirdparty":
+		return security.ThirdParty, nil
+	case "client":
+		return security.Client, nil
+	case "operator":
+		return security.Operator, nil
+	default:
+		return 0, fmt.Errorf("unknown trust class %q", s)
+	}
+}

@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/in-net/innet/internal/security"
+)
+
+const fig4RequestFile = `
+# The paper's Fig. 4 request: batch UDP notifications for a mobile.
+module: Batcher
+tenant: alice
+trust: client
+whitelist: 192.0.2.1, 192.0.2.2
+
+config:
+  FromNetfront() ->
+  IPFilter(allow udp port 1500) ->
+  IPRewriter(pattern - - 10.1.15.133 - 0 0)
+  -> TimedUnqueue(120,100)
+  -> dst::ToNetfront()
+
+requirements:
+  reach from internet udp
+  -> Batcher:dst:0 dst 10.1.15.133
+  -> client dst port 1500
+  const proto && dst port && payload
+`
+
+func TestParseRequestFileFig4(t *testing.T) {
+	req, err := ParseRequestFile(fig4RequestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ModuleName != "Batcher" || req.Tenant != "alice" {
+		t.Errorf("header: %+v", req)
+	}
+	if req.Trust != security.Client {
+		t.Errorf("trust = %v", req.Trust)
+	}
+	if len(req.Whitelist) != 2 || req.Whitelist[1] != "192.0.2.2" {
+		t.Errorf("whitelist = %v", req.Whitelist)
+	}
+	if !strings.Contains(req.Config, "TimedUnqueue(120,100)") {
+		t.Errorf("config:\n%s", req.Config)
+	}
+	if !strings.Contains(req.Requirements, "const proto && dst port && payload") {
+		t.Errorf("requirements:\n%s", req.Requirements)
+	}
+}
+
+func TestParseRequestFileDeploysEndToEnd(t *testing.T) {
+	c := newController(t)
+	req, err := ParseRequestFile(fig4RequestFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := c.Deploy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Platform != "Platform3" {
+		t.Errorf("platform = %s", dep.Platform)
+	}
+}
+
+func TestParseRequestFileStock(t *testing.T) {
+	req, err := ParseRequestFile(`
+module: dns
+trust: third-party
+stock: geo-dns
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Stock != "geo-dns" || req.Config != "" {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestParseRequestFileTransparent(t *testing.T) {
+	req, err := ParseRequestFile(`
+module: rt
+trust: operator
+transparent: true
+config:
+  in :: FromNetfront();
+  out :: ToNetfront();
+  in -> out;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Transparent || req.Trust != security.Operator {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestParseRequestFileErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing module", "tenant: x\nconfig:\n d::Discard();"},
+		{"no config or stock", "module: m"},
+		{"both config and stock", "module: m\nstock: geo-dns\nconfig:\n x"},
+		{"bad trust", "module: m\ntrust: root\nstock: geo-dns"},
+		{"bad transparent", "module: m\ntransparent: maybe\nstock: geo-dns"},
+		{"unknown key", "module: m\ncolour: blue\nstock: geo-dns"},
+		{"bare line", "module: m\njustaword\nstock: geo-dns"},
+	}
+	for _, c := range cases {
+		if _, err := ParseRequestFile(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

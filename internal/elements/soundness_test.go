@@ -1,0 +1,189 @@
+package elements
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// TestSymbolicModelsSoundness is the property the whole architecture
+// rests on (paper §3): the symbolic models must over-approximate the
+// runtime. For random concrete packets pushed through a module, every
+// packet the module actually emits must be explained by at least one
+// symbolic egress flow whose constraints the emitted packet satisfies.
+// If this fails, the controller could certify a module as safe while
+// the dataplane does something else.
+func TestSymbolicModelsSoundness(t *testing.T) {
+	configs := []struct {
+		name string
+		src  string
+	}{
+		{"filter", `
+in :: FromNetfront();
+f :: IPFilter(allow udp port 1500, deny net 10.0.0.0/8, allow tcp);
+out :: ToNetfront();
+in -> f -> out;
+`},
+		{"classifier-chain", `
+in :: FromNetfront();
+c :: IPClassifier(udp, tcp dst port 80, -);
+u :: SetIPDst(192.0.2.1);
+h :: SetIPDst(192.0.2.2);
+d :: Discard();
+out :: ToNetfront();
+in -> c;
+c[0] -> u -> out;
+c[1] -> h -> out;
+c[2] -> d;
+`},
+		{"rewriter", `
+in :: FromNetfront();
+rw :: IPRewriter(pattern 198.51.100.77 5000 - - 0 0);
+out :: ToNetfront();
+in -> rw -> out;
+`},
+		{"mirror", `
+in :: FromNetfront();
+f :: IPFilter(allow udp dst port 53);
+m :: IPMirror();
+out :: ToNetfront();
+in -> f -> m -> out;
+`},
+		{"ttl", `
+in :: FromNetfront();
+d :: DecIPTTL();
+out :: ToNetfront();
+in -> d -> out;
+`},
+		{"paint-branch", `
+in :: FromNetfront();
+p :: Paint(5);
+cp :: CheckPaint(5);
+a :: SetIPDst(192.0.2.1);
+out :: ToNetfront();
+drop :: Discard();
+in -> p -> cp;
+cp[0] -> a -> out;
+cp[1] -> drop;
+`},
+		{"icmp-responder", `
+in :: FromNetfront();
+r :: ICMPPingResponder();
+out :: ToNetfront();
+pass :: Discard();
+in -> r;
+r[0] -> out;
+r[1] -> pass;
+`},
+	}
+	fields := []symexec.Field{
+		symexec.FieldSrcIP, symexec.FieldDstIP, symexec.FieldProto,
+		symexec.FieldSrcPort, symexec.FieldDstPort, symexec.FieldTTL,
+	}
+	rng := rand.New(rand.NewSource(99))
+	protos := []packet.Proto{packet.ProtoUDP, packet.ProtoTCP, packet.ProtoICMP, packet.ProtoSCTP}
+
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			router := click.MustBuildString(cfg.src)
+			net, entries, exits, err := topology.CompileStandaloneModule("m", router)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry := entries[0] // these configs enter via FromNetfront
+			exitSet := map[string]bool{}
+			for _, e := range exits {
+				exitSet[e] = true
+			}
+			for trial := 0; trial < 200; trial++ {
+				in := &packet.Packet{
+					Protocol: protos[rng.Intn(len(protos))],
+					SrcIP:    rng.Uint32(),
+					DstIP:    rng.Uint32(),
+					SrcPort:  uint16(rng.Intn(4000)),
+					DstPort:  uint16([]int{53, 80, 1500, int(rng.Intn(65536))}[rng.Intn(4)]),
+					TTL:      uint8(rng.Intn(4)), // bias toward TTL edge cases
+				}
+				if rng.Intn(2) == 0 {
+					in.TTL = uint8(1 + rng.Intn(255))
+				}
+				if rng.Intn(4) == 0 {
+					in.DstIP = packet.MustParseIP("10.1.2.3") // hit the 10/8 rules
+				}
+
+				// Runtime.
+				var emitted []*packet.Packet
+				ctx := &click.Context{
+					Now:      func() int64 { return 0 },
+					Transmit: func(iface int, p *packet.Packet) { emitted = append(emitted, p.Clone()) },
+				}
+				router.Inject(ctx, 0, in.Clone())
+
+				// Symbolic, constrained to the concrete input.
+				st := symexec.NewState()
+				for _, f := range fields {
+					v, _ := concreteField(in, f)
+					st.Assign(f, symexec.Const(v))
+				}
+				res, err := net.Run(symexec.Injection{Node: entry, State: st})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var flows []*symexec.State
+				for _, eg := range res.Egress {
+					if exitSet[eg.Node] {
+						flows = append(flows, eg.S)
+					}
+				}
+				for _, out := range emitted {
+					if !explainedBy(out, flows, fields) {
+						t.Fatalf("trial %d: emitted packet %v not explained by any of %d symbolic flows (input %v)",
+							trial, out, len(flows), in)
+					}
+				}
+			}
+		})
+	}
+}
+
+func concreteField(p *packet.Packet, f symexec.Field) (uint64, bool) {
+	switch f {
+	case symexec.FieldSrcIP:
+		return uint64(p.SrcIP), true
+	case symexec.FieldDstIP:
+		return uint64(p.DstIP), true
+	case symexec.FieldProto:
+		return uint64(p.Protocol), true
+	case symexec.FieldSrcPort:
+		return uint64(p.SrcPort), true
+	case symexec.FieldDstPort:
+		return uint64(p.DstPort), true
+	case symexec.FieldTTL:
+		return uint64(p.TTL), true
+	}
+	return 0, false
+}
+
+// explainedBy reports whether some symbolic flow's constraints admit
+// the concrete output packet.
+func explainedBy(out *packet.Packet, flows []*symexec.State, fields []symexec.Field) bool {
+	for _, fl := range flows {
+		ok := true
+		for _, f := range fields {
+			v, _ := concreteField(out, f)
+			if !fl.Values(f).Contains(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+func TestIdleOnlyPower(t *testing.T) {
+	m := DefaultRadio()
+	got := m.AveragePowerMW(nil, netsim.Seconds(100))
+	if got != m.IdlePowerMW {
+		t.Errorf("idle power = %f", got)
+	}
+}
+
+func TestSingleArrivalTails(t *testing.T) {
+	m := RadioModel{
+		DCHPowerMW: 600, FACHPowerMW: 300, IdlePowerMW: 100,
+		DCHTail: netsim.Seconds(4), FACHTail: netsim.Seconds(8),
+	}
+	// One packet at t=0, horizon 100 s:
+	// 4 s DCH + 8 s FACH + 88 s idle.
+	want := (600*4 + 300*8 + 100*88) / 100.0
+	got := m.AveragePowerMW([]netsim.Time{0}, netsim.Seconds(100))
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Errorf("avg = %f want %f", got, want)
+	}
+}
+
+func TestArrivalsInsideTailExtendIt(t *testing.T) {
+	m := DefaultRadio()
+	// Two packets 1 s apart vs 1 packet: the second keeps the radio
+	// in DCH, so the average must be higher but far less than double.
+	one := m.AveragePowerMW([]netsim.Time{0}, netsim.Seconds(60))
+	two := m.AveragePowerMW([]netsim.Time{0, netsim.Seconds(1)}, netsim.Seconds(60))
+	if two <= one {
+		t.Errorf("second arrival did not extend the tail: %f vs %f", two, one)
+	}
+	separate := m.AveragePowerMW([]netsim.Time{0, netsim.Seconds(30)}, netsim.Seconds(60))
+	if separate <= two {
+		t.Errorf("separated arrivals should cost more than back-to-back: %f vs %f", separate, two)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	// Batching push notifications (generated every 30 s) at larger
+	// intervals must monotonically reduce average power, from ≈240 mW
+	// at 30 s to ≈140 mW at 240 s (paper Fig. 13).
+	m := DefaultRadio()
+	horizon := netsim.Seconds(3600)
+	var prev float64 = 1e9
+	vals := map[int]float64{}
+	for _, interval := range []int{30, 60, 120, 240} {
+		arr := BatchedArrivals(netsim.Seconds(30), netsim.Seconds(float64(interval)), horizon)
+		avg := m.AveragePowerMW(arr, horizon)
+		vals[interval] = avg
+		if avg >= prev {
+			t.Errorf("batching %d s did not reduce power: %f >= %f", interval, avg, prev)
+		}
+		prev = avg
+	}
+	if vals[30] < 220 || vals[30] > 260 {
+		t.Errorf("30 s average = %f, paper ≈240 mW", vals[30])
+	}
+	if vals[240] < 120 || vals[240] > 160 {
+		t.Errorf("240 s average = %f, paper ≈140 mW", vals[240])
+	}
+}
+
+func TestBatchedArrivals(t *testing.T) {
+	// Generation every 30 s, batching every 60 s, horizon 300 s:
+	// batches at 60,120,180,240,300.
+	got := BatchedArrivals(netsim.Seconds(30), netsim.Seconds(60), netsim.Seconds(300))
+	if len(got) != 5 {
+		t.Fatalf("batches = %d (%v)", len(got), got)
+	}
+	if got[0] != netsim.Seconds(60) || got[4] != netsim.Seconds(300) {
+		t.Errorf("batch times = %v", got)
+	}
+	// Batching slower than generation: every batch slot has data.
+	same := BatchedArrivals(netsim.Seconds(30), netsim.Seconds(30), netsim.Seconds(120))
+	if len(same) != 4 {
+		t.Errorf("unbatched arrivals = %d", len(same))
+	}
+	// Generation slower than batching: empty slots are skipped.
+	sparse := BatchedArrivals(netsim.Seconds(100), netsim.Seconds(30), netsim.Seconds(300))
+	if len(sparse) != 3 {
+		t.Errorf("sparse batches = %v", sparse)
+	}
+}
+
+func TestZeroHorizon(t *testing.T) {
+	if DefaultRadio().AveragePowerMW([]netsim.Time{0}, 0) != 0 {
+		t.Error("zero horizon")
+	}
+}
+
+func TestArrivalsBeyondHorizonIgnored(t *testing.T) {
+	m := DefaultRadio()
+	a := m.AveragePowerMW([]netsim.Time{netsim.Seconds(200)}, netsim.Seconds(100))
+	if a != m.IdlePowerMW {
+		t.Errorf("future arrival counted: %f", a)
+	}
+}
+
+func TestHTTPvsHTTPS(t *testing.T) {
+	m := DefaultDownload()
+	http := m.AveragePowerMW(8, false)
+	https := m.AveragePowerMW(8, true)
+	if http < 550 || http > 590 {
+		t.Errorf("http = %f, paper 570 mW", http)
+	}
+	if https < 630 || https > 670 {
+		t.Errorf("https = %f, paper 650 mW", https)
+	}
+	ratio := https / http
+	if ratio < 1.10 || ratio > 1.20 {
+		t.Errorf("https overhead = %.0f%%, paper ≈15%%", (ratio-1)*100)
+	}
+}

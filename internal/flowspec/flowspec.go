@@ -1,0 +1,535 @@
+// Package flowspec implements the tcpdump-style flow specification
+// language the In-Net API uses to constrain traffic (paper §4.2):
+//
+//	udp
+//	tcp src port 80
+//	dst 172.16.15.133 and dst port 1500
+//	udp and not dst net 10.0.0.0/8
+//	(tcp or udp) and dst portrange 5000-6000
+//
+// Juxtaposition means conjunction, as in tcpdump ("udp dst port 7").
+// A parsed Spec can be evaluated both over concrete packets (the
+// dataplane, IPFilter) and over symbolic states (the controller's
+// static checking) — the same language serves both planes, which is
+// the crux of the In-Net API.
+package flowspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+)
+
+// Expr is a flow predicate in negation normal form: And/Or over
+// atomic interval constraints.
+type Expr interface {
+	// Match evaluates the predicate over a concrete packet.
+	Match(p *packet.Packet) bool
+	// Refine applies the predicate to a symbolic state. It consumes s
+	// (possibly mutating it) and returns the refined, satisfiable
+	// flows; an empty result means the predicate is unsatisfiable
+	// under s's constraints.
+	Refine(s *symexec.State) []*symexec.State
+	String() string
+}
+
+// Atom constrains one field to an interval set.
+type Atom struct {
+	Field symexec.Field
+	Set   symexec.IntervalSet
+}
+
+// Match implements Expr.
+func (a Atom) Match(p *packet.Packet) bool {
+	v, ok := FieldOf(p, a.Field)
+	return ok && a.Set.Contains(v)
+}
+
+// Refine implements Expr.
+func (a Atom) Refine(s *symexec.State) []*symexec.State {
+	if !s.Constrain(a.Field, a.Set) {
+		return nil
+	}
+	return []*symexec.State{s}
+}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%s in %s", a.Field, a.Set)
+}
+
+// And is conjunction.
+type And struct{ L, R Expr }
+
+// Match implements Expr.
+func (e And) Match(p *packet.Packet) bool { return e.L.Match(p) && e.R.Match(p) }
+
+// Refine implements Expr.
+func (e And) Refine(s *symexec.State) []*symexec.State {
+	var out []*symexec.State
+	for _, l := range e.L.Refine(s) {
+		out = append(out, e.R.Refine(l)...)
+	}
+	return out
+}
+
+func (e And) String() string { return "(" + e.L.String() + " and " + e.R.String() + ")" }
+
+// Or is disjunction.
+type Or struct{ L, R Expr }
+
+// Match implements Expr.
+func (e Or) Match(p *packet.Packet) bool { return e.L.Match(p) || e.R.Match(p) }
+
+// Refine implements Expr.
+func (e Or) Refine(s *symexec.State) []*symexec.State {
+	l := e.L.Refine(s.Clone())
+	r := e.R.Refine(s)
+	return append(l, r...)
+}
+
+func (e Or) String() string { return "(" + e.L.String() + " or " + e.R.String() + ")" }
+
+// True matches everything (the spec "ip" or an absent flow spec).
+type True struct{}
+
+// Match implements Expr.
+func (True) Match(p *packet.Packet) bool { return true }
+
+// Refine implements Expr.
+func (True) Refine(s *symexec.State) []*symexec.State { return []*symexec.State{s} }
+
+func (True) String() string { return "ip" }
+
+// Spec is a parsed flow specification.
+type Spec struct {
+	Expr Expr
+	// Source is the original text.
+	Source string
+}
+
+// Match evaluates the spec over a concrete packet.
+func (s *Spec) Match(p *packet.Packet) bool { return s.Expr.Match(p) }
+
+// Refine applies the spec to a symbolic state (consuming it).
+func (s *Spec) Refine(st *symexec.State) []*symexec.State { return s.Expr.Refine(st) }
+
+// Satisfiable reports whether some concrete packet satisfies both the
+// spec and the state's current constraints.
+func (s *Spec) Satisfiable(st *symexec.State) bool {
+	return len(s.Expr.Refine(st.Clone())) > 0
+}
+
+func (s *Spec) String() string {
+	if s.Source != "" {
+		return s.Source
+	}
+	return s.Expr.String()
+}
+
+// MatchAll is the spec that matches all IP traffic.
+func MatchAll() *Spec { return &Spec{Expr: True{}, Source: "ip"} }
+
+// Negated returns the logical complement of the spec (in negation
+// normal form). Filters use it to refine the "rule did not match"
+// fall-through branch during symbolic execution.
+func (s *Spec) Negated() (*Spec, error) {
+	e, err := negate(s.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{Expr: e, Source: "not (" + s.String() + ")"}, nil
+}
+
+// FieldOf extracts a symbolic field's concrete value from a packet.
+// ok is false for fields with no concrete projection (payload).
+func FieldOf(p *packet.Packet, f symexec.Field) (uint64, bool) {
+	switch f {
+	case symexec.FieldSrcIP:
+		return uint64(p.SrcIP), true
+	case symexec.FieldDstIP:
+		return uint64(p.DstIP), true
+	case symexec.FieldProto:
+		return uint64(p.Protocol), true
+	case symexec.FieldSrcPort:
+		return uint64(p.SrcPort), true
+	case symexec.FieldDstPort:
+		return uint64(p.DstPort), true
+	case symexec.FieldTTL:
+		return uint64(p.TTL), true
+	case symexec.FieldTOS:
+		return uint64(p.TOS), true
+	case symexec.FieldPaint:
+		return uint64(p.Paint), true
+	case symexec.FieldFWTag:
+		return uint64(p.FlowTag), true
+	default:
+		return 0, false
+	}
+}
+
+// FieldByName maps requirement-language field names ("proto",
+// "src port", "dst", "payload", ...) to symbolic fields.
+func FieldByName(name string) (symexec.Field, error) {
+	switch strings.Join(strings.Fields(strings.ToLower(name)), " ") {
+	case "proto", "protocol":
+		return symexec.FieldProto, nil
+	case "src", "src host", "ip src":
+		return symexec.FieldSrcIP, nil
+	case "dst", "dst host", "ip dst":
+		return symexec.FieldDstIP, nil
+	case "src port":
+		return symexec.FieldSrcPort, nil
+	case "dst port":
+		return symexec.FieldDstPort, nil
+	case "ttl":
+		return symexec.FieldTTL, nil
+	case "tos":
+		return symexec.FieldTOS, nil
+	case "payload", "data":
+		return symexec.FieldPayload, nil
+	default:
+		return "", fmt.Errorf("flowspec: unknown field %q", name)
+	}
+}
+
+// ParseFieldList parses a "const" field list such as
+// "proto && dst port && payload" (the paper's Fig. 4) into fields.
+// Both "&&" and "," separators are accepted.
+func ParseFieldList(src string) ([]symexec.Field, error) {
+	src = strings.ReplaceAll(src, "&&", ",")
+	var out []symexec.Field
+	for _, part := range strings.Split(src, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := FieldByName(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("flowspec: empty field list")
+	}
+	return out, nil
+}
+
+// ---- Parser ----
+
+type parser struct {
+	toks []string
+	pos  int
+	src  string
+}
+
+// Parse parses a tcpdump-style flow specification. An empty or
+// all-whitespace input yields MatchAll.
+func Parse(src string) (*Spec, error) {
+	toks := tokenize(src)
+	if len(toks) == 0 {
+		return MatchAll(), nil
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, p.errf("trailing tokens from %q", p.toks[p.pos])
+	}
+	return &Spec{Expr: e, Source: strings.TrimSpace(src)}, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Spec {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func tokenize(src string) []string {
+	src = strings.ReplaceAll(src, "(", " ( ")
+	src = strings.ReplaceAll(src, ")", " ) ")
+	return strings.Fields(src)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("flowspec: %q: %s", p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return strings.ToLower(p.toks[p.pos])
+	}
+	return ""
+}
+
+func (p *parser) take() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" || p.peek() == "||" {
+		p.take()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseAnd handles explicit "and" and tcpdump-style juxtaposition.
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t == "and" || t == "&&":
+			p.take()
+		case t == "" || t == "or" || t == "||" || t == ")":
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek() {
+	case "not", "!":
+		p.take()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negate(e)
+	case "(":
+		p.take()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.take() != ")" {
+			return nil, p.errf("missing ')'")
+		}
+		return e, nil
+	default:
+		return p.parsePrimitive()
+	}
+}
+
+// negate pushes negation down to atoms (NNF), so that symbolic
+// refinement never needs general complement of compound predicates.
+func negate(e Expr) (Expr, error) {
+	switch v := e.(type) {
+	case Atom:
+		return Atom{Field: v.Field, Set: v.Set.Complement(v.Field.Width())}, nil
+	case And:
+		l, err := negate(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := negate(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return Or{L: l, R: r}, nil
+	case Or:
+		l, err := negate(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := negate(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return And{L: l, R: r}, nil
+	case True:
+		// "not ip" is unsatisfiable; represent as empty proto set.
+		return Atom{Field: symexec.FieldProto, Set: symexec.Empty}, nil
+	default:
+		return nil, fmt.Errorf("flowspec: cannot negate %T", e)
+	}
+}
+
+func protoNumber(name string) (uint64, bool) {
+	switch name {
+	case "icmp":
+		return uint64(packet.ProtoICMP), true
+	case "tcp":
+		return uint64(packet.ProtoTCP), true
+	case "udp":
+		return uint64(packet.ProtoUDP), true
+	case "sctp":
+		return uint64(packet.ProtoSCTP), true
+	}
+	return 0, false
+}
+
+func (p *parser) parsePrimitive() (Expr, error) {
+	t := p.take()
+	if t == "" {
+		return nil, p.errf("unexpected end of input")
+	}
+	if n, ok := protoNumber(t); ok {
+		return Atom{Field: symexec.FieldProto, Set: symexec.Single(n)}, nil
+	}
+	switch t {
+	case "ip", "all", "any":
+		return True{}, nil
+	case "src", "dst":
+		return p.parseDirected(t)
+	case "host":
+		return p.parseHost("")
+	case "net":
+		return p.parseNet("")
+	case "port":
+		return p.parsePort("", false)
+	case "portrange":
+		return p.parsePort("", true)
+	case "proto":
+		// "proto 132"
+		num := p.take()
+		n, err := strconv.ParseUint(num, 10, 8)
+		if err != nil {
+			return nil, p.errf("bad protocol number %q", num)
+		}
+		return Atom{Field: symexec.FieldProto, Set: symexec.Single(n)}, nil
+	default:
+		// Bare IPv4 address or CIDR means host/net match on either
+		// direction.
+		if strings.Contains(t, "/") {
+			return p.netExpr("", t)
+		}
+		if _, err := packet.ParseIP(t); err == nil {
+			return p.hostExpr("", t)
+		}
+		return nil, p.errf("unknown primitive %q", t)
+	}
+}
+
+// parseDirected handles "src ..."/"dst ..." prefixed primitives,
+// including the paper's shorthand "dst 172.16.15.133".
+func (p *parser) parseDirected(dir string) (Expr, error) {
+	switch p.peek() {
+	case "host":
+		p.take()
+		return p.parseHost(dir)
+	case "net":
+		p.take()
+		return p.parseNet(dir)
+	case "port":
+		p.take()
+		return p.parsePort(dir, false)
+	case "portrange":
+		p.take()
+		return p.parsePort(dir, true)
+	default:
+		// "src <addr>" / "dst <addr[/len]>".
+		t := p.take()
+		if t == "" {
+			return nil, p.errf("%s: missing operand", dir)
+		}
+		if strings.Contains(t, "/") {
+			return p.netExpr(dir, t)
+		}
+		return p.hostExpr(dir, t)
+	}
+}
+
+func (p *parser) parseHost(dir string) (Expr, error) {
+	t := p.take()
+	if t == "" {
+		return nil, p.errf("host: missing address")
+	}
+	return p.hostExpr(dir, t)
+}
+
+func (p *parser) hostExpr(dir, addr string) (Expr, error) {
+	ip, err := packet.ParseIP(addr)
+	if err != nil {
+		return nil, p.errf("bad address %q", addr)
+	}
+	set := symexec.Single(uint64(ip))
+	return directional(dir, symexec.FieldSrcIP, symexec.FieldDstIP, set), nil
+}
+
+func (p *parser) parseNet(dir string) (Expr, error) {
+	t := p.take()
+	if t == "" {
+		return nil, p.errf("net: missing prefix")
+	}
+	// Allow "net 10.0.0.0 mask 255.0.0.0"? Keep CIDR only.
+	return p.netExpr(dir, t)
+}
+
+func (p *parser) netExpr(dir, cidr string) (Expr, error) {
+	pf, err := packet.ParsePrefix(cidr)
+	if err != nil {
+		return nil, p.errf("bad prefix %q", cidr)
+	}
+	lo, hi := pf.Range()
+	set := symexec.Span(uint64(lo), uint64(hi))
+	return directional(dir, symexec.FieldSrcIP, symexec.FieldDstIP, set), nil
+}
+
+func (p *parser) parsePort(dir string, isRange bool) (Expr, error) {
+	t := p.take()
+	if t == "" {
+		return nil, p.errf("port: missing number")
+	}
+	var set symexec.IntervalSet
+	if isRange || strings.Contains(t, "-") {
+		lohi := strings.SplitN(t, "-", 2)
+		if len(lohi) != 2 {
+			return nil, p.errf("bad port range %q", t)
+		}
+		lo, err1 := strconv.ParseUint(lohi[0], 10, 16)
+		hi, err2 := strconv.ParseUint(lohi[1], 10, 16)
+		if err1 != nil || err2 != nil || lo > hi {
+			return nil, p.errf("bad port range %q", t)
+		}
+		set = symexec.Span(lo, hi)
+	} else {
+		n, err := strconv.ParseUint(t, 10, 16)
+		if err != nil {
+			return nil, p.errf("bad port %q", t)
+		}
+		set = symexec.Single(n)
+	}
+	return directional(dir, symexec.FieldSrcPort, symexec.FieldDstPort, set), nil
+}
+
+// directional builds src-field, dst-field or src-or-dst atoms.
+func directional(dir string, srcF, dstF symexec.Field, set symexec.IntervalSet) Expr {
+	switch dir {
+	case "src":
+		return Atom{Field: srcF, Set: set}
+	case "dst":
+		return Atom{Field: dstF, Set: set}
+	default:
+		return Or{L: Atom{Field: srcF, Set: set}, R: Atom{Field: dstF, Set: set}}
+	}
+}

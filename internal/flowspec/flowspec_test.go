@@ -1,0 +1,293 @@
+package flowspec
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+)
+
+func pkt(proto packet.Proto, src, dst string, sp, dp uint16) *packet.Packet {
+	return &packet.Packet{
+		Protocol: proto,
+		SrcIP:    packet.MustParseIP(src),
+		DstIP:    packet.MustParseIP(dst),
+		SrcPort:  sp,
+		DstPort:  dp,
+		TTL:      64,
+	}
+}
+
+func TestMatchBasics(t *testing.T) {
+	udp := pkt(packet.ProtoUDP, "1.2.3.4", "5.6.7.8", 1111, 1500)
+	tcp := pkt(packet.ProtoTCP, "10.0.0.1", "5.6.7.8", 4444, 80)
+	cases := []struct {
+		spec string
+		p    *packet.Packet
+		want bool
+	}{
+		{"udp", udp, true},
+		{"udp", tcp, false},
+		{"tcp", tcp, true},
+		{"udp dst port 1500", udp, true},
+		{"udp dst port 1501", udp, false},
+		{"dst port 1500", udp, true},
+		{"src port 1111", udp, true},
+		{"port 1500", udp, true}, // either direction
+		{"port 1111", udp, true}, // either direction
+		{"port 2222", udp, false},
+		{"dst 5.6.7.8", udp, true},
+		{"src 1.2.3.4", udp, true},
+		{"host 1.2.3.4", udp, true},
+		{"host 5.6.7.8", udp, true},
+		{"host 9.9.9.9", udp, false},
+		{"net 10.0.0.0/8", tcp, true},
+		{"src net 10.0.0.0/8", tcp, true},
+		{"dst net 10.0.0.0/8", tcp, false},
+		{"tcp src port 80 or tcp dst port 80", tcp, true},
+		{"not udp", tcp, true},
+		{"not udp", udp, false},
+		{"udp and dst port 1500", udp, true},
+		{"udp && dst port 1500", udp, true},
+		{"(tcp or udp) and dst 5.6.7.8", udp, true},
+		{"ip", tcp, true},
+		{"", tcp, true},
+		{"not (tcp or udp)", udp, false},
+		{"portrange 1000-2000", udp, true},
+		{"dst portrange 1501-2000", udp, false},
+		{"port 1000-2000", udp, true},
+		{"proto 132", &packet.Packet{Protocol: packet.ProtoSCTP}, true},
+		{"sctp", &packet.Packet{Protocol: packet.ProtoSCTP}, true},
+		{"icmp", &packet.Packet{Protocol: packet.ProtoICMP}, true},
+		{"1.2.3.4", udp, true},
+		{"10.0.0.0/8", tcp, true},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got := s.Match(c.p); got != c.want {
+			t.Errorf("%q.Match(%v) = %v want %v", c.spec, c.p, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"udp dst port", "port abc", "port 70000", "host", "host notanip",
+		"net 300.0.0.0/8", "frobnicate", "udp and", "(udp", "udp)",
+		"portrange 5-", "portrange 9-2", "proto xyz", "not",
+		"src", "dst 1.2.3.4.5",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRefineConstrainsState(t *testing.T) {
+	s := MustParse("udp dst port 1500")
+	st := symexec.NewState()
+	out := s.Refine(st)
+	if len(out) != 1 {
+		t.Fatalf("refine produced %d states", len(out))
+	}
+	if v, ok := out[0].Values(symexec.FieldProto).IsSingle(); !ok || v != 17 {
+		t.Errorf("proto = %v", out[0].Values(symexec.FieldProto))
+	}
+	if v, ok := out[0].Values(symexec.FieldDstPort).IsSingle(); !ok || v != 1500 {
+		t.Errorf("dst port = %v", out[0].Values(symexec.FieldDstPort))
+	}
+}
+
+func TestRefineUnsat(t *testing.T) {
+	st := symexec.NewState()
+	if !st.Constrain(symexec.FieldProto, symexec.Single(6)) {
+		t.Fatal("setup")
+	}
+	if MustParse("udp").Satisfiable(st) {
+		t.Error("udp should be unsatisfiable on a tcp-constrained state")
+	}
+	if !MustParse("tcp").Satisfiable(st) {
+		t.Error("tcp should be satisfiable")
+	}
+	// Satisfiable must not mutate the original state.
+	if !st.Values(symexec.FieldDstPort).Equal(symexec.Full(16)) {
+		t.Error("Satisfiable mutated the state")
+	}
+}
+
+func TestRefineDisjunctionSplits(t *testing.T) {
+	s := MustParse("tcp or udp")
+	out := s.Refine(symexec.NewState())
+	if len(out) != 2 {
+		t.Fatalf("or produced %d states, want 2", len(out))
+	}
+	protos := map[uint64]bool{}
+	for _, st := range out {
+		v, ok := st.Values(symexec.FieldProto).IsSingle()
+		if !ok {
+			t.Fatalf("branch proto not single: %v", st.Values(symexec.FieldProto))
+		}
+		protos[v] = true
+	}
+	if !protos[6] || !protos[17] {
+		t.Errorf("protos = %v", protos)
+	}
+}
+
+func TestNegationNNF(t *testing.T) {
+	// "not dst port 80" must be an interval complement, satisfiable,
+	// and exclude 80.
+	st := symexec.NewState()
+	out := MustParse("not dst port 80").Refine(st)
+	if len(out) != 1 {
+		t.Fatalf("states = %d", len(out))
+	}
+	vals := out[0].Values(symexec.FieldDstPort)
+	if vals.Contains(80) || !vals.Contains(81) || !vals.Contains(0) {
+		t.Errorf("dst port values = %v", vals)
+	}
+	// De Morgan: not (tcp or udp) excludes both.
+	out = MustParse("not (tcp or udp)").Refine(symexec.NewState())
+	if len(out) != 1 {
+		t.Fatalf("states = %d", len(out))
+	}
+	v := out[0].Values(symexec.FieldProto)
+	if v.Contains(6) || v.Contains(17) || !v.Contains(1) {
+		t.Errorf("proto values = %v", v)
+	}
+}
+
+func TestNotIPUnsatisfiable(t *testing.T) {
+	if MustParse("not ip").Satisfiable(symexec.NewState()) {
+		t.Error("not ip should be unsatisfiable")
+	}
+}
+
+func TestHostRefinesEitherDirection(t *testing.T) {
+	out := MustParse("host 1.2.3.4").Refine(symexec.NewState())
+	if len(out) != 2 {
+		t.Fatalf("host should split into src/dst branches, got %d", len(out))
+	}
+}
+
+func TestFieldByName(t *testing.T) {
+	cases := map[string]symexec.Field{
+		"proto":        symexec.FieldProto,
+		"src port":     symexec.FieldSrcPort,
+		"dst port":     symexec.FieldDstPort,
+		"dst":          symexec.FieldDstIP,
+		"src":          symexec.FieldSrcIP,
+		"payload":      symexec.FieldPayload,
+		"ttl":          symexec.FieldTTL,
+		"  DST  PORT ": symexec.FieldDstPort,
+	}
+	for in, want := range cases {
+		got, err := FieldByName(in)
+		if err != nil || got != want {
+			t.Errorf("FieldByName(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := FieldByName("nosuch"); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestParseFieldList(t *testing.T) {
+	fs, err := ParseFieldList("proto && dst port && payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []symexec.Field{symexec.FieldProto, symexec.FieldDstPort, symexec.FieldPayload}
+	if len(fs) != len(want) {
+		t.Fatalf("fields = %v", fs)
+	}
+	for i := range fs {
+		if fs[i] != want[i] {
+			t.Errorf("fields[%d] = %v want %v", i, fs[i], want[i])
+		}
+	}
+	if _, err := ParseFieldList(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := ParseFieldList("proto, bogus"); err == nil {
+		t.Error("bogus field accepted")
+	}
+}
+
+func TestFieldOf(t *testing.T) {
+	p := pkt(packet.ProtoTCP, "1.1.1.1", "2.2.2.2", 5, 6)
+	p.Paint = 3
+	p.FlowTag = 7
+	for f, want := range map[symexec.Field]uint64{
+		symexec.FieldSrcIP:   uint64(packet.MustParseIP("1.1.1.1")),
+		symexec.FieldDstIP:   uint64(packet.MustParseIP("2.2.2.2")),
+		symexec.FieldProto:   6,
+		symexec.FieldSrcPort: 5,
+		symexec.FieldDstPort: 6,
+		symexec.FieldTTL:     64,
+		symexec.FieldPaint:   3,
+		symexec.FieldFWTag:   7,
+	} {
+		got, ok := FieldOf(p, f)
+		if !ok || got != want {
+			t.Errorf("FieldOf(%s) = %d,%v want %d", f, got, ok, want)
+		}
+	}
+	if _, ok := FieldOf(p, symexec.FieldPayload); ok {
+		t.Error("payload has no concrete projection")
+	}
+}
+
+func TestMatchAndRefineAgree(t *testing.T) {
+	// For fully-concrete packets, Match and Refine must agree: build
+	// a state constrained to exactly the packet and check both.
+	specs := []string{
+		"udp", "tcp dst port 80", "not tcp", "host 1.2.3.4",
+		"net 10.0.0.0/8 and not dst port 53", "(udp or tcp) and src port 1111",
+	}
+	pkts := []*packet.Packet{
+		pkt(packet.ProtoUDP, "1.2.3.4", "10.1.2.3", 1111, 53),
+		pkt(packet.ProtoTCP, "9.9.9.9", "8.8.8.8", 1111, 80),
+		pkt(packet.ProtoICMP, "10.5.5.5", "1.2.3.4", 0, 0),
+	}
+	for _, spec := range specs {
+		s := MustParse(spec)
+		for _, p := range pkts {
+			st := symexec.NewState()
+			for _, f := range []symexec.Field{
+				symexec.FieldSrcIP, symexec.FieldDstIP, symexec.FieldProto,
+				symexec.FieldSrcPort, symexec.FieldDstPort, symexec.FieldTTL,
+			} {
+				v, _ := FieldOf(p, f)
+				st.Assign(f, symexec.Const(v))
+			}
+			if got, want := s.Satisfiable(st), s.Match(p); got != want {
+				t.Errorf("%q on %v: symbolic=%v concrete=%v", spec, p, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	s := MustParse("udp and dst net 10.0.0.0/8 and dst port 1500")
+	p := pkt(packet.ProtoUDP, "1.2.3.4", "10.1.2.3", 1111, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.Match(p) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("udp and dst net 10.0.0.0/8 and dst port 1500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package flowspec
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+)
+
+// FuzzParse: the flow-spec parser must never panic, and any spec it
+// accepts must agree between its concrete Match and its symbolic
+// Refine on a fixed probe packet.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"", "udp", "tcp dst port 80", "not (tcp or udp)",
+		"host 1.2.3.4 and port 53", "net 10.0.0.0/8",
+		"src portrange 1-100", "proto 132", "ip",
+		"((((", "not", "port -1", "udp udp udp",
+		"dst 255.255.255.255", "and and",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	probe := &packet.Packet{
+		Protocol: packet.ProtoUDP,
+		SrcIP:    packet.MustParseIP("1.2.3.4"),
+		DstIP:    packet.MustParseIP("10.9.8.7"),
+		SrcPort:  53, DstPort: 80, TTL: 64,
+	}
+	fields := []symexec.Field{
+		symexec.FieldSrcIP, symexec.FieldDstIP, symexec.FieldProto,
+		symexec.FieldSrcPort, symexec.FieldDstPort, symexec.FieldTTL,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		st := symexec.NewState()
+		for _, fl := range fields {
+			v, _ := FieldOf(probe, fl)
+			st.Assign(fl, symexec.Const(v))
+		}
+		if got, want := spec.Satisfiable(st), spec.Match(probe); got != want {
+			t.Fatalf("%q: symbolic %v vs concrete %v", src, got, want)
+		}
+		// Negation must flip the concrete verdict.
+		neg, err := spec.Negated()
+		if err != nil {
+			t.Fatalf("%q: Negated: %v", src, err)
+		}
+		if neg.Match(probe) == spec.Match(probe) {
+			t.Fatalf("%q: negation did not flip Match", src)
+		}
+	})
+}

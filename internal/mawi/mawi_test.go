@@ -1,0 +1,113 @@
+package mawi
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	conns := Generate(cfg)
+	if len(conns) < 10000 {
+		t.Fatalf("connections = %d, trace too thin", len(conns))
+	}
+	for i, c := range conns[:100] {
+		if c.End <= c.Start {
+			t.Fatalf("conn %d: end before start", i)
+		}
+		if c.Start < 0 || c.End > cfg.Window {
+			t.Fatalf("conn %d outside window", i)
+		}
+		if int(c.Client) >= cfg.Clients {
+			t.Fatalf("conn %d: client %d out of range", i, c.Client)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic trace")
+		}
+	}
+}
+
+func TestAnalyzeSmallTrace(t *testing.T) {
+	w := netsim.Seconds(100)
+	conns := []Conn{
+		{Start: netsim.Seconds(20), End: netsim.Seconds(80), Client: 1},
+		{Start: netsim.Seconds(30), End: netsim.Seconds(70), Client: 1},
+		{Start: netsim.Seconds(40), End: netsim.Seconds(60), Client: 2},
+	}
+	st := Analyze(conns, w)
+	if st.Connections != 3 {
+		t.Error("connections")
+	}
+	if st.MaxActiveConns != 3 {
+		t.Errorf("max conns = %d", st.MaxActiveConns)
+	}
+	// Client 1 has two overlapping conns: max distinct clients is 2.
+	if st.MaxActiveClients != 2 {
+		t.Errorf("max clients = %d", st.MaxActiveClients)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(nil, netsim.Seconds(10))
+	if st.MaxActiveConns != 0 || st.MinActiveConns != 0 || st.MaxActiveClients != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestPaperBands(t *testing.T) {
+	// §6: "at any moment, there are at most 1,600 to 4,000 active TCP
+	// connections, and between 400 to 840 active TCP clients".
+	stats := WeekOfTraces(1)
+	if len(stats) != 5 {
+		t.Fatalf("days = %d", len(stats))
+	}
+	for day, st := range stats {
+		if st.MaxActiveConns < 1200 || st.MaxActiveConns > 4500 {
+			t.Errorf("day %d: max active conns = %d, outside the paper's regime", day, st.MaxActiveConns)
+		}
+		if st.MaxActiveClients < 300 || st.MaxActiveClients > 1000 {
+			t.Errorf("day %d: max active clients = %d, outside the paper's regime", day, st.MaxActiveClients)
+		}
+		if st.MaxActiveClients > st.MaxActiveConns {
+			t.Errorf("day %d: more clients than connections", day)
+		}
+		// The platform takeaway: a 1,000-user platform covers every
+		// active source.
+		if st.MaxActiveClients > 1000 {
+			t.Errorf("day %d: active clients exceed the 1,000-user platform target", day)
+		}
+	}
+}
+
+func TestModulationCreatesSpread(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Modulation = 0.5
+	st := Analyze(Generate(cfg), cfg.Window)
+	if st.MinActiveConns >= st.MaxActiveConns {
+		t.Error("no concurrency spread")
+	}
+	// The modulated trace's min should be well below its max.
+	if float64(st.MinActiveConns) > 0.8*float64(st.MaxActiveConns) {
+		t.Errorf("min %d vs max %d: modulation invisible", st.MinActiveConns, st.MaxActiveConns)
+	}
+}
+
+func BenchmarkGenerateAndAnalyze(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		conns := Generate(cfg)
+		Analyze(conns, cfg.Window)
+	}
+}

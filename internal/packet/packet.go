@@ -1,0 +1,254 @@
+// Package packet provides the packet model shared by the In-Net
+// dataplane, the element framework and the simulators.
+//
+// A Packet carries both the raw wire bytes and a decoded header cache
+// so that elements can read and mutate header fields without repeated
+// parsing. Mutating accessors keep the wire bytes in sync lazily: the
+// decoded view is authoritative until Serialize is called.
+//
+// Packets are pooled (see Pool) because the dataplane benchmarks push
+// millions of packets per second and per-packet heap allocation would
+// dominate the measurement with GC work — the exact concern the
+// original system avoided by running inside ClickOS.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Proto is an IP protocol number.
+type Proto uint8
+
+// Well-known IP protocol numbers used throughout the system.
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+	ProtoSCTP Proto = 132
+)
+
+// String returns the conventional lower-case protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoSCTP:
+		return "sctp"
+	default:
+		return fmt.Sprintf("proto-%d", uint8(p))
+	}
+}
+
+// TCP header flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// Packet is a single network packet flowing through element graphs and
+// simulators. The zero value is an empty packet ready for use.
+type Packet struct {
+	// SrcIP and DstIP are the IPv4 addresses, host byte order.
+	SrcIP, DstIP uint32
+	// SrcPort and DstPort are transport ports (0 for ICMP).
+	SrcPort, DstPort uint16
+	// Protocol is the IP protocol number.
+	Protocol Proto
+	// TTL is the IP time-to-live.
+	TTL uint8
+	// TOS is the IP type-of-service byte.
+	TOS uint8
+	// TCPFlags holds TCP flag bits when Protocol == ProtoTCP.
+	TCPFlags uint8
+	// Seq and Ack are TCP sequence numbers (used by the stateful
+	// firewall and the tunnel simulator).
+	Seq, Ack uint32
+	// Payload is the transport payload.
+	Payload []byte
+
+	// Annotations, in the spirit of Click packet annotations.
+
+	// Paint is the Paint/CheckPaint annotation.
+	Paint uint8
+	// Timestamp is a simulator timestamp in nanoseconds.
+	Timestamp int64
+	// FlowTag is scratch for stateful elements that push state into
+	// the flow (e.g. the firewall tag of the paper's Fig. 2).
+	FlowTag uint32
+	// UserID identifies the tenant whose module produced or owns the
+	// packet; set by platform demultiplexing.
+	UserID uint32
+
+	// wire holds serialized bytes when the packet was built from or
+	// rendered to the wire format; nil otherwise.
+	wire []byte
+
+	pooled bool
+}
+
+// Len returns the total on-wire IPv4 length of the packet in bytes
+// (IP header + transport header + payload). It does not include an
+// Ethernet header.
+func (p *Packet) Len() int {
+	return ipHeaderLen + p.transportHeaderLen() + len(p.Payload)
+}
+
+func (p *Packet) transportHeaderLen() int {
+	switch p.Protocol {
+	case ProtoTCP:
+		return tcpHeaderLen
+	case ProtoUDP:
+		return udpHeaderLen
+	case ProtoICMP:
+		return icmpHeaderLen
+	default:
+		return 0
+	}
+}
+
+// Clone returns a deep copy of the packet. The clone is never pooled.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	c.pooled = false
+	c.wire = nil
+	if p.Payload != nil {
+		c.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &c
+}
+
+// Reset zeroes the packet for reuse, retaining payload capacity.
+func (p *Packet) Reset() {
+	payload := p.Payload[:0]
+	wire := p.wire[:0]
+	pooled := p.pooled
+	*p = Packet{}
+	p.Payload = payload
+	p.wire = wire
+	p.pooled = pooled
+}
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Protocol         Proto
+}
+
+// Tuple returns the packet's five-tuple.
+func (p *Packet) Tuple() FiveTuple {
+	return FiveTuple{p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Protocol}
+}
+
+// Reverse returns the five-tuple of reply traffic.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{t.DstIP, t.SrcIP, t.DstPort, t.SrcPort, t.Protocol}
+}
+
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s %s:%d > %s:%d",
+		t.Protocol, IPString(t.SrcIP), t.SrcPort, IPString(t.DstIP), t.DstPort)
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s ttl=%d len=%d", p.Tuple(), p.TTL, p.Len())
+}
+
+// IPString formats a host-order IPv4 address in dotted-quad form.
+func IPString(ip uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], ip)
+	return netip.AddrFrom4(b).String()
+}
+
+// ParseIP parses a dotted-quad IPv4 address into host byte order.
+func ParseIP(s string) (uint32, error) {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return 0, fmt.Errorf("packet: bad IPv4 address %q: %v", s, err)
+	}
+	if !a.Is4() {
+		return 0, fmt.Errorf("packet: %q is not IPv4", s)
+	}
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// MustParseIP is ParseIP that panics on error; for tests and tables of
+// literals.
+func MustParseIP(s string) uint32 {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Prefix is an IPv4 CIDR prefix in host byte order.
+type Prefix struct {
+	Addr uint32
+	Bits int
+}
+
+// ParsePrefix parses "a.b.c.d/len" (or a bare address, meaning /32).
+func ParsePrefix(s string) (Prefix, error) {
+	if pfx, err := netip.ParsePrefix(s); err == nil {
+		if !pfx.Addr().Is4() {
+			return Prefix{}, fmt.Errorf("packet: %q is not an IPv4 prefix", s)
+		}
+		b := pfx.Addr().As4()
+		return Prefix{Addr: binary.BigEndian.Uint32(b[:]), Bits: pfx.Bits()}, nil
+	}
+	ip, err := ParseIP(s)
+	if err != nil {
+		return Prefix{}, err
+	}
+	return Prefix{Addr: ip, Bits: 32}, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the network mask of the prefix.
+func (p Prefix) Mask() uint32 {
+	if p.Bits <= 0 {
+		return 0
+	}
+	if p.Bits >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Contains reports whether ip is inside the prefix.
+func (p Prefix) Contains(ip uint32) bool {
+	m := p.Mask()
+	return ip&m == p.Addr&m
+}
+
+// Range returns the inclusive [lo, hi] address range of the prefix.
+func (p Prefix) Range() (lo, hi uint32) {
+	m := p.Mask()
+	lo = p.Addr & m
+	hi = lo | ^m
+	return lo, hi
+}
+
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", IPString(p.Addr), p.Bits)
+}

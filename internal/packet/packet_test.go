@@ -1,0 +1,300 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "10.0.0.1", "172.16.15.133", "255.255.255.255", "192.168.1.254"}
+	for _, s := range cases {
+		ip, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		if got := IPString(ip); got != s {
+			t.Errorf("IPString(ParseIP(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "::1", "hello", "300.1.1.1"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.Contains(MustParseIP("10.1.255.3")) {
+		t.Error("10.1.255.3 should be inside 10.1.0.0/16")
+	}
+	if p.Contains(MustParseIP("10.2.0.0")) {
+		t.Error("10.2.0.0 should be outside 10.1.0.0/16")
+	}
+	lo, hi := p.Range()
+	if lo != MustParseIP("10.1.0.0") || hi != MustParseIP("10.1.255.255") {
+		t.Errorf("Range = %s..%s", IPString(lo), IPString(hi))
+	}
+	if got := p.String(); got != "10.1.0.0/16" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPrefixEdges(t *testing.T) {
+	all := Prefix{Addr: 0, Bits: 0}
+	if !all.Contains(0) || !all.Contains(^uint32(0)) {
+		t.Error("/0 must contain everything")
+	}
+	host := MustParsePrefix("1.2.3.4/32")
+	if !host.Contains(MustParseIP("1.2.3.4")) || host.Contains(MustParseIP("1.2.3.5")) {
+		t.Error("/32 must contain exactly its address")
+	}
+	if _, err := ParsePrefix("8.8.8.8"); err != nil {
+		t.Errorf("bare address should parse as /32: %v", err)
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	protos := []Proto{ProtoTCP, ProtoUDP, ProtoICMP}
+	for _, proto := range protos {
+		orig := &Packet{
+			SrcIP:    MustParseIP("192.0.2.1"),
+			DstIP:    MustParseIP("198.51.100.7"),
+			SrcPort:  4321,
+			DstPort:  80,
+			Protocol: proto,
+			TTL:      64,
+			TOS:      0x10,
+			Payload:  []byte("hello, in-net"),
+		}
+		if proto == ProtoTCP {
+			orig.Seq, orig.Ack, orig.TCPFlags = 1000, 2000, TCPSyn|TCPAck
+		}
+		wire := orig.Serialize(nil)
+		if !VerifyIPChecksum(wire) {
+			t.Fatalf("%v: bad IP checksum", proto)
+		}
+		var got Packet
+		if err := got.Parse(wire); err != nil {
+			t.Fatalf("%v: Parse: %v", proto, err)
+		}
+		if got.SrcIP != orig.SrcIP || got.DstIP != orig.DstIP ||
+			got.SrcPort != orig.SrcPort || got.DstPort != orig.DstPort ||
+			got.Protocol != orig.Protocol || got.TTL != orig.TTL || got.TOS != orig.TOS {
+			t.Errorf("%v: header mismatch: got %+v want %+v", proto, got, orig)
+		}
+		if string(got.Payload) != string(orig.Payload) {
+			t.Errorf("%v: payload %q want %q", proto, got.Payload, orig.Payload)
+		}
+		if proto == ProtoTCP && (got.Seq != 1000 || got.Ack != 2000 || got.TCPFlags != TCPSyn|TCPAck) {
+			t.Errorf("tcp fields: %+v", got)
+		}
+	}
+}
+
+func TestSerializeParseQuick(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, ttl uint8, payload []byte) bool {
+		orig := &Packet{
+			SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp,
+			Protocol: ProtoUDP, TTL: ttl, Payload: payload,
+		}
+		if len(payload) > 60000 {
+			return true
+		}
+		var got Packet
+		if err := got.Parse(orig.Serialize(nil)); err != nil {
+			return false
+		}
+		if got.SrcIP != src || got.DstIP != dst || got.SrcPort != sp || got.DstPort != dp || got.TTL != ttl {
+			return false
+		}
+		return string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	var p Packet
+	if err := p.Parse(nil); err != ErrTruncated {
+		t.Errorf("nil: %v", err)
+	}
+	if err := p.Parse(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	buf := make([]byte, 40)
+	buf[0] = 0x65 // IPv6
+	if err := p.Parse(buf); err != ErrBadVersion {
+		t.Errorf("v6: %v", err)
+	}
+	buf[0] = 0x43 // IHL 3 < 5
+	if err := p.Parse(buf); err != ErrBadHeader {
+		t.Errorf("bad ihl: %v", err)
+	}
+	// Total length exceeds buffer.
+	q := &Packet{Protocol: ProtoUDP, TTL: 1}
+	wire := q.Serialize(nil)
+	wire[3] = 0xff
+	if err := p.Parse(wire); err != ErrTruncated {
+		t.Errorf("overlong total: %v", err)
+	}
+}
+
+func TestParseTruncatedTransport(t *testing.T) {
+	// Valid IP header claiming TCP but with no transport bytes.
+	q := &Packet{Protocol: ProtoTCP, TTL: 64, Payload: nil}
+	wire := append([]byte(nil), q.Serialize(nil)...)
+	wire = wire[:ipHeaderLen+4]
+	wire[2], wire[3] = 0, ipHeaderLen+4
+	var p Packet
+	if err := p.Parse(wire); err != ErrTruncated {
+		t.Errorf("truncated tcp: %v", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("Checksum = %#04x want 0x220d", got)
+	}
+	// Odd length handled.
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd-length checksum = %#04x", got)
+	}
+}
+
+func TestTupleReverse(t *testing.T) {
+	p := &Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Protocol: ProtoTCP}
+	r := p.Tuple().Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 4 || r.DstPort != 3 {
+		t.Errorf("Reverse = %+v", r)
+	}
+	if r.Reverse() != p.Tuple() {
+		t.Error("Reverse is not an involution")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Packet{Payload: []byte("abc"), SrcIP: 7}
+	c := p.Clone()
+	c.Payload[0] = 'x'
+	c.SrcIP = 9
+	if p.Payload[0] != 'a' || p.SrcIP != 7 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	pool := NewPool(2, 64)
+	a := pool.Get()
+	a.SrcIP = 42
+	a.Payload = append(a.Payload, 1, 2, 3)
+	pool.Put(a)
+	b := pool.Get()
+	if b != a {
+		t.Fatal("pool did not reuse packet")
+	}
+	if b.SrcIP != 0 || len(b.Payload) != 0 {
+		t.Error("pooled packet not reset")
+	}
+	gets, puts, allocs := pool.Stats()
+	if gets != 2 || puts != 1 || allocs != 0 {
+		t.Errorf("stats = %d %d %d", gets, puts, allocs)
+	}
+}
+
+func TestPoolGrowsWhenEmpty(t *testing.T) {
+	pool := NewPool(0, 0)
+	p := pool.Get()
+	if p == nil {
+		t.Fatal("nil packet")
+	}
+	_, _, allocs := pool.Stats()
+	if allocs != 1 {
+		t.Errorf("allocs = %d want 1", allocs)
+	}
+	// Putting a non-pooled packet must be a no-op.
+	pool.Put(&Packet{})
+	pool.Put(nil)
+}
+
+func TestLen(t *testing.T) {
+	cases := []struct {
+		proto Proto
+		pay   int
+		want  int
+	}{
+		{ProtoUDP, 0, 28},
+		{ProtoUDP, 100, 128},
+		{ProtoTCP, 0, 40},
+		{ProtoICMP, 8, 36},
+		{ProtoSCTP, 10, 30},
+	}
+	for _, c := range cases {
+		p := &Packet{Protocol: c.proto, Payload: make([]byte, c.pay)}
+		if got := p.Len(); got != c.want {
+			t.Errorf("Len(%v, %d) = %d want %d", c.proto, c.pay, got, c.want)
+		}
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" ||
+		ProtoICMP.String() != "icmp" || ProtoSCTP.String() != "sctp" {
+		t.Error("proto names")
+	}
+	if Proto(99).String() != "proto-99" {
+		t.Error("unknown proto name")
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	p := &Packet{Protocol: ProtoUDP, TTL: 64, Payload: make([]byte, 1024)}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Serialize(buf[:0])
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	p := &Packet{Protocol: ProtoTCP, TTL: 64, Payload: make([]byte, 1024)}
+	wire := p.Serialize(nil)
+	var q Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := q.Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPool(b *testing.B) {
+	pool := NewPool(64, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		pool.Put(p)
+	}
+}
+
+func TestParseRandomNeverPanics(t *testing.T) {
+	// Hammer Parse with random bytes to check it never panics and
+	// never claims a payload outside the buffer.
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 256)
+	var p Packet
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(len(buf))
+		rng.Read(buf[:n])
+		if err := p.Parse(buf[:n]); err == nil && len(p.Payload) > n {
+			t.Fatalf("payload longer than input: %d > %d", len(p.Payload), n)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PcapWriter streams packets into the classic libpcap capture format
+// (LINKTYPE_RAW: each record is a bare IPv4 packet), so dataplane and
+// simulator traffic can be inspected with standard tools. Timestamps
+// come from packet.Timestamp (nanoseconds).
+type PcapWriter struct {
+	w       io.Writer
+	snaplen uint32
+	buf     []byte
+	// Packets counts written records.
+	Packets uint64
+}
+
+const (
+	pcapMagic       = 0xa1b2c3d4
+	pcapVersionMaj  = 2
+	pcapVersionMin  = 4
+	pcapLinktypeRaw = 101
+)
+
+// NewPcapWriter writes the global header and returns a writer.
+// snaplen 0 means 65535.
+func NewPcapWriter(w io.Writer, snaplen int) (*PcapWriter, error) {
+	if snaplen <= 0 || snaplen > 65535 {
+		snaplen = 65535
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapVersionMin)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(snaplen))
+	binary.LittleEndian.PutUint32(hdr[20:], pcapLinktypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: pcap header: %w", err)
+	}
+	return &PcapWriter{w: w, snaplen: uint32(snaplen)}, nil
+}
+
+// WritePacket serializes and records one packet.
+func (pw *PcapWriter) WritePacket(p *Packet) error {
+	pw.buf = p.Serialize(pw.buf[:0])
+	return pw.WriteRaw(p.Timestamp, pw.buf)
+}
+
+// WriteRaw records pre-serialized IPv4 bytes with the given timestamp
+// in nanoseconds.
+func (pw *PcapWriter) WriteRaw(tsNanos int64, data []byte) error {
+	incl := uint32(len(data))
+	if incl > pw.snaplen {
+		incl = pw.snaplen
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(tsNanos/1e9))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tsNanos%1e9/1e3))
+	binary.LittleEndian.PutUint32(hdr[8:], incl)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(data)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("packet: pcap record: %w", err)
+	}
+	if _, err := pw.w.Write(data[:incl]); err != nil {
+		return fmt.Errorf("packet: pcap record: %w", err)
+	}
+	pw.Packets++
+	return nil
+}
+
+// PcapReader reads captures produced by PcapWriter (little-endian,
+// LINKTYPE_RAW), for tests and tooling.
+type PcapReader struct {
+	r       io.Reader
+	Snaplen uint32
+}
+
+// NewPcapReader validates the global header.
+func NewPcapReader(r io.Reader) (*PcapReader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pcapMagic {
+		return nil, fmt.Errorf("packet: not a (little-endian) pcap file")
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != pcapLinktypeRaw {
+		return nil, fmt.Errorf("packet: unsupported linktype %d", lt)
+	}
+	return &PcapReader{r: r, Snaplen: binary.LittleEndian.Uint32(hdr[16:])}, nil
+}
+
+// Next returns the next record, or io.EOF.
+func (pr *PcapReader) Next() (tsNanos int64, data []byte, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, err
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:])
+	usec := binary.LittleEndian.Uint32(hdr[4:])
+	incl := binary.LittleEndian.Uint32(hdr[8:])
+	if incl > 1<<20 {
+		return 0, nil, fmt.Errorf("packet: implausible record length %d", incl)
+	}
+	data = make([]byte, incl)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return 0, nil, fmt.Errorf("packet: truncated record: %w", err)
+	}
+	return int64(sec)*1e9 + int64(usec)*1e3, data, nil
+}

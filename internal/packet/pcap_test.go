@@ -1,0 +1,106 @@
+package packet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []*Packet{
+		{Protocol: ProtoUDP, SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, TTL: 64,
+			Payload: []byte("one"), Timestamp: 1_500_000_000},
+		{Protocol: ProtoTCP, SrcIP: 5, DstIP: 6, SrcPort: 7, DstPort: 8, TTL: 32,
+			Payload: []byte("two"), Timestamp: 2_000_001_000},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 2 {
+		t.Errorf("packets = %d", w.Packets)
+	}
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		ts, data, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		// Microsecond resolution on the wire.
+		if ts/1e3 != want.Timestamp/1e3 {
+			t.Errorf("record %d ts = %d want %d", i, ts, want.Timestamp)
+		}
+		var got Packet
+		if err := got.Parse(data); err != nil {
+			t.Fatalf("record %d parse: %v", i, err)
+		}
+		if got.Protocol != want.Protocol || got.SrcIP != want.SrcIP ||
+			string(got.Payload) != string(want.Payload) {
+			t.Errorf("record %d = %v want %v", i, &got, want)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestPcapSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewPcapWriter(&buf, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Packet{Protocol: ProtoUDP, TTL: 4, Payload: make([]byte, 500)}
+	if err := w.WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Snaplen != 30 {
+		t.Errorf("snaplen = %d", r.Snaplen)
+	}
+	_, data, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 30 {
+		t.Errorf("record length = %d want 30", len(data))
+	}
+}
+
+func TestPcapReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader([]byte("not a pcap file at all!!"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := NewPcapReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestPcapWriterErrorPropagation(t *testing.T) {
+	if _, err := NewPcapWriter(failingWriter{}, 0); err == nil {
+		t.Error("header write error swallowed")
+	}
+	var buf bytes.Buffer
+	w, _ := NewPcapWriter(&buf, 0)
+	w.w = failingWriter{}
+	if err := w.WritePacket(&Packet{Protocol: ProtoUDP}); err == nil {
+		t.Error("record write error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,198 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format constants (IPv4, no options).
+const (
+	ipHeaderLen   = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	icmpHeaderLen = 8
+)
+
+// Errors returned by Parse.
+var (
+	ErrTruncated  = errors.New("packet: truncated")
+	ErrBadVersion = errors.New("packet: not IPv4")
+	ErrBadHeader  = errors.New("packet: malformed header")
+)
+
+// Serialize renders the packet as IPv4 wire bytes into buf (reusing
+// its capacity) and returns the result. The IP and transport checksums
+// are computed. This is the slow path; simulators operate on the
+// decoded struct directly.
+func (p *Packet) Serialize(buf []byte) []byte {
+	total := p.Len()
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	}
+	buf = buf[:total]
+
+	// IPv4 header.
+	buf[0] = 0x45 // version 4, IHL 5
+	buf[1] = p.TOS
+	binary.BigEndian.PutUint16(buf[2:], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:], 0) // ident
+	binary.BigEndian.PutUint16(buf[6:], 0) // flags/frag
+	buf[8] = p.TTL
+	buf[9] = uint8(p.Protocol)
+	binary.BigEndian.PutUint16(buf[10:], 0) // checksum, below
+	binary.BigEndian.PutUint32(buf[12:], p.SrcIP)
+	binary.BigEndian.PutUint32(buf[16:], p.DstIP)
+	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:ipHeaderLen]))
+
+	t := buf[ipHeaderLen:]
+	switch p.Protocol {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(t[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(t[2:], p.DstPort)
+		binary.BigEndian.PutUint32(t[4:], p.Seq)
+		binary.BigEndian.PutUint32(t[8:], p.Ack)
+		t[12] = 5 << 4 // data offset
+		t[13] = p.TCPFlags
+		binary.BigEndian.PutUint16(t[14:], 65535) // window
+		binary.BigEndian.PutUint16(t[16:], 0)     // checksum, below
+		binary.BigEndian.PutUint16(t[18:], 0)     // urgent
+		copy(t[tcpHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(t[16:], p.l4Checksum(t[:tcpHeaderLen+len(p.Payload)]))
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(t[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(t[2:], p.DstPort)
+		binary.BigEndian.PutUint16(t[4:], uint16(udpHeaderLen+len(p.Payload)))
+		binary.BigEndian.PutUint16(t[6:], 0)
+		copy(t[udpHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(t[6:], p.l4Checksum(t[:udpHeaderLen+len(p.Payload)]))
+	case ProtoICMP:
+		t[0] = 8 // echo request by default
+		t[1] = 0
+		binary.BigEndian.PutUint16(t[2:], 0)
+		binary.BigEndian.PutUint16(t[4:], p.SrcPort) // ident
+		binary.BigEndian.PutUint16(t[6:], p.DstPort) // seq
+		copy(t[icmpHeaderLen:], p.Payload)
+		binary.BigEndian.PutUint16(t[2:], Checksum(t[:icmpHeaderLen+len(p.Payload)]))
+	default:
+		copy(t, p.Payload)
+	}
+	p.wire = buf
+	return buf
+}
+
+// l4Checksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header.
+func (p *Packet) l4Checksum(seg []byte) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:], p.SrcIP)
+	binary.BigEndian.PutUint32(pseudo[4:], p.DstIP)
+	pseudo[9] = uint8(p.Protocol)
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(seg)))
+	s := sum(pseudo[:], 0)
+	s = sum(seg, s)
+	return fold(s)
+}
+
+// Parse decodes IPv4 wire bytes into p. Payload aliases buf.
+func (p *Packet) Parse(buf []byte) error {
+	if len(buf) < ipHeaderLen {
+		return ErrTruncated
+	}
+	if buf[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(buf[0]&0x0f) * 4
+	if ihl < ipHeaderLen || len(buf) < ihl {
+		return ErrBadHeader
+	}
+	total := int(binary.BigEndian.Uint16(buf[2:]))
+	if total < ihl || total > len(buf) {
+		return ErrTruncated
+	}
+	p.TOS = buf[1]
+	p.TTL = buf[8]
+	p.Protocol = Proto(buf[9])
+	p.SrcIP = binary.BigEndian.Uint32(buf[12:])
+	p.DstIP = binary.BigEndian.Uint32(buf[16:])
+	t := buf[ihl:total]
+	switch p.Protocol {
+	case ProtoTCP:
+		if len(t) < tcpHeaderLen {
+			return ErrTruncated
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[0:])
+		p.DstPort = binary.BigEndian.Uint16(t[2:])
+		p.Seq = binary.BigEndian.Uint32(t[4:])
+		p.Ack = binary.BigEndian.Uint32(t[8:])
+		off := int(t[12]>>4) * 4
+		if off < tcpHeaderLen || off > len(t) {
+			return ErrBadHeader
+		}
+		p.TCPFlags = t[13]
+		p.Payload = t[off:]
+	case ProtoUDP:
+		if len(t) < udpHeaderLen {
+			return ErrTruncated
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[0:])
+		p.DstPort = binary.BigEndian.Uint16(t[2:])
+		ulen := int(binary.BigEndian.Uint16(t[4:]))
+		if ulen < udpHeaderLen || ulen > len(t) {
+			return ErrBadHeader
+		}
+		p.Payload = t[udpHeaderLen:ulen]
+	case ProtoICMP:
+		if len(t) < icmpHeaderLen {
+			return ErrTruncated
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[4:])
+		p.DstPort = binary.BigEndian.Uint16(t[6:])
+		p.Payload = t[icmpHeaderLen:]
+	default:
+		p.Payload = t
+	}
+	p.wire = buf[:total]
+	return nil
+}
+
+// VerifyIPChecksum reports whether the IPv4 header checksum of wire
+// bytes is valid.
+func VerifyIPChecksum(buf []byte) bool {
+	if len(buf) < ipHeaderLen {
+		return false
+	}
+	ihl := int(buf[0]&0x0f) * 4
+	if ihl < ipHeaderLen || len(buf) < ihl {
+		return false
+	}
+	return fold(sum(buf[:ihl], 0)) == 0
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of b.
+func Checksum(b []byte) uint16 {
+	return fold(sum(b, 0))
+}
+
+func sum(b []byte, acc uint32) uint32 {
+	for len(b) >= 2 {
+		acc += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		acc += uint32(b[0]) << 8
+	}
+	return acc
+}
+
+func fold(s uint32) uint16 {
+	for s>>16 != 0 {
+		s = (s & 0xffff) + s>>16
+	}
+	return ^uint16(s)
+}
+
+// Format implements a verbose dump for debugging dataplane traces.
+func Format(p *Packet) string {
+	return fmt.Sprintf("%v payload=%d paint=%d", p, len(p.Payload), p.Paint)
+}

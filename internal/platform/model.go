@@ -1,0 +1,175 @@
+// Package platform simulates an In-Net processing platform (paper
+// §5-§6): a Xen/ClickOS-style host that boots tiny VMs on the fly
+// when traffic for a registered module arrives, suspends and resumes
+// stateful modules, consolidates many stateless tenant configurations
+// into one VM behind a demultiplexer, and processes packets with the
+// real Click element graphs under a calibrated CPU cost model.
+//
+// The latency and cycle constants below are calibrated so the shapes
+// of the paper's Figures 5-9 and 12 hold on this substrate (the
+// absolute numbers came from Xen on an Intel Xeon E3-1220; see
+// DESIGN.md for the substitution rationale).
+package platform
+
+import (
+	"github.com/in-net/innet/internal/netsim"
+)
+
+// VMKind distinguishes the two guest types of §6.
+type VMKind int
+
+// Guest kinds.
+const (
+	// ClickOS is the MiniOS+Click unikernel (≈8 MB, ≈tens of ms boot).
+	ClickOS VMKind = iota
+	// LinuxVM is a stripped-down Linux guest (≈512 MB, ≈700 ms boot).
+	LinuxVM
+)
+
+func (k VMKind) String() string {
+	if k == LinuxVM {
+		return "linux"
+	}
+	return "clickos"
+}
+
+// Model holds the calibrated platform constants.
+type Model struct {
+	// CyclesPerSec is the per-core CPU budget (3.1 GHz Xeon E3-1220).
+	CyclesPerSec float64
+	// LineRateBps is the NIC line rate (10 GbE).
+	LineRateBps float64
+	// FrameOverheadBytes is the per-frame on-wire overhead (Ethernet
+	// header+CRC+IFG+preamble) counted against line rate.
+	FrameOverheadBytes int
+
+	// Per-packet CPU cost components (cycles).
+	BaseCycles      float64 // switch + netfront + base element path
+	PerByteCycles   float64 // payload touching (copy/checksum)
+	PerConfigCycles float64 // consolidation demultiplexer, per config
+	PerVMCycles     float64 // VM switching, per resident VM
+
+	// Boot latency: base + perVM * residentVMs.
+	ClickOSBootBase, ClickOSBootPerVM netsim.Time
+	LinuxBootBase, LinuxBootPerVM     netsim.Time
+	// Suspend/resume latency (Fig. 7).
+	SuspendBase, SuspendPerVM netsim.Time
+	ResumeBase, ResumePerVM   netsim.Time
+
+	// Memory footprints (§6: 8 MB vs 512 MB).
+	ClickOSMemMB, LinuxMemMB int
+}
+
+// DefaultModel returns constants calibrated against the paper's
+// evaluation hardware (single-socket Xeon E3-1220, 4×3.1 GHz, 16 GB,
+// 10 GbE, Xen 4.2).
+func DefaultModel() Model {
+	return Model{
+		CyclesPerSec:       3.1e9,
+		LineRateBps:        10e9,
+		FrameOverheadBytes: 24,
+
+		BaseCycles:      2050,
+		PerByteCycles:   0.45,
+		PerConfigCycles: 7,
+		PerVMCycles:     8,
+
+		ClickOSBootBase:  netsim.Millis(20),
+		ClickOSBootPerVM: netsim.Millis(0.6),
+		LinuxBootBase:    netsim.Millis(700),
+		LinuxBootPerVM:   netsim.Millis(2),
+
+		SuspendBase:  netsim.Millis(32),
+		SuspendPerVM: netsim.Millis(0.12),
+		ResumeBase:   netsim.Millis(45),
+		ResumePerVM:  netsim.Millis(0.25),
+
+		ClickOSMemMB: 8,
+		LinuxMemMB:   512,
+	}
+}
+
+// ExtraCycles returns the additional per-packet processing cost of a
+// middlebox class relative to the stateless-firewall baseline
+// (Fig. 12's nat / iprouter / firewall / flowmeter spread).
+func ExtraCycles(class string) float64 {
+	switch class {
+	case "nat":
+		return 1200
+	case "iprouter":
+		return 500
+	case "firewall":
+		return 0
+	case "flowmeter":
+		return -100
+	default:
+		return 0
+	}
+}
+
+// BootLatency returns the boot time of a new VM with n already
+// resident.
+func (m Model) BootLatency(kind VMKind, residentVMs int) netsim.Time {
+	if kind == LinuxVM {
+		return m.LinuxBootBase + netsim.Time(residentVMs)*m.LinuxBootPerVM
+	}
+	return m.ClickOSBootBase + netsim.Time(residentVMs)*m.ClickOSBootPerVM
+}
+
+// SuspendLatency returns the time to suspend one VM with n resident
+// (Fig. 7's x-axis).
+func (m Model) SuspendLatency(residentVMs int) netsim.Time {
+	return m.SuspendBase + netsim.Time(residentVMs)*m.SuspendPerVM
+}
+
+// ResumeLatency returns the time to resume one VM with n resident.
+func (m Model) ResumeLatency(residentVMs int) netsim.Time {
+	return m.ResumeBase + netsim.Time(residentVMs)*m.ResumePerVM
+}
+
+// MemMB returns a guest's memory footprint.
+func (m Model) MemMB(kind VMKind) int {
+	if kind == LinuxVM {
+		return m.LinuxMemMB
+	}
+	return m.ClickOSMemMB
+}
+
+// PacketCycles returns the per-packet CPU cost of one core running
+// nVMs VMs with nConfigs consolidated configurations each, for
+// packets of pktBytes, with extraCycles of middlebox-specific work.
+func (m Model) PacketCycles(nVMs, nConfigs, pktBytes int, extraCycles float64) float64 {
+	return m.BaseCycles +
+		m.PerByteCycles*float64(pktBytes) +
+		m.PerConfigCycles*float64(nConfigs) +
+		m.PerVMCycles*float64(nVMs) +
+		extraCycles
+}
+
+// LineRatePPS returns the 10 GbE packet rate cap for a frame size.
+func (m Model) LineRatePPS(pktBytes int) float64 {
+	wire := float64(pktBytes+m.FrameOverheadBytes) * 8
+	return m.LineRateBps / wire
+}
+
+// CPUBoundPPS returns the CPU-limited packet rate of one core.
+func (m Model) CPUBoundPPS(nVMs, nConfigs, pktBytes int, extraCycles float64) float64 {
+	return m.CyclesPerSec / m.PacketCycles(nVMs, nConfigs, pktBytes, extraCycles)
+}
+
+// ThroughputBps returns the achievable goodput (payload bits/s) of
+// one core: the CPU-bound rate capped by line rate.
+func (m Model) ThroughputBps(nVMs, nConfigs, pktBytes int, extraCycles float64) float64 {
+	pps := m.CPUBoundPPS(nVMs, nConfigs, pktBytes, extraCycles)
+	if lr := m.LineRatePPS(pktBytes); pps > lr {
+		pps = lr
+	}
+	return pps * float64(pktBytes) * 8
+}
+
+// ProcessingLatency converts the per-packet cost into time, used by
+// the discrete-event datapath.
+func (m Model) ProcessingLatency(nVMs, nConfigs, pktBytes int, extraCycles float64) netsim.Time {
+	cycles := m.PacketCycles(nVMs, nConfigs, pktBytes, extraCycles)
+	return netsim.Time(cycles / m.CyclesPerSec * 1e9)
+}

@@ -1,0 +1,446 @@
+package platform
+
+import (
+	"fmt"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/clicklang"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+)
+
+// VMState is the lifecycle state of a guest.
+type VMState int
+
+// VM lifecycle states.
+const (
+	VMBooting VMState = iota
+	VMRunning
+	VMSuspending
+	VMSuspended
+	VMResuming
+)
+
+func (s VMState) String() string {
+	switch s {
+	case VMBooting:
+		return "booting"
+	case VMRunning:
+		return "running"
+	case VMSuspending:
+		return "suspending"
+	case VMSuspended:
+		return "suspended"
+	case VMResuming:
+		return "resuming"
+	default:
+		return "unknown"
+	}
+}
+
+// ModuleSpec is a processing module registered with the platform by
+// the controller; its VM is only instantiated when traffic arrives
+// (§5 "on-the-fly middleboxes").
+type ModuleSpec struct {
+	// Addr is the module's address: the switch steers matching
+	// traffic to the module's VM.
+	Addr uint32
+	// Config is the Click source to boot.
+	Config string
+	// Kind selects the guest type.
+	Kind VMKind
+	// Stateful modules are suspended rather than destroyed when idle
+	// (§5 "suspend and resume").
+	Stateful bool
+	// ExtraCycles adds middlebox-specific per-packet cost.
+	ExtraCycles float64
+
+	hasSource bool
+}
+
+// VM is one guest instance.
+type VM struct {
+	ID    int
+	Kind  VMKind
+	State VMState
+	MemMB int
+	// Specs lists the module configurations consolidated in this VM.
+	Specs []*ModuleSpec
+	// LastActive is the last packet-processing time.
+	LastActive netsim.Time
+
+	routers map[uint32]*click.Router
+	pending []pendingPacket
+	// PacketsProcessed counts packets pushed through the VM.
+	PacketsProcessed uint64
+}
+
+type pendingPacket struct {
+	pkt *packet.Packet
+	out func(iface int, p *packet.Packet)
+}
+
+// Platform is the simulated In-Net host.
+type Platform struct {
+	sim   *netsim.Sim
+	model Model
+	// Transmit, when set, receives traffic originated by source
+	// modules (generators emit without a triggering Deliver).
+	Transmit func(iface int, p *packet.Packet)
+	// MemTotalMB bounds resident guests (16 GB box by default).
+	MemTotalMB int
+	MemUsedMB  int
+
+	nextID int
+	vms    map[int]*VM
+	byAddr map[uint32]*VM
+	specs  map[uint32]*ModuleSpec
+
+	// Consolidate makes the platform pack stateless ClickOS modules
+	// into shared VMs, up to ConsolidatePerVM configurations each
+	// (§5 "scalability via static checking"; safety was established
+	// by the controller).
+	Consolidate      bool
+	ConsolidatePerVM int
+
+	// Counters.
+	Boots, Suspends, Resumes, Destroys uint64
+	DroppedNoModule                    uint64
+	DroppedNoMemory                    uint64
+}
+
+// New builds a platform attached to a simulator.
+func New(sim *netsim.Sim, model Model, memTotalMB int) *Platform {
+	return &Platform{
+		sim:        sim,
+		model:      model,
+		MemTotalMB: memTotalMB,
+		vms:        make(map[int]*VM),
+		byAddr:     make(map[uint32]*VM),
+		specs:      make(map[uint32]*ModuleSpec),
+	}
+}
+
+// Model returns the platform's calibrated model.
+func (p *Platform) Model() Model { return p.model }
+
+// Register installs a module spec (the controller's OpenFlow rule +
+// image). The VM boots lazily on the first packet — except for
+// modules containing traffic generators (zero-input elements like
+// TimedSource), which would otherwise never run and are booted
+// immediately.
+func (p *Platform) Register(spec ModuleSpec) error {
+	if _, dup := p.specs[spec.Addr]; dup {
+		return fmt.Errorf("platform: address %s already registered", packet.IPString(spec.Addr))
+	}
+	cfg, err := clicklang.Parse(spec.Config)
+	if err != nil {
+		return fmt.Errorf("platform: %v", err)
+	}
+	s := spec
+	s.hasSource = configHasSource(cfg)
+	p.specs[spec.Addr] = &s
+	if s.hasSource {
+		if vm := p.instantiate(&s); vm == nil {
+			delete(p.specs, spec.Addr)
+			return fmt.Errorf("platform: no memory for source module %s", packet.IPString(spec.Addr))
+		}
+	}
+	return nil
+}
+
+// configHasSource reports whether a configuration contains a
+// zero-input traffic generator.
+func configHasSource(cfg *clicklang.Config) bool {
+	for _, d := range cfg.Decls {
+		f := click.Lookup(d.Class)
+		if f == nil {
+			continue
+		}
+		if el := f(); el.InPorts() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Unregister removes a module and destroys its VM if it was the only
+// occupant.
+func (p *Platform) Unregister(addr uint32) {
+	delete(p.specs, addr)
+	if vm := p.byAddr[addr]; vm != nil {
+		delete(p.byAddr, addr)
+		for i, s := range vm.Specs {
+			if s.Addr == addr {
+				vm.Specs = append(vm.Specs[:i], vm.Specs[i+1:]...)
+				break
+			}
+		}
+		if len(vm.Specs) == 0 {
+			p.destroy(vm)
+		}
+	}
+}
+
+// ResidentVMs returns the number of instantiated guests.
+func (p *Platform) ResidentVMs() int { return len(p.vms) }
+
+// RegisteredModules returns the number of registered module specs.
+func (p *Platform) RegisteredModules() int { return len(p.specs) }
+
+// Deliver is the back-end switch datapath: a packet arriving for a
+// module address is steered to its VM, booting or resuming it first
+// if needed (the switch controller of §5). out is invoked, in virtual
+// time, for every packet the module emits.
+func (p *Platform) Deliver(pkt *packet.Packet, out func(iface int, pk *packet.Packet)) {
+	vm := p.byAddr[pkt.DstIP]
+	if vm == nil {
+		spec := p.specs[pkt.DstIP]
+		if spec == nil {
+			p.DroppedNoModule++
+			return
+		}
+		vm = p.instantiate(spec)
+		if vm == nil {
+			p.DroppedNoMemory++
+			return
+		}
+	}
+	switch vm.State {
+	case VMBooting, VMResuming, VMSuspending:
+		vm.pending = append(vm.pending, pendingPacket{pkt: pkt, out: out})
+	case VMSuspended:
+		vm.pending = append(vm.pending, pendingPacket{pkt: pkt, out: out})
+		p.resume(vm)
+	case VMRunning:
+		p.process(vm, pkt, out)
+	}
+}
+
+// instantiate places a spec into a VM: either consolidated into an
+// existing stateless VM with room, or into a fresh booting guest.
+func (p *Platform) instantiate(spec *ModuleSpec) *VM {
+	if p.Consolidate && !spec.Stateful && spec.Kind == ClickOS {
+		for _, vm := range p.vms {
+			if vm.Kind != ClickOS || len(vm.Specs) >= p.consolidateLimit() {
+				continue
+			}
+			if !vmIsStateless(vm) {
+				continue
+			}
+			// Join this VM; no boot needed.
+			vm.Specs = append(vm.Specs, spec)
+			p.byAddr[spec.Addr] = vm
+			return vm
+		}
+	}
+	mem := p.model.MemMB(spec.Kind)
+	if p.MemUsedMB+mem > p.MemTotalMB {
+		return nil
+	}
+	p.MemUsedMB += mem
+	p.nextID++
+	vm := &VM{
+		ID:    p.nextID,
+		Kind:  spec.Kind,
+		State: VMBooting,
+		MemMB: mem,
+		Specs: []*ModuleSpec{spec},
+	}
+	p.vms[vm.ID] = vm
+	p.byAddr[spec.Addr] = vm
+	p.Boots++
+	boot := p.model.BootLatency(spec.Kind, len(p.vms)-1)
+	p.sim.After(boot, func() { p.finishBoot(vm) })
+	return vm
+}
+
+func (p *Platform) consolidateLimit() int {
+	if p.ConsolidatePerVM > 0 {
+		return p.ConsolidatePerVM
+	}
+	return 100
+}
+
+func vmIsStateless(vm *VM) bool {
+	for _, s := range vm.Specs {
+		if s.Stateful {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Platform) finishBoot(vm *VM) {
+	if _, alive := p.vms[vm.ID]; !alive {
+		return
+	}
+	vm.State = VMRunning
+	p.flush(vm)
+	// Source modules start ticking as soon as the guest is up.
+	for _, spec := range vm.Specs {
+		if !spec.hasSource {
+			continue
+		}
+		r, err := p.routerFor(vm, spec.Addr)
+		if err != nil || r == nil {
+			continue
+		}
+		ctx := &click.Context{
+			Now: func() int64 { return p.sim.Now() },
+			Transmit: func(iface int, pk *packet.Packet) {
+				if p.Transmit != nil {
+					p.Transmit(iface, pk)
+				}
+			},
+		}
+		p.driveTickers(vm, r, ctx)
+	}
+}
+
+// flush pushes buffered packets through the (now running) VM.
+func (p *Platform) flush(vm *VM) {
+	pend := vm.pending
+	vm.pending = nil
+	for _, pp := range pend {
+		p.process(vm, pp.pkt, pp.out)
+	}
+}
+
+// process runs one packet through the VM's Click graph after the
+// modeled CPU latency.
+func (p *Platform) process(vm *VM, pkt *packet.Packet, out func(iface int, pk *packet.Packet)) {
+	vm.LastActive = p.sim.Now()
+	vm.PacketsProcessed++
+	spec := p.specs[pkt.DstIP]
+	extra := 0.0
+	if spec != nil {
+		extra = spec.ExtraCycles
+	}
+	lat := p.model.ProcessingLatency(len(p.vms), len(vm.Specs), pkt.Len(), extra)
+	p.sim.After(lat, func() {
+		r, err := p.routerFor(vm, pkt.DstIP)
+		if err != nil || r == nil {
+			return
+		}
+		ctx := &click.Context{
+			Now:      func() int64 { return p.sim.Now() },
+			Transmit: out,
+		}
+		_ = r.Inject(ctx, 0, pkt)
+		// Drive due timed elements (batchers etc.) immediately and
+		// schedule their next tick.
+		p.driveTickers(vm, r, ctx)
+	})
+}
+
+// routerFor lazily builds (per spec) the Click router for the module
+// addressed inside the VM. Consolidated VMs keep one router per
+// config — the demultiplexing cost is accounted by the CPU model.
+func (p *Platform) routerFor(vm *VM, addr uint32) (*click.Router, error) {
+	spec := p.specs[addr]
+	if spec == nil {
+		return nil, fmt.Errorf("platform: no module for %s", packet.IPString(addr))
+	}
+	if vm.routers == nil {
+		vm.routers = make(map[uint32]*click.Router)
+	}
+	if r := vm.routers[addr]; r != nil {
+		return r, nil
+	}
+	cfg, err := clicklang.Parse(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	r, err := click.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	vm.routers[addr] = r
+	return r, nil
+}
+
+// driveTickers runs a router's schedulable elements, rescheduling as
+// needed.
+func (p *Platform) driveTickers(vm *VM, r *click.Router, ctx *click.Context) {
+	next := r.Tick(ctx)
+	if next < 0 {
+		return
+	}
+	p.sim.After(next, func() {
+		if _, alive := p.vms[vm.ID]; !alive {
+			return
+		}
+		p.driveTickers(vm, r, ctx)
+	})
+}
+
+// Suspend checkpoints a running VM (§5). Buffered/new traffic will
+// resume it.
+func (p *Platform) Suspend(vm *VM) netsim.Time {
+	if vm.State != VMRunning {
+		return 0
+	}
+	vm.State = VMSuspending
+	d := p.model.SuspendLatency(len(p.vms))
+	p.Suspends++
+	p.sim.After(d, func() {
+		if vm.State == VMSuspending {
+			vm.State = VMSuspended
+			if len(vm.pending) > 0 {
+				p.resume(vm)
+			}
+		}
+	})
+	return d
+}
+
+func (p *Platform) resume(vm *VM) netsim.Time {
+	if vm.State != VMSuspended {
+		return 0
+	}
+	vm.State = VMResuming
+	d := p.model.ResumeLatency(len(p.vms))
+	p.Resumes++
+	p.sim.After(d, func() {
+		if vm.State == VMResuming {
+			vm.State = VMRunning
+			p.flush(vm)
+		}
+	})
+	return d
+}
+
+// ReclaimIdle destroys stateless VMs and suspends stateful ones that
+// have been idle for at least idleFor. It returns the number of VMs
+// reclaimed.
+func (p *Platform) ReclaimIdle(idleFor netsim.Time) int {
+	now := p.sim.Now()
+	n := 0
+	for _, vm := range p.vms {
+		if vm.State != VMRunning || now-vm.LastActive < idleFor || len(vm.pending) > 0 {
+			continue
+		}
+		if vmIsStateless(vm) {
+			p.destroy(vm)
+		} else {
+			p.Suspend(vm)
+		}
+		n++
+	}
+	return n
+}
+
+func (p *Platform) destroy(vm *VM) {
+	delete(p.vms, vm.ID)
+	for _, s := range vm.Specs {
+		if p.byAddr[s.Addr] == vm {
+			delete(p.byAddr, s.Addr)
+		}
+	}
+	p.MemUsedMB -= vm.MemMB
+	p.Destroys++
+}
+
+// VMFor returns the VM currently serving an address, or nil.
+func (p *Platform) VMFor(addr uint32) *VM { return p.byAddr[addr] }

@@ -1,0 +1,38 @@
+package policy
+
+import "testing"
+
+// FuzzParse: the requirements parser must never panic and must reject
+// everything that does not start with "reach from".
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"reach from internet -> client",
+		"reach from internet udp -> m:e:0 dst 1.2.3.4 -> client const payload",
+		"reach from 10.0.0.0/8 -> client",
+		"reach from internet -> client const proto && dst port",
+		"reach reach reach",
+		"from internet -> client",
+		"reach from -> ->",
+		"reach from internet const x -> client",
+		"reach from internet \x00 -> client",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		reqs, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		for _, r := range reqs {
+			if len(r.Hops) < 2 {
+				t.Fatalf("accepted requirement with %d hops: %q", len(r.Hops), src)
+			}
+			// Accepted requirements re-parse from their rendering.
+			if _, err := Parse(r.String()); err != nil {
+				t.Fatalf("rendering %q of %q does not re-parse: %v", r.String(), src, err)
+			}
+		}
+	})
+}

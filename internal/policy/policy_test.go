@@ -1,0 +1,329 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/in-net/innet/internal/click"
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+	"github.com/in-net/innet/internal/topology"
+)
+
+const fig4Requirement = `
+reach from internet udp
+-> Batcher:dst:0 dst 10.1.15.133
+-> client dst port 1500
+const proto && dst port && payload
+`
+
+const batcherModule = `
+FromNetfront() ->
+IPFilter(allow udp port 1500) ->
+IPRewriter(pattern - - 10.1.15.133 - 0 0)
+-> TimedUnqueue(120,100)
+-> dst::ToNetfront()
+`
+
+func TestParseFig4Requirement(t *testing.T) {
+	r, err := Parse(fig4Requirement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hops) != 3 {
+		t.Fatalf("hops = %d", len(r.Hops))
+	}
+	if r.Hops[0].Node.Kind != RefInternet || r.Hops[0].Flow == nil {
+		t.Errorf("hop0 = %+v", r.Hops[0])
+	}
+	h1 := r.Hops[1]
+	if h1.Node.Kind != RefModuleElem || h1.Node.Name != "Batcher" || h1.Node.Elem != "dst" || h1.Node.Port != 0 {
+		t.Errorf("hop1 node = %+v", h1.Node)
+	}
+	if h1.Flow == nil || !strings.Contains(h1.Flow.String(), "10.1.15.133") {
+		t.Errorf("hop1 flow = %v", h1.Flow)
+	}
+	h2 := r.Hops[2]
+	if h2.Node.Kind != RefClient {
+		t.Errorf("hop2 node = %+v", h2.Node)
+	}
+	if len(h2.Const) != 3 {
+		t.Errorf("const fields = %v", h2.Const)
+	}
+	if h2.Const[0] != symexec.FieldProto || h2.Const[2] != symexec.FieldPayload {
+		t.Errorf("const fields = %v", h2.Const)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	good := []string{
+		"reach from internet -> client",
+		"reach from client -> internet",
+		"reach from internet tcp src port 80 -> HTTPOptimizer -> client",
+		"reach from 8.8.8.0/24 udp -> client",
+		"reach from internet -> mod:elem:2 udp -> client",
+		"reach from internet -> mod:elem -> client",
+		"reach from internet udp -> client dst port 99 const payload",
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		"",
+		"from internet -> client",
+		"reach internet -> client",
+		"reach from internet",
+		"reach from internet const payload -> client",
+		"reach from internet -> client const",
+		"reach from internet -> client const bogusfield",
+		"reach from internet notaspec_xyz%% -> client",
+		"reach from internet -> mod:elem:x",
+		"reach from internet -> :elem",
+		"reach from internet -> a:b:c:d",
+		"reach from internet -> ",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseAllMultiple(t *testing.T) {
+	src := `
+reach from internet tcp src port 80 -> HTTPOptimizer -> client
+reach from client -> internet
+`
+	reqs, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("reqs = %d", len(reqs))
+	}
+}
+
+func TestNodeRefString(t *testing.T) {
+	cases := map[string]string{
+		"internet":   "internet",
+		"client":     "client",
+		"HTTPOpt":    "HTTPOpt",
+		"m:e:3":      "m:e:3",
+		"10.0.0.0/8": "10.0.0.0/8",
+		"1.2.3.4":    "1.2.3.4",
+	}
+	for in, want := range cases {
+		ref, err := parseNodeRef(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got := ref.String(); got != want {
+			t.Errorf("%q -> %q want %q", in, got, want)
+		}
+	}
+}
+
+// fig3Env compiles the Fig. 3 fixture with the batcher hosted on the
+// given platform.
+func fig3Env(t *testing.T, platform string, addr string) *CheckEnv {
+	t.Helper()
+	tp, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mods []topology.HostedModule
+	if platform != "" {
+		mods = append(mods, topology.HostedModule{
+			ID: "Batcher", Platform: platform,
+			Addr:   packet.MustParseIP(addr),
+			Router: click.MustBuildString(batcherModule),
+		})
+	}
+	net, nm, err := tp.Compile(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &CheckEnv{Net: net, Map: nm, ClientNet: tp.ClientNet}
+}
+
+func TestCheckFig4OnPlatform3(t *testing.T) {
+	env := fig3Env(t, "Platform3", "198.51.100.10")
+	res, err := MustParse(fig4Requirement).Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("requirement not satisfied: %s (hops: %+v)", res.Reason, res.Hops)
+	}
+	if len(res.Hops) != 2 {
+		t.Errorf("hop reports = %d", len(res.Hops))
+	}
+	if res.Steps == 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestCheckFig4FailsOnInternalPlatform(t *testing.T) {
+	// Platforms 1 and 2 are not reachable from the Internet (§4.5:
+	// "only Platform 3 applies").
+	for _, pl := range []struct{ name, addr string }{
+		{"Platform1", "10.200.1.10"},
+		{"Platform2", "10.200.2.10"},
+	} {
+		env := fig3Env(t, pl.name, pl.addr)
+		res, err := MustParse(fig4Requirement).Check(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Satisfied {
+			t.Errorf("%s: requirement satisfied but the platform is internal", pl.name)
+		}
+	}
+}
+
+func TestCheckOperatorHTTPPolicy(t *testing.T) {
+	// The operator policy of §4.2: HTTP traffic reaching clients goes
+	// through the HTTP optimizer.
+	env := fig3Env(t, "", "")
+	res, err := MustParse(
+		"reach from internet tcp src port 80 -> HTTPOptimizer -> client").Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("operator policy unsatisfied: %s", res.Reason)
+	}
+	// And UDP traffic cannot be forced through the optimizer.
+	res2, err := MustParse(
+		"reach from internet udp -> HTTPOptimizer -> client").Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Satisfied {
+		t.Error("udp through the HTTP optimizer should be unreachable")
+	}
+}
+
+func TestCheckInvariantViolation(t *testing.T) {
+	// Require the destination port to be invariant across a module
+	// that rewrites it: must fail.
+	tp, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := click.MustBuildString(`
+FromNetfront() ->
+IPRewriter(pattern - - 10.1.15.133 99 0 0)
+-> dst::ToNetfront()
+`)
+	net, nm, err := tp.Compile([]topology.HostedModule{{
+		ID: "rewr", Platform: "Platform3",
+		Addr: packet.MustParseIP("198.51.100.11"), Router: mod,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &CheckEnv{Net: net, Map: nm, ClientNet: tp.ClientNet}
+	// The rewrite happens inside the module, i.e. on the hop from the
+	// internet INTO the module's dst element — so the invariant is
+	// attached there (per §4.2, const covers the hop into the node).
+	res, err := MustParse(`
+reach from internet udp
+-> rewr:dst:0 const dst port
+-> client
+`).Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatal("dst-port invariant should be violated by the rewriter")
+	}
+	if !strings.Contains(res.Reason, "invariant") {
+		t.Errorf("reason = %q", res.Reason)
+	}
+	// The same requirement without the invariant succeeds.
+	res2, err := MustParse(`
+reach from internet udp -> rewr:dst:0 -> client
+`).Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Satisfied {
+		t.Errorf("plain reachability should hold: %s", res2.Reason)
+	}
+	// Payload IS invariant across this module.
+	res3, err := MustParse(`
+reach from internet udp -> rewr:dst:0 const payload -> client const payload
+`).Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Satisfied {
+		t.Errorf("payload invariant should hold: %s", res3.Reason)
+	}
+}
+
+func TestCheckFlowSpecMismatch(t *testing.T) {
+	env := fig3Env(t, "Platform3", "198.51.100.10")
+	// The module filters to udp port 1500; requiring tcp at the
+	// client cannot be satisfied.
+	res, err := MustParse(
+		"reach from internet tcp -> Batcher:dst:0 -> client").Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("tcp through the udp-only batcher should fail")
+	}
+}
+
+func TestCheckUnknownNodes(t *testing.T) {
+	env := fig3Env(t, "", "")
+	if _, err := MustParse("reach from internet -> NoSuchBox -> client").Check(env); err == nil {
+		t.Error("unknown hop node accepted")
+	}
+	if _, err := MustParse("reach from internet -> NoMod:elem:0").Check(env); err == nil {
+		t.Error("unknown module element accepted")
+	}
+}
+
+func TestCheckPortFilter(t *testing.T) {
+	// The batcher's dst element is entered on port 0; requiring
+	// arrival on port 3 must fail.
+	env := fig3Env(t, "Platform3", "198.51.100.10")
+	res, err := MustParse(
+		"reach from internet udp -> Batcher:dst:3 -> client").Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("wrong-port arrival accepted")
+	}
+}
+
+func BenchmarkCheckFig4(b *testing.B) {
+	tp, err := topology.PaperFig3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, nm, err := tp.Compile([]topology.HostedModule{{
+		ID: "Batcher", Platform: "Platform3",
+		Addr:   packet.MustParseIP("198.51.100.10"),
+		Router: click.MustBuildString(batcherModule),
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &CheckEnv{Net: net, Map: nm, ClientNet: tp.ClientNet}
+	req := MustParse(fig4Requirement)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := req.Check(env)
+		if err != nil || !res.Satisfied {
+			b.Fatalf("check failed: %v %v", err, res)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package security
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/in-net/innet/internal/click"
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+)
+
+var (
+	modAddr = packet.MustParseIP(Table1ModuleAddr)
+	wl      = []uint32{packet.MustParseIP(Table1TenantServer)}
+)
+
+func check(t *testing.T, cfg string, trust TrustClass, transparent bool) *Report {
+	t.Helper()
+	var mod *click.Router
+	if cfg != "" {
+		mod = click.MustBuildString(cfg)
+	}
+	rep, err := Check(Input{
+		ModuleID: "m", Module: mod, Addr: modAddr,
+		Trust: trust, Whitelist: wl, Transparent: transparent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestTable1Reproduction(t *testing.T) {
+	for _, row := range Table1() {
+		for _, col := range []struct {
+			trust TrustClass
+			want  Verdict
+		}{
+			{ThirdParty, row.ThirdParty},
+			{Client, row.Client},
+			{Operator, row.Operator},
+		} {
+			rep, err := CheckTable1Row(row, col.trust)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", row.Functionality, col.trust, err)
+			}
+			if rep.Verdict != col.want {
+				t.Errorf("%s for %s: verdict %v, paper says %v (reasons: %v)",
+					row.Functionality, col.trust, rep.Verdict, col.want, rep.Reasons)
+			}
+		}
+	}
+}
+
+func TestSpoofingRejected(t *testing.T) {
+	// A module that forges its source address.
+	rep := check(t, `
+in :: FromNetfront();
+sp :: SetIPSrc(203.0.113.66);
+fwd :: SetIPDst(192.0.2.1);
+out :: ToNetfront();
+in -> sp -> fwd -> out;
+`, ThirdParty, false)
+	if rep.Verdict != Rejected {
+		t.Errorf("spoofing module verdict = %v (%v)", rep.Verdict, rep.Reasons)
+	}
+	if len(rep.Findings) == 0 || rep.Findings[0].SpoofSafe {
+		t.Error("finding should flag spoofing")
+	}
+	// Spoofing is rejected even for the operator's *clients*.
+	rep2 := check(t, `
+in :: FromNetfront();
+sp :: SetIPSrc(203.0.113.66);
+out :: ToNetfront();
+in -> sp -> out;
+`, Client, false)
+	if rep2.Verdict != Rejected {
+		t.Errorf("client spoofing verdict = %v", rep2.Verdict)
+	}
+}
+
+func TestSettingSrcToModuleAddrIsNotSpoofing(t *testing.T) {
+	rep := check(t, `
+in :: FromNetfront();
+sp :: SetIPSrc(198.51.100.77);
+fwd :: SetIPDst(192.0.2.1);
+out :: ToNetfront();
+in -> sp -> fwd -> out;
+`, ThirdParty, false)
+	if rep.Verdict != Safe {
+		t.Errorf("verdict = %v (%v)", rep.Verdict, rep.Reasons)
+	}
+}
+
+func TestUnauthorizedConstantDestinationRejected(t *testing.T) {
+	// Every flow goes to a non-whitelisted constant: a DoS cannon.
+	rep := check(t, `
+in :: FromNetfront();
+atk :: SetIPDst(203.0.113.99);
+out :: ToNetfront();
+in -> atk -> out;
+`, ThirdParty, false)
+	if rep.Verdict != Rejected {
+		t.Errorf("verdict = %v (%v)", rep.Verdict, rep.Reasons)
+	}
+	// The same module is fine for a residential client (default-off
+	// does not apply; §2.1 extension) as long as it does not spoof.
+	rep2 := check(t, `
+in :: FromNetfront();
+atk :: SetIPDst(203.0.113.99);
+out :: ToNetfront();
+in -> atk -> out;
+`, Client, false)
+	if rep2.Verdict != Safe {
+		t.Errorf("client verdict = %v (%v)", rep2.Verdict, rep2.Reasons)
+	}
+}
+
+func TestMixedConformanceSandboxed(t *testing.T) {
+	// One branch whitelisted, one branch attacking: both allowed and
+	// disallowed traffic -> sandbox per §4.4 case (ii).
+	rep := check(t, `
+in :: FromNetfront();
+t :: Tee(2);
+good :: SetIPDst(192.0.2.1);
+bad :: SetIPDst(203.0.113.99);
+out0 :: ToNetfront(0);
+out1 :: ToNetfront(1);
+in -> t;
+t[0] -> good -> out0;
+t[1] -> bad -> out1;
+`, ThirdParty, false)
+	if rep.Verdict != NeedsSandbox {
+		t.Errorf("verdict = %v (%v)", rep.Verdict, rep.Reasons)
+	}
+}
+
+func TestImplicitAuthorizationViaMirror(t *testing.T) {
+	rep := check(t, `
+in :: FromNetfront();
+mir :: IPMirror();
+out :: ToNetfront();
+in -> mir -> out;
+`, ThirdParty, false)
+	if rep.Verdict != Safe {
+		t.Errorf("verdict = %v (%v)", rep.Verdict, rep.Reasons)
+	}
+	if len(rep.Findings) == 0 || !strings.Contains(rep.Findings[0].Detail, "implicit") {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestNoEgressIsSafe(t *testing.T) {
+	rep := check(t, `
+in :: FromNetfront();
+m :: FlowMeter();
+d :: Discard();
+in -> m -> d;
+`, ThirdParty, false)
+	if rep.Verdict != Safe || rep.Flows != 0 {
+		t.Errorf("verdict = %v flows = %d", rep.Verdict, rep.Flows)
+	}
+}
+
+func TestTransparentInterpositionOnlyForOperator(t *testing.T) {
+	cfg := `
+in :: FromNetfront();
+rt :: LookupIPRoute(0.0.0.0/0 0);
+out :: ToNetfront();
+in -> rt -> out;
+`
+	if rep := check(t, cfg, ThirdParty, true); rep.Verdict != Rejected {
+		t.Errorf("third-party transparent = %v", rep.Verdict)
+	}
+	if rep := check(t, cfg, Client, true); rep.Verdict != Rejected {
+		t.Errorf("client transparent = %v", rep.Verdict)
+	}
+	if rep := check(t, cfg, Operator, true); rep.Verdict != Safe {
+		t.Errorf("operator transparent = %v", rep.Verdict)
+	}
+}
+
+func TestX86VMNeedsSandbox(t *testing.T) {
+	if rep := check(t, "", ThirdParty, false); rep.Verdict != NeedsSandbox {
+		t.Errorf("x86 third-party = %v", rep.Verdict)
+	}
+	if rep := check(t, "", Client, false); rep.Verdict != NeedsSandbox {
+		t.Errorf("x86 client = %v", rep.Verdict)
+	}
+	if rep := check(t, "", Operator, false); rep.Verdict != Safe {
+		t.Errorf("x86 operator = %v", rep.Verdict)
+	}
+}
+
+func TestAmplificationPolicy(t *testing.T) {
+	// A UDP responder (the DNS-amplification shape of §7): fine under
+	// the default rules, sandboxed under the connectionless ban.
+	udpMirror := `
+in :: FromNetfront();
+f :: IPFilter(allow udp dst port 53);
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> mir -> out;
+`
+	build := func(banned bool) *Report {
+		rep, err := Check(Input{
+			ModuleID: "m", Module: click.MustBuildString(udpMirror),
+			Addr: modAddr, Trust: ThirdParty, Whitelist: wl,
+			BanConnectionlessReplies: banned,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if rep := build(false); rep.Verdict != Safe {
+		t.Errorf("default policy: %v (%v)", rep.Verdict, rep.Reasons)
+	}
+	if rep := build(true); rep.Verdict != NeedsSandbox {
+		t.Errorf("amplification policy: %v (%v)", rep.Verdict, rep.Reasons)
+	}
+	// A TCP responder is immune: the three-way handshake cannot be
+	// spoofed, so implicit authorization stands.
+	tcpMirror := `
+in :: FromNetfront();
+f :: IPFilter(allow tcp dst port 80);
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> mir -> out;
+`
+	rep, err := Check(Input{
+		ModuleID: "m", Module: click.MustBuildString(tcpMirror),
+		Addr: modAddr, Trust: ThirdParty, Whitelist: wl,
+		BanConnectionlessReplies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Safe {
+		t.Errorf("tcp responder under amplification policy: %v (%v)", rep.Verdict, rep.Reasons)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Safe.String() != "safe" || NeedsSandbox.String() != "needs-sandbox" ||
+		Rejected.String() != "rejected" || Verdict(9).String() != "unknown" {
+		t.Error("verdict strings")
+	}
+	if ThirdParty.String() != "third-party" || Client.String() != "client" ||
+		Operator.String() != "operator" || TrustClass(9).String() != "unknown" {
+		t.Error("trust strings")
+	}
+	if Always.String() != "always" || Sometimes.String() != "sometimes" ||
+		Never.String() != "never" || Conformance(9).String() != "unknown" {
+		t.Error("conformance strings")
+	}
+}
+
+func BenchmarkSecurityCheckFirewall(b *testing.B) {
+	mod := click.MustBuildString(`
+in :: FromNetfront();
+fw :: IPFilter(allow udp port 1500, deny all);
+fwd :: SetIPDst(192.0.2.1);
+out :: ToNetfront();
+in -> fw -> fwd -> out;
+`)
+	in := Input{ModuleID: "m", Module: mod, Addr: modAddr, Trust: ThirdParty, Whitelist: wl}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Check(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package stock implements the application-level behaviour of the
+// stock processing modules (paper §4.1): an HTTP-style origin server
+// with finite connection slots, a reverse proxy that shields the
+// origin from slow clients, and a geolocation DNS that spreads
+// clients to their nearest replica. These run inside the netsim
+// discrete-event world and power the DoS-protection and CDN use
+// cases (§8, Figs. 15-16).
+package stock
+
+import (
+	"math"
+	"sort"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+// Server is an origin (or proxy) with a bounded connection table —
+// the resource a Slowloris attack exhausts.
+type Server struct {
+	sim *netsim.Sim
+	// MaxConns is the connection-slot pool (Apache-style).
+	MaxConns int
+	// ServiceTime is how long a *well-formed* request holds a slot.
+	ServiceTime netsim.Time
+	// SlowTimeout, when positive, bounds how long an *invalid*
+	// (trickled) request may hold a slot — the aggressive
+	// slow-request timeout a reverse proxy applies, which is what
+	// makes it an effective Slowloris shield.
+	SlowTimeout netsim.Time
+
+	inUse int
+	// Served counts completed valid requests; Refused counts
+	// connection attempts that found no free slot.
+	Served  uint64
+	Refused uint64
+}
+
+// NewServer creates a server.
+func NewServer(sim *netsim.Sim, maxConns int, serviceTime netsim.Time) *Server {
+	return &Server{sim: sim, MaxConns: maxConns, ServiceTime: serviceTime}
+}
+
+// InUse returns the currently held slots.
+func (s *Server) InUse() int { return s.inUse }
+
+// TryRequest attempts a valid request: it occupies a slot for
+// ServiceTime, then completes. Returns false when refused.
+func (s *Server) TryRequest() bool {
+	return s.TryHold(s.ServiceTime, true)
+}
+
+// TryHold occupies a slot for the given duration; counted as a served
+// request only when valid (an attacker's trickled request is not).
+func (s *Server) TryHold(d netsim.Time, valid bool) bool {
+	if !valid && s.SlowTimeout > 0 && d > s.SlowTimeout {
+		d = s.SlowTimeout
+	}
+	if s.inUse >= s.MaxConns {
+		s.Refused++
+		return false
+	}
+	s.inUse++
+	s.sim.After(d, func() {
+		s.inUse--
+		if valid {
+			s.Served++
+		}
+	})
+	return true
+}
+
+// Slowloris is the attack of §8: it opens as many connections as
+// possible and trickles request bytes so the server cannot time them
+// out, starving valid clients of slots.
+type Slowloris struct {
+	sim    *netsim.Sim
+	target *Server
+	// ConnsPerSec is the attacker's connection-opening rate.
+	ConnsPerSec float64
+	// HoldTime is how long each trickled connection survives before
+	// the server finally drops it and the attacker reopens.
+	HoldTime netsim.Time
+
+	active bool
+	// Opened counts attack connections that got a slot.
+	Opened uint64
+}
+
+// NewSlowloris aims an attacker at a target.
+func NewSlowloris(sim *netsim.Sim, target *Server, connsPerSec float64, holdTime netsim.Time) *Slowloris {
+	return &Slowloris{sim: sim, target: target, ConnsPerSec: connsPerSec, HoldTime: holdTime}
+}
+
+// Start begins the attack; Stop ends it (held slots drain as their
+// hold time expires).
+func (a *Slowloris) Start() {
+	if a.active {
+		return
+	}
+	a.active = true
+	a.tick()
+}
+
+// Stop halts new attack connections.
+func (a *Slowloris) Stop() { a.active = false }
+
+func (a *Slowloris) tick() {
+	if !a.active {
+		return
+	}
+	if a.target.TryHold(a.HoldTime, false) {
+		a.Opened++
+	}
+	gap := netsim.Time(1e9 / a.ConnsPerSec)
+	a.sim.After(gap, func() { a.tick() })
+}
+
+// Retarget switches the attacker to a new victim (it keeps attacking
+// whatever DNS hands out, like a real botnet would).
+func (a *Slowloris) Retarget(s *Server) { a.target = s }
+
+// GeoDNS spreads clients to the replica with the lowest RTT — the
+// geolocation resolution of the stock DNS module (§4.1, §8).
+type GeoDNS struct {
+	// Replicas maps replica name to per-client RTTs.
+	replicas map[string][]netsim.Time
+}
+
+// NewGeoDNS builds a resolver for nClients.
+func NewGeoDNS() *GeoDNS {
+	return &GeoDNS{replicas: make(map[string][]netsim.Time)}
+}
+
+// AddReplica registers a replica with per-client RTTs.
+func (g *GeoDNS) AddReplica(name string, rtts []netsim.Time) {
+	g.replicas[name] = rtts
+}
+
+// Resolve returns the replica with the lowest RTT for the client and
+// that RTT.
+func (g *GeoDNS) Resolve(client int) (string, netsim.Time) {
+	bestName := ""
+	best := netsim.Time(math.MaxInt64)
+	// Deterministic order.
+	names := make([]string, 0, len(g.replicas))
+	for n := range g.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rtts := g.replicas[n]
+		if client < len(rtts) && rtts[client] < best {
+			best = rtts[client]
+			bestName = n
+		}
+	}
+	return bestName, best
+}

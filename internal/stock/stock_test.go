@@ -1,0 +1,100 @@
+package stock
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+func TestServerSlots(t *testing.T) {
+	sim := netsim.New(1)
+	s := NewServer(sim, 2, netsim.Seconds(1))
+	if !s.TryRequest() || !s.TryRequest() {
+		t.Fatal("slots should be free")
+	}
+	if s.TryRequest() {
+		t.Fatal("third request should be refused")
+	}
+	if s.InUse() != 2 || s.Refused != 1 {
+		t.Errorf("inUse=%d refused=%d", s.InUse(), s.Refused)
+	}
+	sim.Run()
+	if s.InUse() != 0 || s.Served != 2 {
+		t.Errorf("after drain: inUse=%d served=%d", s.InUse(), s.Served)
+	}
+}
+
+func TestInvalidHoldsNotServed(t *testing.T) {
+	sim := netsim.New(1)
+	s := NewServer(sim, 5, netsim.Seconds(1))
+	s.TryHold(netsim.Seconds(2), false)
+	sim.Run()
+	if s.Served != 0 {
+		t.Error("attack connection counted as served")
+	}
+}
+
+func TestSlowlorisExhaustsServer(t *testing.T) {
+	sim := netsim.New(1)
+	s := NewServer(sim, 100, netsim.Millis(50))
+	a := NewSlowloris(sim, s, 50, netsim.Seconds(60))
+	a.Start()
+	sim.RunUntil(netsim.Seconds(10))
+	// 50 conns/s for 10 s against 100 slots: saturated.
+	if s.InUse() != 100 {
+		t.Errorf("inUse = %d, attack did not saturate", s.InUse())
+	}
+	if !sVictim(s) {
+		t.Error("valid request should now be refused")
+	}
+	a.Stop()
+	// Holds drain after 60 s.
+	sim.RunUntil(netsim.Seconds(120))
+	if s.InUse() != 0 {
+		t.Errorf("slots not drained: %d", s.InUse())
+	}
+}
+
+func sVictim(s *Server) bool { return !s.TryRequest() }
+
+func TestSlowlorisRetarget(t *testing.T) {
+	sim := netsim.New(1)
+	origin := NewServer(sim, 10, netsim.Millis(50))
+	proxy := NewServer(sim, 1000, netsim.Millis(50))
+	a := NewSlowloris(sim, origin, 100, netsim.Seconds(60))
+	a.Start()
+	sim.RunUntil(netsim.Seconds(1))
+	a.Retarget(proxy)
+	before := origin.Refused
+	sim.RunUntil(netsim.Seconds(5))
+	// New attack conns land on the proxy now.
+	if proxy.InUse() == 0 {
+		t.Error("retarget ineffective")
+	}
+	if origin.Refused != before {
+		t.Error("origin still being hit after retarget")
+	}
+	// Double start is a no-op.
+	a.Start()
+	sim.RunUntil(netsim.Seconds(6))
+}
+
+func TestGeoDNSPicksNearest(t *testing.T) {
+	g := NewGeoDNS()
+	g.AddReplica("ro", []netsim.Time{10, 300, 300})
+	g.AddReplica("de", []netsim.Time{300, 20, 300})
+	g.AddReplica("it", []netsim.Time{300, 300, 30})
+	for i, want := range []string{"ro", "de", "it"} {
+		name, rtt := g.Resolve(i)
+		if name != want {
+			t.Errorf("client %d -> %s want %s", i, name, want)
+		}
+		if rtt > 30 {
+			t.Errorf("client %d rtt = %d", i, rtt)
+		}
+	}
+	// Out-of-range client: no replica has data.
+	if name, _ := g.Resolve(99); name != "" {
+		t.Errorf("missing client resolved to %s", name)
+	}
+}

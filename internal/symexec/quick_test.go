@@ -1,0 +1,110 @@
+package symexec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestConstrainMonotoneQuick: constraining a field can only shrink
+// its value set, never grow it — the soundness backbone of
+// refinement-based checking.
+func TestConstrainMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(n uint8) bool {
+		s := NewState()
+		field := []Field{FieldSrcIP, FieldDstPort, FieldProto, FieldTTL}[int(n)%4]
+		prev := s.Values(field)
+		for i := 0; i < 6; i++ {
+			lo := uint64(rng.Intn(200))
+			hi := lo + uint64(rng.Intn(60))
+			ok := s.Constrain(field, Span(lo, hi))
+			cur := s.Values(field)
+			if !cur.SubsetOf(prev) {
+				return false
+			}
+			if !ok {
+				// Unsatisfiable: the reported failure must mean the
+				// intersection really is empty.
+				return !prev.Overlaps(Span(lo, hi))
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIsolationQuick: arbitrary interleavings of operations on a
+// clone never affect the original.
+func TestCloneIsolationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		_ = seed
+		s := NewState()
+		s.Constrain(FieldProto, Span(0, 100))
+		s.PushHop("a", 0)
+		before := s.String()
+		c := s.Clone()
+		for i := 0; i < 8; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Assign(FieldDstIP, Const(uint64(rng.Uint32())))
+			case 1:
+				c.Constrain(FieldProto, Span(uint64(rng.Intn(50)), 100))
+			case 2:
+				c.PushHop("b", rng.Intn(3))
+			case 3:
+				c.AssignFresh(FieldPayload)
+			}
+		}
+		return s.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathSharingCorrectQuick: the linked-list path gives every clone
+// exactly the hops it saw, in order, regardless of interleaving.
+func TestPathSharingCorrectQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		_ = seed
+		s := NewState()
+		var want []Hop
+		push := func(st *State, ref *[]Hop, node string) {
+			port := rng.Intn(4)
+			st.PushHop(node, port)
+			*ref = append(*ref, Hop{Node: node, Port: port})
+		}
+		for i := 0; i < 5; i++ {
+			push(s, &want, "shared")
+		}
+		c := s.Clone()
+		wantC := append([]Hop(nil), want...)
+		for i := 0; i < 4; i++ {
+			push(s, &want, "orig")
+			push(c, &wantC, "clone")
+		}
+		return hopsEqual(s.Path(), want) && hopsEqual(c.Path(), wantC) &&
+			s.PathLen() == len(want) && c.PathLen() == len(wantC)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hopsEqual(a, b []Hop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

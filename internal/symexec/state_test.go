@@ -1,0 +1,159 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewStateIsUnconstrained(t *testing.T) {
+	s := NewState()
+	for _, f := range standardFields {
+		if _, ok := s.Get(f).IsVar(); !ok {
+			t.Errorf("%s should start as a free variable", f)
+		}
+		if !s.Values(f).Equal(Full(f.Width())) {
+			t.Errorf("%s should start unconstrained, got %v", f, s.Values(f))
+		}
+		if s.Binding(f).DefHop != -1 {
+			t.Errorf("%s DefHop should be -1", f)
+		}
+	}
+}
+
+func TestConstrainNarrowsAndFails(t *testing.T) {
+	s := NewState()
+	if !s.Constrain(FieldProto, Single(17)) {
+		t.Fatal("constraining a free var must succeed")
+	}
+	if v, ok := s.Values(FieldProto).IsSingle(); !ok || v != 17 {
+		t.Errorf("proto values = %v", s.Values(FieldProto))
+	}
+	if s.Constrain(FieldProto, Single(6)) {
+		t.Error("contradictory constraint must fail")
+	}
+}
+
+func TestConstrainConstant(t *testing.T) {
+	s := NewState()
+	s.Assign(FieldDstPort, Const(80))
+	if !s.Constrain(FieldDstPort, Span(0, 1000)) {
+		t.Error("80 in [0,1000]")
+	}
+	if s.Constrain(FieldDstPort, Span(81, 1000)) {
+		t.Error("80 not in [81,1000]")
+	}
+}
+
+func TestAliasingPropagatesConstraints(t *testing.T) {
+	// Model the paper's server(): ip_dst := ip_src. Constraining
+	// ip_dst afterwards must constrain the shared variable.
+	s := NewState()
+	s.Assign(FieldDstIP, s.Get(FieldSrcIP))
+	if !s.SameVar(FieldSrcIP, FieldDstIP) {
+		t.Fatal("dst should alias src")
+	}
+	if !s.Constrain(FieldDstIP, Single(42)) {
+		t.Fatal("constrain aliased")
+	}
+	if v, ok := s.Values(FieldSrcIP).IsSingle(); !ok || v != 42 {
+		t.Errorf("src values = %v, aliasing broken", s.Values(FieldSrcIP))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewState()
+	s.PushHop("a", 0)
+	c := s.Clone()
+	c.Assign(FieldTTL, Const(1))
+	c.PushHop("b", 0)
+	if _, isConst := s.Get(FieldTTL).IsConst(); isConst {
+		t.Error("clone assignment leaked to original")
+	}
+	if s.PathLen() != 1 || c.PathLen() != 2 {
+		t.Errorf("paths: %v vs %v", s.Path(), c.Path())
+	}
+	// Constraints are independent too.
+	c.Constrain(FieldProto, Single(6))
+	if s.Values(FieldProto).Equal(Single(6)) {
+		t.Error("clone constraint leaked")
+	}
+}
+
+func TestCloneSharesVarAllocator(t *testing.T) {
+	s := NewState()
+	c := s.Clone()
+	e1 := s.AssignFresh(FieldPayload)
+	e2 := c.AssignFresh(FieldPayload)
+	v1, _ := e1.IsVar()
+	v2, _ := e2.IsVar()
+	if v1 == v2 {
+		t.Error("fresh vars in clones must not collide")
+	}
+}
+
+func TestDefHopTracking(t *testing.T) {
+	s := NewState()
+	s.PushHop("client", 0)
+	s.PushHop("fw", 0)
+	s.Assign(FieldFWTag, Const(1))
+	if got := s.Binding(FieldFWTag).DefHop; got != 1 {
+		t.Errorf("DefHop = %d want 1", got)
+	}
+	s.PushHop("server", 0)
+	// fw_tag untouched since hop 1: invariant across fw->server.
+	if s.Binding(FieldFWTag).DefHop > 1 {
+		t.Error("DefHop moved without assignment")
+	}
+}
+
+func TestHopIndex(t *testing.T) {
+	s := NewState()
+	s.PushHop("a", 0)
+	s.PushHop("b", 1)
+	s.PushHop("a", 2)
+	if got := s.HopIndex("a", -1); got != 2 {
+		t.Errorf("last a = %d", got)
+	}
+	if got := s.HopIndex("a", 0); got != 0 {
+		t.Errorf("a:0 = %d", got)
+	}
+	if got := s.HopIndex("zz", -1); got != -1 {
+		t.Errorf("missing = %d", got)
+	}
+}
+
+func TestLazySyntheticFields(t *testing.T) {
+	// Synthetic state fields default to Const(0): "no middlebox state
+	// yet". A free variable here would let untagged flows satisfy
+	// stateful checks spuriously.
+	s := NewState()
+	e := s.Get(Field("conntrack"))
+	if v, ok := e.IsConst(); !ok || v != 0 {
+		t.Errorf("synthetic field default = %v, want Const(0)", e)
+	}
+	if e != s.Get(Field("conntrack")) {
+		t.Error("Get not stable")
+	}
+	// Constraining it to a nonzero value must fail.
+	if s.Constrain(Field("conntrack"), Single(1)) {
+		t.Error("zero-state field satisfied nonzero constraint")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	s := NewState()
+	s.Assign(FieldProto, Const(17))
+	s.PushHop("fw", 0)
+	str := s.String()
+	if !strings.Contains(str, "proto=17") || !strings.Contains(str, "fw:0") {
+		t.Errorf("String = %s", str)
+	}
+}
+
+func TestValuesAfterAssignConst(t *testing.T) {
+	s := NewState()
+	s.Assign(FieldSrcIP, Const(0x0a000001))
+	if v, ok := s.Values(FieldSrcIP).IsSingle(); !ok || v != 0x0a000001 {
+		t.Errorf("Values = %v", s.Values(FieldSrcIP))
+	}
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+// Address plan shared by the paper-figure fixtures.
+const (
+	// FixtureClientNet is the operator's residential client subnet.
+	FixtureClientNet = "10.1.0.0/16"
+	// FixturePlatform3Pool is the publicly-routable module pool of
+	// Platform 3 (the only platform reachable from the Internet in
+	// Fig. 3).
+	FixturePlatform3Pool = "198.51.100.0/24"
+	// FixturePlatform1Pool and FixturePlatform2Pool are internal-only
+	// module pools.
+	FixturePlatform1Pool = "10.200.1.0/24"
+	FixturePlatform2Pool = "10.200.2.0/24"
+)
+
+// PaperFig1 builds the topology of the paper's Fig. 1: end-users
+// behind a stateful firewall that allows only outgoing UDP (and
+// related inbound traffic), an in-network processing platform, and a
+// content-provider server S in the Internet.
+//
+//	client <-> firewall <-> r1 <-> internet
+//	                        r1 <-> platform "p1"
+func PaperFig1() (*Topology, error) {
+	t := New("fig1", packet.MustParsePrefix(FixtureClientNet))
+	var err error
+	add := func(e error) {
+		if err == nil {
+			err = e
+		}
+	}
+	add(t.AddEndpoint(NodeInternet))
+	add(t.AddEndpoint(NodeClient))
+	// The stateful firewall: interface 0 faces the clients (outbound
+	// direction), interface 1 faces the core (inbound direction).
+	add(t.AddMiddlebox("firewall", `
+out_in :: FromNetfront(0);
+in_in :: FromNetfront(1);
+fw :: StatefulFirewall(allow udp);
+out_out :: ToNetfront(0);
+in_out :: ToNetfront(1);
+out_in -> [0]fw;
+in_in -> [1]fw;
+fw[0] -> out_out;
+fw[1] -> in_out;
+`))
+	add(t.AddRouter("r1",
+		RouteTo(FixtureClientNet, 0),
+		RouteTo(FixturePlatform3Pool, 2),
+		RouteTo("0.0.0.0/0", 1),
+	))
+	add(t.AddPlatform("p1", packet.MustParsePrefix(FixturePlatform3Pool), "r1", 0))
+	// Client -> firewall(outbound) -> r1.
+	add(t.Connect(NodeClient, 0, "firewall", 0))
+	add(t.Connect("firewall", 0, "r1", 0))
+	// r1 default -> internet; internet -> r1.
+	add(t.Connect("r1", 1, NodeInternet, 0))
+	add(t.Connect(NodeInternet, 0, "r1", 1))
+	// r1 -> firewall(inbound) -> client.
+	add(t.Connect("r1", 0, "firewall", 1))
+	add(t.Connect("firewall", 1, NodeClient, 0))
+	// r1 <-> platform.
+	add(t.Connect("r1", 2, "p1", 0))
+	add(t.Connect("p1", 0, "r1", 2)) // pass-through back
+	if err != nil {
+		return nil, fmt.Errorf("PaperFig1: %v", err)
+	}
+	return t, nil
+}
+
+// PaperFig3 builds the In-Net architecture example of the paper's
+// Fig. 3: an access operator with three platforms — Platforms 1 and 2
+// on internal paths (behind a NAT&firewall and an HTTP optimizer
+// respectively), Platform 3 reachable from the Internet — plus the
+// operator middleboxes and a policy router steering HTTP responses
+// through the HTTP optimizer.
+func PaperFig3() (*Topology, error) {
+	t := New("fig3", packet.MustParsePrefix(FixtureClientNet))
+	var err error
+	add := func(e error) {
+		if err == nil {
+			err = e
+		}
+	}
+	add(t.AddEndpoint(NodeInternet))
+	add(t.AddEndpoint(NodeClient))
+
+	// Border router: client subnet via the access paths, Platform 3's
+	// public pool to Platform 3, everything else back out.
+	add(t.AddRouter("r1",
+		RouteTo(FixtureClientNet, 1),
+		RouteTo(FixturePlatform3Pool, 2),
+		RouteTo("0.0.0.0/0", 0),
+	))
+	// Policy router: HTTP response traffic (tcp src port 80) takes the
+	// bottom path through the HTTP optimizer, the rest the top path.
+	add(t.AddMiddlebox("pbr", `
+in :: FromNetfront();
+cls :: IPClassifier(tcp src port 80, -);
+http :: ToNetfront(0);
+rest :: ToNetfront(1);
+in -> cls;
+cls[0] -> http;
+cls[1] -> rest;
+`))
+	add(t.AddMiddlebox("HTTPOptimizer", `
+in :: FromNetfront();
+cnt :: Counter();
+out :: ToNetfront();
+in -> cnt -> out;
+`))
+	add(t.AddMiddlebox("natfw", `
+in :: FromNetfront();
+f :: IPFilter(allow all);
+out :: ToNetfront();
+in -> f -> out;
+`))
+	// Aggregation router toward the clients.
+	add(t.AddRouter("r2",
+		RouteTo(FixtureClientNet, 0),
+		RouteTo("0.0.0.0/0", 1),
+	))
+
+	add(t.AddPlatform("Platform1", packet.MustParsePrefix(FixturePlatform1Pool), "r2", 0))
+	add(t.AddPlatform("Platform2", packet.MustParsePrefix(FixturePlatform2Pool), "r2", 0))
+	add(t.AddPlatform("Platform3", packet.MustParsePrefix(FixturePlatform3Pool), "r2", 0))
+
+	// Ingress.
+	add(t.Connect(NodeInternet, 0, "r1", 0))
+	add(t.Connect(NodeClient, 0, "r1", 0))
+	// Border routing.
+	add(t.Connect("r1", 0, NodeInternet, 0))
+	add(t.Connect("r1", 1, "pbr", 0))
+	add(t.Connect("r1", 2, "Platform3", 0))
+	// Bottom path: HTTP -> optimizer -> Platform2 -> r2.
+	add(t.Connect("pbr", 0, "HTTPOptimizer", 0))
+	add(t.Connect("HTTPOptimizer", 0, "Platform2", 0))
+	add(t.Connect("Platform2", 0, "r2", 0))
+	// Top path: rest -> nat&firewall -> Platform1 -> r2.
+	add(t.Connect("pbr", 1, "natfw", 0))
+	add(t.Connect("natfw", 0, "Platform1", 0))
+	add(t.Connect("Platform1", 0, "r2", 0))
+	// Platform3 pass-through joins the client-bound path.
+	add(t.Connect("Platform3", 0, "r2", 0))
+	// Delivery and default route.
+	add(t.Connect("r2", 0, NodeClient, 0))
+	add(t.Connect("r2", 1, "r1", 0))
+	if err != nil {
+		return nil, fmt.Errorf("PaperFig3: %v", err)
+	}
+	return t, nil
+}
+
+// Grown returns a copy of the Fig. 3 topology extended with extra
+// router+middlebox pairs chained between pbr's top path and natfw —
+// the synthetic growth used by the controller-scalability experiment
+// (Fig. 10: "we randomly add more routers and platforms").
+func Grown(extraMiddleboxes int) (*Topology, error) {
+	t := New(fmt.Sprintf("grown-%d", extraMiddleboxes), packet.MustParsePrefix(FixtureClientNet))
+	var err error
+	add := func(e error) {
+		if err == nil {
+			err = e
+		}
+	}
+	add(t.AddEndpoint(NodeInternet))
+	add(t.AddEndpoint(NodeClient))
+	add(t.AddRouter("r1",
+		RouteTo(FixtureClientNet, 1),
+		RouteTo(FixturePlatform3Pool, 2),
+		RouteTo("0.0.0.0/0", 0),
+	))
+	add(t.AddRouter("r2",
+		RouteTo(FixtureClientNet, 0),
+		RouteTo("0.0.0.0/0", 1),
+	))
+	add(t.AddPlatform("Platform3", packet.MustParsePrefix(FixturePlatform3Pool), "r2", 0))
+	add(t.Connect(NodeInternet, 0, "r1", 0))
+	add(t.Connect(NodeClient, 0, "r1", 0))
+	add(t.Connect("r1", 0, NodeInternet, 0))
+	add(t.Connect("r1", 2, "Platform3", 0))
+	add(t.Connect("Platform3", 0, "r2", 0))
+	add(t.Connect("r2", 0, NodeClient, 0))
+	add(t.Connect("r2", 1, "r1", 0))
+
+	// Chain of pass-through middleboxes on the client path:
+	// r1 -> mb0 -> mb1 -> ... -> r2.
+	prev, prevPort := "r1", 1
+	for i := 0; i < extraMiddleboxes; i++ {
+		name := fmt.Sprintf("mb%d", i)
+		add(t.AddMiddlebox(name, `
+in :: FromNetfront();
+f :: IPFilter(allow all);
+out :: ToNetfront();
+in -> f -> out;
+`))
+		add(t.Connect(prev, prevPort, name, 0))
+		prev, prevPort = name, 0
+	}
+	add(t.Connect(prev, prevPort, "r2", 0))
+	if err != nil {
+		return nil, fmt.Errorf("Grown(%d): %v", extraMiddleboxes, err)
+	}
+	return t, nil
+}

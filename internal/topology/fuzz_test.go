@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"testing"
+
+	_ "github.com/in-net/innet/internal/elements"
+)
+
+// FuzzParse hardens the topology description parser: no panics, and
+// every accepted topology must compile into a symbolic network.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"client-net 10.0.0.0/8\nendpoint a",
+		"client-net 10.0.0.0/8\nrouter r {\n route 0.0.0.0/0 0\n}",
+		"client-net 10.0.0.0/8\nendpoint a\nendpoint b\nlink a:0 <-> b:0",
+		"client-net 10.0.0.0/8\nplatform p {\n pool 1.0.0.0/24\n uplink x 0\n}",
+		"client-net 10.0.0.0/8\nmiddlebox m {\n in :: FromNetfront();\n out :: ToNetfront();\n in -> out;\n}",
+		"name x\nclient-net 0.0.0.0/0",
+		"router r {",
+		"link a:b -> c:d",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		topo, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, _, err := topo.Compile(nil); err != nil {
+			t.Fatalf("accepted topology does not compile: %v\n%s", err, src)
+		}
+	})
+}

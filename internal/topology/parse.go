@@ -1,0 +1,296 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+// Parse reads an operator network description — the snapshot the
+// paper's controller is "provided with at startup" (§4.3) — in a
+// line-oriented text format:
+//
+//	# the access network of Fig. 3
+//	name fig3
+//	client-net 10.1.0.0/16
+//
+//	endpoint internet
+//	endpoint client
+//
+//	router r1 {
+//	  route 10.1.0.0/16 1
+//	  route 198.51.100.0/24 2
+//	  route 0.0.0.0/0 0
+//	}
+//
+//	middlebox natfw {
+//	  in :: FromNetfront();
+//	  f :: IPFilter(allow all);
+//	  out :: ToNetfront();
+//	  in -> f -> out;
+//	}
+//
+//	platform Platform3 {
+//	  pool 198.51.100.0/24
+//	  uplink r2 0
+//	}
+//
+//	link internet:0 -> r1:0
+//	link r2:0 <-> client:0
+//
+// "#" starts a comment. "->" links are unidirectional, "<->"
+// bidirectional. Router/middlebox/platform bodies end with a line
+// containing only "}".
+func Parse(src string) (*Topology, error) {
+	lines := strings.Split(src, "\n")
+	name := "operator"
+	clientNet := packet.Prefix{}
+	haveClientNet := false
+
+	type pendingLink struct {
+		line int
+		text string
+	}
+	type routerDecl struct {
+		line   int
+		name   string
+		routes []Route
+	}
+	type mbDecl struct {
+		line, bodyStart int
+		name, body      string
+	}
+	type platDecl struct {
+		line       int
+		name       string
+		pool       packet.Prefix
+		havePool   bool
+		uplink     string
+		uplinkPort int
+	}
+	var endpoints []string
+	var routers []routerDecl
+	var middleboxes []mbDecl
+	var platforms []platDecl
+	var links []pendingLink
+
+	i := 0
+	errAt := func(line int, format string, args ...any) error {
+		return fmt.Errorf("topology: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	next := func() (string, int, bool) {
+		for i < len(lines) {
+			ln := strings.TrimSpace(lines[i])
+			i++
+			if ln == "" || strings.HasPrefix(ln, "#") {
+				continue
+			}
+			return ln, i, true
+		}
+		return "", i, false
+	}
+	// collectBlock gathers raw lines until a line that is exactly "}".
+	collectBlock := func(startLine int) (string, error) {
+		var body []string
+		for i < len(lines) {
+			raw := lines[i]
+			i++
+			if strings.TrimSpace(raw) == "}" {
+				return strings.Join(body, "\n"), nil
+			}
+			body = append(body, raw)
+		}
+		return "", errAt(startLine, "unterminated block")
+	}
+
+	for {
+		ln, lineNo, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(ln)
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, errAt(lineNo, "name wants one word")
+			}
+			name = fields[1]
+		case "client-net":
+			if len(fields) != 2 {
+				return nil, errAt(lineNo, "client-net wants a prefix")
+			}
+			pfx, err := packet.ParsePrefix(fields[1])
+			if err != nil {
+				return nil, errAt(lineNo, "%v", err)
+			}
+			clientNet = pfx
+			haveClientNet = true
+		case "endpoint":
+			if len(fields) != 2 {
+				return nil, errAt(lineNo, "endpoint wants a name")
+			}
+			endpoints = append(endpoints, fields[1])
+		case "router":
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, errAt(lineNo, "want 'router <name> {'")
+			}
+			body, err := collectBlock(lineNo)
+			if err != nil {
+				return nil, err
+			}
+			rd := routerDecl{line: lineNo, name: fields[1]}
+			for off, rl := range strings.Split(body, "\n") {
+				rl = strings.TrimSpace(rl)
+				if rl == "" || strings.HasPrefix(rl, "#") {
+					continue
+				}
+				rf := strings.Fields(rl)
+				if len(rf) != 3 || rf[0] != "route" {
+					return nil, errAt(lineNo+off+1, "want 'route <prefix> <port>'")
+				}
+				pfx, err := packet.ParsePrefix(rf[1])
+				if err != nil {
+					return nil, errAt(lineNo+off+1, "%v", err)
+				}
+				port, err := strconv.Atoi(rf[2])
+				if err != nil || port < 0 {
+					return nil, errAt(lineNo+off+1, "bad port %q", rf[2])
+				}
+				rd.routes = append(rd.routes, Route{Prefix: pfx, Port: port})
+			}
+			routers = append(routers, rd)
+		case "middlebox":
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, errAt(lineNo, "want 'middlebox <name> {'")
+			}
+			body, err := collectBlock(lineNo)
+			if err != nil {
+				return nil, err
+			}
+			middleboxes = append(middleboxes, mbDecl{line: lineNo, name: fields[1], body: body})
+		case "platform":
+			if len(fields) != 3 || fields[2] != "{" {
+				return nil, errAt(lineNo, "want 'platform <name> {'")
+			}
+			body, err := collectBlock(lineNo)
+			if err != nil {
+				return nil, err
+			}
+			pd := platDecl{line: lineNo, name: fields[1]}
+			for off, pl := range strings.Split(body, "\n") {
+				pl = strings.TrimSpace(pl)
+				if pl == "" || strings.HasPrefix(pl, "#") {
+					continue
+				}
+				pf := strings.Fields(pl)
+				switch pf[0] {
+				case "pool":
+					if len(pf) != 2 {
+						return nil, errAt(lineNo+off+1, "pool wants a prefix")
+					}
+					pfx, err := packet.ParsePrefix(pf[1])
+					if err != nil {
+						return nil, errAt(lineNo+off+1, "%v", err)
+					}
+					pd.pool, pd.havePool = pfx, true
+				case "uplink":
+					if len(pf) != 3 {
+						return nil, errAt(lineNo+off+1, "want 'uplink <node> <port>'")
+					}
+					port, err := strconv.Atoi(pf[2])
+					if err != nil || port < 0 {
+						return nil, errAt(lineNo+off+1, "bad port %q", pf[2])
+					}
+					pd.uplink, pd.uplinkPort = pf[1], port
+				default:
+					return nil, errAt(lineNo+off+1, "unknown platform key %q", pf[0])
+				}
+			}
+			if !pd.havePool {
+				return nil, errAt(lineNo, "platform %q needs a pool", pd.name)
+			}
+			platforms = append(platforms, pd)
+		case "link":
+			links = append(links, pendingLink{line: lineNo, text: strings.Join(fields[1:], " ")})
+		default:
+			return nil, errAt(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if !haveClientNet {
+		return nil, fmt.Errorf("topology: missing client-net")
+	}
+
+	t := New(name, clientNet)
+	for _, e := range endpoints {
+		if err := t.AddEndpoint(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range routers {
+		if err := t.AddRouter(r.name, r.routes...); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %v", r.line, err)
+		}
+	}
+	for _, m := range middleboxes {
+		if err := t.AddMiddlebox(m.name, m.body); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %v", m.line, err)
+		}
+	}
+	for _, p := range platforms {
+		if err := t.AddPlatform(p.name, p.pool, p.uplink, p.uplinkPort); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %v", p.line, err)
+		}
+	}
+	for _, l := range links {
+		if err := parseLink(t, l.text); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %v", l.line, err)
+		}
+	}
+	// Cross-references that only resolve once everything is declared.
+	for _, p := range platforms {
+		if p.uplink != "" && t.Node(p.uplink) == nil {
+			return nil, errAt(p.line, "platform %q uplink references unknown node %q", p.name, p.uplink)
+		}
+	}
+	return t, nil
+}
+
+// parseLink handles "a:0 -> b:1" and "a:0 <-> b:1".
+func parseLink(t *Topology, text string) error {
+	bidir := strings.Contains(text, "<->")
+	sep := "->"
+	if bidir {
+		sep = "<->"
+	}
+	parts := strings.SplitN(text, sep, 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want '<node>:<port> %s <node>:<port>', got %q", sep, text)
+	}
+	from, fromPort, err := parseEndpointRef(parts[0])
+	if err != nil {
+		return err
+	}
+	to, toPort, err := parseEndpointRef(parts[1])
+	if err != nil {
+		return err
+	}
+	if bidir {
+		return t.ConnectBoth(from, fromPort, to, toPort)
+	}
+	return t.Connect(from, fromPort, to, toPort)
+}
+
+func parseEndpointRef(s string) (string, int, error) {
+	s = strings.TrimSpace(s)
+	node, portStr, ok := strings.Cut(s, ":")
+	if !ok || node == "" {
+		return "", 0, fmt.Errorf("bad link endpoint %q (want node:port)", s)
+	}
+	port, err := strconv.Atoi(strings.TrimSpace(portStr))
+	if err != nil || port < 0 {
+		return "", 0, fmt.Errorf("bad port in %q", s)
+	}
+	return strings.TrimSpace(node), port, nil
+}

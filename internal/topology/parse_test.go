@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+)
+
+// fig3Text describes the Fig. 3 network in the text format.
+const fig3Text = `
+# The paper's Fig. 3 access network.
+name fig3-from-text
+client-net 10.1.0.0/16
+
+endpoint internet
+endpoint client
+
+router r1 {
+  route 10.1.0.0/16 1
+  route 198.51.100.0/24 2
+  route 0.0.0.0/0 0
+}
+router r2 {
+  route 10.1.0.0/16 0
+  route 0.0.0.0/0 1
+}
+
+middlebox pbr {
+  in :: FromNetfront();
+  cls :: IPClassifier(tcp src port 80, -);
+  http :: ToNetfront(0);
+  rest :: ToNetfront(1);
+  in -> cls;
+  cls[0] -> http;
+  cls[1] -> rest;
+}
+middlebox HTTPOptimizer {
+  in :: FromNetfront();
+  cnt :: Counter();
+  out :: ToNetfront();
+  in -> cnt -> out;
+}
+
+platform Platform3 {
+  pool 198.51.100.0/24
+  uplink r2 0
+}
+
+link internet:0 -> r1:0
+link client:0 -> r1:0
+link r1:0 -> internet:0
+link r1:1 -> pbr:0
+link r1:2 -> Platform3:0
+link pbr:0 -> HTTPOptimizer:0
+link pbr:1 -> r2:0
+link HTTPOptimizer:0 -> r2:0
+link Platform3:0 -> r2:0
+link r2:0 -> client:0
+link r2:1 -> r1:0
+`
+
+func TestParseTopologyText(t *testing.T) {
+	tp, err := Parse(fig3Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name != "fig3-from-text" {
+		t.Errorf("name = %s", tp.Name)
+	}
+	if got := tp.Platforms(); len(got) != 1 || got[0] != "Platform3" {
+		t.Errorf("platforms = %v", got)
+	}
+	if tp.NumMiddleboxes() != 2 {
+		t.Errorf("middleboxes = %d", tp.NumMiddleboxes())
+	}
+	if tp.Node("r1") == nil || tp.Node("r1").Kind != KindRouter {
+		t.Error("r1 missing")
+	}
+	// The parsed network behaves: HTTP from the internet traverses
+	// the optimizer to the client.
+	net, _, err := tp.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := symexec.NewState()
+	st.Constrain(symexec.FieldProto, symexec.Single(6))
+	st.Constrain(symexec.FieldSrcPort, symexec.Single(80))
+	lo, hi := packet.MustParsePrefix("10.1.0.0/16").Range()
+	st.Constrain(symexec.FieldDstIP, symexec.Span(uint64(lo), uint64(hi)))
+	res, err := net.Run(symexec.Injection{Node: "internet", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtNode["HTTPOptimizer/cnt"]) == 0 || len(res.AtNode["client"]) == 0 {
+		t.Error("parsed topology does not route like Fig. 3")
+	}
+}
+
+func TestParseBidirectionalLink(t *testing.T) {
+	tp, err := Parse(`
+client-net 10.0.0.0/8
+endpoint a
+endpoint b
+link a:0 <-> b:0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.links) != 2 {
+		t.Errorf("links = %d", len(tp.links))
+	}
+}
+
+func TestParseErrorsWithLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no client-net", "endpoint a"},
+		{"bad client-net", "client-net banana"},
+		{"bad directive", "client-net 10.0.0.0/8\nfrobnicate x"},
+		{"router no brace", "client-net 10.0.0.0/8\nrouter r"},
+		{"router bad route", "client-net 10.0.0.0/8\nrouter r {\n  route bad 0\n}"},
+		{"router bad port", "client-net 10.0.0.0/8\nrouter r {\n  route 10.0.0.0/8 x\n}"},
+		{"unterminated block", "client-net 10.0.0.0/8\nrouter r {\n  route 10.0.0.0/8 0"},
+		{"platform no pool", "client-net 10.0.0.0/8\nplatform p {\n  uplink r 0\n}"},
+		{"platform bad key", "client-net 10.0.0.0/8\nplatform p {\n  colour blue\n}"},
+		{"bad middlebox click", "client-net 10.0.0.0/8\nmiddlebox m {\n  ::::\n}"},
+		{"bad link", "client-net 10.0.0.0/8\nendpoint a\nlink a -> b"},
+		{"link unknown node", "client-net 10.0.0.0/8\nendpoint a\nlink a:0 -> b:0"},
+		{"bad endpoint decl", "client-net 10.0.0.0/8\nendpoint"},
+		{"name extra", "client-net 10.0.0.0/8\nname a b"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "topology") {
+			t.Errorf("%s: error %v lacks context", c.name, err)
+		}
+	}
+}
+
+func TestParsedEqualsFixtureBehavior(t *testing.T) {
+	// The text form and the programmatic Fig. 3 fixture must agree on
+	// the basic placement property: module pools on Platform3 are the
+	// only internet-reachable ones.
+	tp, err := Parse(fig3Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := packet.MustParseIP("198.51.100.50")
+	mod := HostedModule{ID: "m", Platform: "Platform3", Addr: addr, Router: mustRouter(t)}
+	net, nm, err := tp.Compile([]HostedModule{mod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := symexec.NewState()
+	st.Constrain(symexec.FieldDstIP, symexec.Single(uint64(addr)))
+	res, err := net.Run(symexec.Injection{Node: "internet", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtNode[nm.ModuleElem("m", "out")]) == 0 {
+		t.Error("module unreachable in parsed topology")
+	}
+}
+
+func mustRouter(t *testing.T) *click.Router {
+	t.Helper()
+	return click.MustBuildString(`
+in :: FromNetfront();
+f :: IPFilter(allow all);
+out :: ToNetfront();
+in -> f -> out;
+`)
+}

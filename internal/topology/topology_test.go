@@ -1,0 +1,314 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/click"
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/symexec"
+)
+
+// batcherModule is the paper's Fig. 4 configuration.
+const batcherModule = `
+FromNetfront() ->
+IPFilter(allow udp port 1500) ->
+IPRewriter(pattern - - 10.1.15.133 - 0 0)
+-> TimedUnqueue(120,100)
+-> dst::ToNetfront()
+`
+
+func TestBuilderValidation(t *testing.T) {
+	tp := New("t", packet.MustParsePrefix("10.1.0.0/16"))
+	if err := tp.AddEndpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddEndpoint("a"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := tp.AddEndpoint(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := tp.AddRouter("r"); err == nil {
+		t.Error("router without routes accepted")
+	}
+	if err := tp.AddMiddlebox("m", "not click at all ::"); err == nil {
+		t.Error("bad click accepted")
+	}
+	if err := tp.AddMiddlebox("m", `d :: Discard();`); err == nil {
+		t.Error("middlebox without FromNetfront accepted")
+	}
+	if err := tp.AddMiddlebox("m", `f :: FromNetfront() -> Discard();`); err == nil {
+		t.Error("middlebox without ToNetfront accepted")
+	}
+	if err := tp.Connect("a", 0, "nope", 0); err == nil {
+		t.Error("link to unknown accepted")
+	}
+	if err := tp.Connect("nope", 0, "a", 0); err == nil {
+		t.Error("link from unknown accepted")
+	}
+}
+
+func TestFig3CompilesAndRoutes(t *testing.T) {
+	tp, err := PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.Platforms(); len(got) != 3 {
+		t.Fatalf("platforms = %v", got)
+	}
+	net, nm, err := tp.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nm.EntryNode("internet"); !ok {
+		t.Fatal("no internet entry")
+	}
+
+	// HTTP response traffic from the internet to a client must
+	// traverse the HTTP optimizer (the operator policy of §2.2).
+	st := symexec.NewState()
+	st.Constrain(symexec.FieldProto, symexec.Single(6))
+	st.Constrain(symexec.FieldSrcPort, symexec.Single(80))
+	lo, hi := packet.MustParsePrefix(FixtureClientNet).Range()
+	st.Constrain(symexec.FieldDstIP, symexec.Span(uint64(lo), uint64(hi)))
+	res, err := net.Run(symexec.Injection{Node: "internet", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtNode["HTTPOptimizer/cnt"]) == 0 {
+		t.Error("http traffic did not traverse the optimizer")
+	}
+	if len(res.AtNode["client"]) == 0 {
+		t.Error("http traffic did not reach the client")
+	}
+	if len(res.AtNode["natfw/f"]) != 0 {
+		t.Error("http traffic leaked onto the top path")
+	}
+
+	// Non-HTTP traffic takes the top path.
+	st2 := symexec.NewState()
+	st2.Constrain(symexec.FieldProto, symexec.Single(17))
+	st2.Constrain(symexec.FieldDstIP, symexec.Span(uint64(lo), uint64(hi)))
+	res2, err := net.Run(symexec.Injection{Node: "internet", State: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.AtNode["natfw/f"]) == 0 || len(res2.AtNode["client"]) == 0 {
+		t.Error("udp traffic did not take the top path to the client")
+	}
+	if len(res2.AtNode["HTTPOptimizer/cnt"]) != 0 {
+		t.Error("udp traffic traversed the optimizer")
+	}
+
+	// Traffic to anywhere else egresses at the internet endpoint.
+	st3 := symexec.NewState()
+	st3.Constrain(symexec.FieldDstIP, symexec.Single(uint64(packet.MustParseIP("8.8.8.8"))))
+	res3, err := net.Run(symexec.Injection{Node: "client", State: st3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range res3.Egress {
+		if e.Node == "internet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("client traffic to 8.8.8.8 did not egress at internet")
+	}
+}
+
+func TestHostedModuleReachability(t *testing.T) {
+	tp, err := PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := click.MustBuildString(batcherModule)
+	addr := packet.MustParseIP("198.51.100.10")
+	net, nm, err := tp.Compile([]HostedModule{{
+		ID: "batcher", Platform: "Platform3", Addr: addr, Router: mod,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Module("batcher") == nil {
+		t.Fatal("module not registered")
+	}
+
+	// Internet UDP to the module address on port 1500 reaches the
+	// module and then, rewritten to the client's address, the client.
+	st := symexec.NewState()
+	st.Constrain(symexec.FieldProto, symexec.Single(17))
+	st.Constrain(symexec.FieldDstIP, symexec.Single(uint64(addr)))
+	st.Constrain(symexec.FieldDstPort, symexec.Single(1500))
+	res, err := net.Run(symexec.Injection{Node: "internet", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtNode[nm.ModuleElem("batcher", "dst")]) == 0 {
+		t.Fatalf("flow never reached the module's ToNetfront; nodes: %v", keys(res.AtNode))
+	}
+	cl := res.AtNode["client"]
+	if len(cl) == 0 {
+		t.Fatal("rewritten flow did not reach the client")
+	}
+	if v, ok := cl[0].Values(symexec.FieldDstIP).IsSingle(); !ok || v != uint64(packet.MustParseIP("10.1.15.133")) {
+		t.Errorf("client-side dst = %v", cl[0].Values(symexec.FieldDstIP))
+	}
+	// Payload must be untouched end to end (the Fig. 4 invariant).
+	if cl[0].Binding(symexec.FieldPayload).DefHop != -1 {
+		t.Error("payload redefined en-route")
+	}
+
+	// TCP to the module address is filtered inside the module.
+	st2 := symexec.NewState()
+	st2.Constrain(symexec.FieldProto, symexec.Single(6))
+	st2.Constrain(symexec.FieldDstIP, symexec.Single(uint64(addr)))
+	res2, err := net.Run(symexec.Injection{Node: "internet", State: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.AtNode["client"]) != 0 {
+		t.Error("tcp to the module leaked through to the client")
+	}
+}
+
+func TestModulesOnInternalPlatformsUnreachableFromInternet(t *testing.T) {
+	tp, err := PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := click.MustBuildString(batcherModule)
+	addr := packet.MustParseIP("10.200.1.10") // Platform1 pool
+	net, nm, err := tp.Compile([]HostedModule{{
+		ID: "batcher", Platform: "Platform1", Addr: addr, Router: mod,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := symexec.NewState()
+	st.Constrain(symexec.FieldDstIP, symexec.Single(uint64(addr)))
+	res, err := net.Run(symexec.Injection{Node: "internet", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AtNode[nm.ModuleElem("batcher", "dst")]) != 0 {
+		t.Error("internet traffic reached a module on an internal platform (Fig. 3 says only Platform 3 applies)")
+	}
+}
+
+func TestFig1FirewallSemantics(t *testing.T) {
+	tp, err := PaperFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := tp.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outbound UDP from client reaches the internet with payload
+	// intact (the §3 example: "the data will not change en-route").
+	st := symexec.NewState()
+	res, err := net.Run(symexec.Injection{Node: "client", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inet := res.AtNode["internet"]
+	if len(inet) == 0 {
+		t.Fatal("nothing reached the internet")
+	}
+	for _, s := range inet {
+		if v, ok := s.Values(symexec.FieldProto).IsSingle(); !ok || v != 17 {
+			t.Errorf("non-udp flow passed the firewall: %v", s.Values(symexec.FieldProto))
+		}
+		if s.Binding(symexec.FieldPayload).DefHop != -1 {
+			t.Error("payload modified en-route")
+		}
+	}
+	// Unsolicited inbound traffic never reaches the client.
+	res2, err := net.Run(symexec.Injection{Node: "internet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.AtNode["client"]) != 0 {
+		t.Error("unsolicited inbound reached the client through the stateful firewall")
+	}
+}
+
+func TestGrownScalesLinearly(t *testing.T) {
+	for _, n := range []int{0, 5, 20} {
+		tp, err := Grown(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tp.NumMiddleboxes(); got != n {
+			t.Errorf("Grown(%d) has %d middleboxes", n, got)
+		}
+		net, _, err := tp.Compile(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := packet.MustParsePrefix(FixtureClientNet).Range()
+		st := symexec.NewState()
+		st.Constrain(symexec.FieldDstIP, symexec.Span(uint64(lo), uint64(hi)))
+		res, err := net.Run(symexec.Injection{Node: "internet", State: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.AtNode["client"]) == 0 {
+			t.Errorf("Grown(%d): client unreachable", n)
+		}
+		if res.Truncated {
+			t.Errorf("Grown(%d): truncated", n)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tp, err := PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := click.MustBuildString(batcherModule)
+	if _, _, err := tp.Compile([]HostedModule{{ID: "x", Platform: "nope", Addr: 1, Router: mod}}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, _, err := tp.Compile([]HostedModule{
+		{ID: "x", Platform: "Platform3", Addr: 1, Router: mod},
+		{ID: "x", Platform: "Platform3", Addr: 2, Router: click.MustBuildString(batcherModule)},
+	}); err == nil {
+		t.Error("duplicate module id accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindRouter.String() != "router" || KindPlatform.String() != "platform" ||
+		KindEndpoint.String() != "endpoint" || KindMiddlebox.String() != "middlebox" ||
+		Kind(99).String() != "unknown" {
+		t.Error("Kind strings")
+	}
+}
+
+func keys(m map[string][]*symexec.State) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func BenchmarkCompileFig3(b *testing.B) {
+	tp, err := PaperFig3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := click.MustBuildString(batcherModule)
+	hm := []HostedModule{{ID: "batcher", Platform: "Platform3", Addr: packet.MustParseIP("198.51.100.10"), Router: mod}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tp.Compile(hm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package traffic builds the evaluation workloads of the paper's §6
+// and §8 on top of the platform and netsim substrates: ping trains
+// through on-the-fly-booted VMs (Fig. 5), capped HTTP transfers
+// (Fig. 6), a Slowloris attack with In-Net reverse-proxy defense
+// (Fig. 15) and a mini-CDN download population (Fig. 16). Each
+// scenario returns raw series; the bench package formats them as the
+// paper's figures.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/platform"
+	"github.com/in-net/innet/internal/stock"
+)
+
+// firewallModule is the stateless per-client firewall of §6's
+// experiments.
+const firewallModule = `
+in :: FromNetfront();
+fw :: IPFilter(allow all);
+out :: ToNetfront();
+in -> fw -> out;
+`
+
+// PingConfig shapes the Fig. 5 experiment.
+type PingConfig struct {
+	Flows  int
+	Probes int
+	// Gap between a flow's probes (the paper pings once per second).
+	Gap netsim.Time
+	// LinkLatency is the per-hop one-way latency of the three-box
+	// row (client - platform - responder).
+	LinkLatency netsim.Time
+	// Kind selects ClickOS or Linux guests (the paper contrasts ≈50ms
+	// vs ≈700ms first-packet RTTs).
+	Kind platform.VMKind
+	// MemMB bounds the platform.
+	MemMB int
+}
+
+// DefaultPingConfig mirrors the paper: 100 concurrent flows x 15
+// probes through ClickOS VMs booted on the fly.
+func DefaultPingConfig() PingConfig {
+	return PingConfig{
+		Flows:       100,
+		Probes:      15,
+		Gap:         netsim.Seconds(1),
+		LinkLatency: netsim.Millis(0.05),
+		Kind:        platform.ClickOS,
+		MemMB:       16 * 1024,
+	}
+}
+
+// PingThroughPlatform runs Fig. 5: every flow's first packet triggers
+// a VM boot; subsequent probes hit the warm VM. It returns rtts in
+// milliseconds indexed [flow][probe].
+func PingThroughPlatform(cfg PingConfig) [][]float64 {
+	sim := netsim.New(1)
+	p := platform.New(sim, platform.DefaultModel(), cfg.MemMB)
+	base := packet.MustParseIP("198.51.100.0")
+	for f := 0; f < cfg.Flows; f++ {
+		err := p.Register(platform.ModuleSpec{
+			Addr:   base + 1 + uint32(f),
+			Config: firewallModule,
+			Kind:   cfg.Kind,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	rtts := make([][]float64, cfg.Flows)
+	for f := range rtts {
+		rtts[f] = make([]float64, cfg.Probes)
+	}
+	for f := 0; f < cfg.Flows; f++ {
+		f := f
+		addr := base + 1 + uint32(f)
+		for pr := 0; pr < cfg.Probes; pr++ {
+			pr := pr
+			sendAt := netsim.Time(pr) * cfg.Gap
+			sim.At(sendAt, func() {
+				pk := &packet.Packet{
+					Protocol: packet.ProtoICMP,
+					SrcIP:    packet.MustParseIP("10.1.0.2"),
+					DstIP:    addr,
+					SrcPort:  uint16(f), DstPort: uint16(pr),
+					TTL: 64, Payload: make([]byte, 56),
+				}
+				// Client -> platform link.
+				sim.After(cfg.LinkLatency, func() {
+					p.Deliver(pk, func(iface int, out *packet.Packet) {
+						// Platform -> responder -> echo -> back
+						// through the row to the client.
+						echoPath := 3 * cfg.LinkLatency
+						sim.After(echoPath, func() {
+							rtts[f][pr] = float64(sim.Now()-sendAt) / 1e6
+						})
+					})
+				})
+			})
+		}
+	}
+	sim.Run()
+	return rtts
+}
+
+// HTTPConfig shapes the Fig. 6 experiment.
+type HTTPConfig struct {
+	Clients int
+	// FileBytes per transfer (paper: 50 MB) at RateBps each (25 Mb/s).
+	FileBytes int64
+	RateBps   float64
+	// RTT of the client-server path (excluding VM boot).
+	RTT netsim.Time
+	// StaggerMS spreads client starts over a short window, as curl
+	// process launches do.
+	Stagger netsim.Time
+}
+
+// DefaultHTTPConfig mirrors the paper's Fig. 6.
+func DefaultHTTPConfig() HTTPConfig {
+	return HTTPConfig{
+		Clients:   100,
+		FileBytes: 50 << 20,
+		RateBps:   25e6,
+		RTT:       netsim.Millis(1),
+		Stagger:   netsim.Millis(2),
+	}
+}
+
+// HTTPResult is one client's outcome.
+type HTTPResult struct {
+	Flow int
+	// ConnectMS includes the on-the-fly VM boot triggered by the SYN.
+	ConnectMS float64
+	// TransferS is the capped bulk-transfer time in seconds.
+	TransferS float64
+}
+
+// HTTPThroughPlatform runs Fig. 6: each client's SYN boots its
+// forwarding VM; the 50 MB response then streams at the per-client
+// cap.
+func HTTPThroughPlatform(cfg HTTPConfig) []HTTPResult {
+	sim := netsim.New(2)
+	p := platform.New(sim, platform.DefaultModel(), 16*1024)
+	base := packet.MustParseIP("198.51.100.0")
+	for f := 0; f < cfg.Clients; f++ {
+		if err := p.Register(platform.ModuleSpec{
+			Addr:   base + 1 + uint32(f),
+			Config: firewallModule,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	results := make([]HTTPResult, cfg.Clients)
+	for f := 0; f < cfg.Clients; f++ {
+		f := f
+		addr := base + 1 + uint32(f)
+		start := netsim.Time(f) * cfg.Stagger
+		sim.At(start, func() {
+			syn := &packet.Packet{
+				Protocol: packet.ProtoTCP,
+				SrcIP:    packet.MustParseIP("10.1.0.2"),
+				DstIP:    addr,
+				SrcPort:  uint16(20000 + f), DstPort: 80,
+				TCPFlags: packet.TCPSyn, TTL: 64,
+			}
+			sim.After(cfg.RTT/4, func() {
+				p.Deliver(syn, func(iface int, out *packet.Packet) {
+					// SYN reached the server through the booted VM;
+					// SYNACK+ACK complete the handshake.
+					sim.After(cfg.RTT*3/4, func() {
+						results[f].Flow = f
+						results[f].ConnectMS = float64(sim.Now()-start) / 1e6
+						dl := netsim.FluidTransfer(cfg.FileBytes, cfg.RTT, cfg.RateBps)
+						results[f].TransferS = float64(dl) / 1e9
+					})
+				})
+			})
+		})
+	}
+	sim.Run()
+	return results
+}
+
+// SlowlorisConfig shapes Fig. 15.
+type SlowlorisConfig struct {
+	// Duration of the timeline; attack runs [AttackStart, AttackEnd).
+	Duration    netsim.Time
+	AttackStart netsim.Time
+	AttackEnd   netsim.Time
+	// DefenseAt is when the origin instantiates In-Net reverse
+	// proxies (negative = no defense, the "single server" series).
+	DefenseAt netsim.Time
+	// Proxies is the number of remote reverse-proxy modules.
+	Proxies int
+	// ClientRate is the valid-request arrival rate (req/s).
+	ClientRate float64
+	// ServerSlots is the origin's connection-table size.
+	ServerSlots int
+	Seed        int64
+}
+
+// DefaultSlowlorisConfig mirrors Fig. 15's timeline.
+func DefaultSlowlorisConfig(defend bool) SlowlorisConfig {
+	cfg := SlowlorisConfig{
+		Duration:    netsim.Seconds(900),
+		AttackStart: netsim.Seconds(180),
+		AttackEnd:   netsim.Seconds(630),
+		DefenseAt:   -1,
+		Proxies:     3,
+		ClientRate:  300,
+		ServerSlots: 400,
+		Seed:        3,
+	}
+	if defend {
+		cfg.DefenseAt = netsim.Seconds(240)
+	}
+	return cfg
+}
+
+// SlowlorisScenario runs Fig. 15 and returns valid requests served
+// per second, one sample per second of the timeline.
+func SlowlorisScenario(cfg SlowlorisConfig) []float64 {
+	sim := netsim.New(cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	origin := stock.NewServer(sim, cfg.ServerSlots, netsim.Millis(50))
+
+	// Reverse proxies: large slot pools (they time out slow requests
+	// aggressively and only forward complete requests), instantiated
+	// on In-Net platforms at DefenseAt.
+	var proxies []*stock.Server
+	attack := stock.NewSlowloris(sim, origin, 200, netsim.Seconds(30))
+	sim.At(cfg.AttackStart, attack.Start)
+	sim.At(cfg.AttackEnd, attack.Stop)
+
+	if cfg.DefenseAt >= 0 {
+		sim.At(cfg.DefenseAt, func() {
+			// ClickOS-scale instantiation is milliseconds; DNS
+			// redirection takes effect for *new* connections.
+			for i := 0; i < cfg.Proxies; i++ {
+				proxy := stock.NewServer(sim, 4096, netsim.Millis(60))
+				// Reverse proxies time slow requests out aggressively.
+				proxy.SlowTimeout = netsim.Seconds(5)
+				proxies = append(proxies, proxy)
+			}
+			// The attacker now hits a proxy; its trickled requests
+			// never reach the origin.
+			attack.Retarget(proxies[0])
+		})
+	}
+
+	samples := make([]float64, cfg.Duration/netsim.Second)
+	var lastServed uint64
+	served := func() uint64 {
+		s := origin.Served
+		for _, p := range proxies {
+			s += p.Served
+		}
+		return s
+	}
+	for sec := range samples {
+		sec := sec
+		sim.At(netsim.Time(sec+1)*netsim.Second, func() {
+			cur := served()
+			samples[sec] = float64(cur - lastServed)
+			lastServed = cur
+		})
+	}
+
+	// Valid clients: Poisson arrivals hitting whatever DNS currently
+	// resolves to.
+	var schedule func(at netsim.Time)
+	schedule = func(at netsim.Time) {
+		if at >= cfg.Duration {
+			return
+		}
+		sim.At(at, func() {
+			if len(proxies) > 0 {
+				proxies[rng.Intn(len(proxies))].TryRequest()
+			} else {
+				origin.TryRequest()
+			}
+			gap := netsim.Time(rng.ExpFloat64() / cfg.ClientRate * 1e9)
+			schedule(sim.Now() + gap)
+		})
+	}
+	schedule(0)
+	sim.RunUntil(cfg.Duration)
+	return samples
+}
+
+// CDNConfig shapes Fig. 16.
+type CDNConfig struct {
+	Clients int
+	// Caches is the number of In-Net cache replicas (paper: 3).
+	Caches int
+	// Downloads per client of the 1 KB object.
+	Downloads int
+	Seed      int64
+}
+
+// DefaultCDNConfig mirrors Fig. 16: 75 PlanetLab-style clients, 3
+// sandboxed squid caches.
+func DefaultCDNConfig() CDNConfig {
+	return CDNConfig{Clients: 75, Caches: 3, Downloads: 20, Seed: 4}
+}
+
+// CDNResult holds both download-delay samples (ms).
+type CDNResult struct {
+	OriginMS []float64
+	CDNMS    []float64
+}
+
+// CDNScenario runs Fig. 16: every client downloads a 1 KB file from
+// the origin and from its geolocation-resolved nearest cache. A 1 KB
+// response fits one segment, so the delay is handshake + request +
+// response ≈ 2.5 RTT plus server time.
+func CDNScenario(cfg CDNConfig) CDNResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Origin RTTs: log-normal across Europe-to-Italy paths (median
+	// ≈80 ms, long tail).
+	originRTT := make([]netsim.Time, cfg.Clients)
+	for i := range originRTT {
+		originRTT[i] = netsim.Time(80e6 * math.Exp(0.6*rng.NormFloat64()))
+	}
+	// Cache RTTs: each replica is near one client cluster.
+	dns := stock.NewGeoDNS()
+	for c := 0; c < cfg.Caches; c++ {
+		rtts := make([]netsim.Time, cfg.Clients)
+		for i := range rtts {
+			if i%cfg.Caches == c {
+				// Local cluster: tens of ms.
+				rtts[i] = netsim.Time(18e6 + rng.Float64()*25e6)
+			} else {
+				rtts[i] = netsim.Time(90e6 + rng.Float64()*120e6)
+			}
+		}
+		dns.AddReplica(fmt.Sprintf("cache-%d", c), rtts)
+	}
+	res := CDNResult{}
+	serverTime := 4 * netsim.Millisecond
+	for i := 0; i < cfg.Clients; i++ {
+		_, cacheRTT := dns.Resolve(i)
+		for d := 0; d < cfg.Downloads; d++ {
+			jitter := func() float64 { return 1 + 0.08*rng.NormFloat64() }
+			o := 2.5*float64(originRTT[i])*jitter() + float64(serverTime)
+			c := 2.5*float64(cacheRTT)*jitter() + float64(serverTime)
+			res.OriginMS = append(res.OriginMS, o/1e6)
+			res.CDNMS = append(res.CDNMS, c/1e6)
+		}
+	}
+	return res
+}
+
+// Percentile returns the p-th percentile (0-100) of samples.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := p / 100 * float64(len(s)-1)
+	lo := int(idx)
+	if lo >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,168 @@
+package traffic
+
+import (
+	"testing"
+
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/platform"
+)
+
+func TestFig5PingShape(t *testing.T) {
+	cfg := DefaultPingConfig()
+	cfg.Flows = 40 // keep the test quick; shape is identical
+	rtts := PingThroughPlatform(cfg)
+	if len(rtts) != cfg.Flows || len(rtts[0]) != cfg.Probes {
+		t.Fatal("shape")
+	}
+	for f := 0; f < cfg.Flows; f++ {
+		first := rtts[f][0]
+		if first < 15 {
+			t.Errorf("flow %d first rtt = %.1f ms, lacks boot cost", f, first)
+		}
+		for pr := 1; pr < cfg.Probes; pr++ {
+			if rtts[f][pr] <= 0 {
+				t.Fatalf("flow %d probe %d missing", f, pr)
+			}
+			if rtts[f][pr] > 2 {
+				t.Errorf("flow %d probe %d = %.2f ms, warm probe too slow", f, pr, rtts[f][pr])
+			}
+		}
+	}
+	// Boot cost grows with resident VMs: the last flow's first packet
+	// is slower than the first flow's.
+	if rtts[cfg.Flows-1][0] <= rtts[0][0] {
+		t.Errorf("first-packet RTT did not grow: %.1f vs %.1f",
+			rtts[cfg.Flows-1][0], rtts[0][0])
+	}
+}
+
+func TestFig5LinuxOrderOfMagnitudeSlower(t *testing.T) {
+	cfg := DefaultPingConfig()
+	cfg.Flows, cfg.Probes = 10, 2
+	clickos := PingThroughPlatform(cfg)
+	cfg.Kind = platform.LinuxVM
+	cfg.MemMB = 512 * 1024
+	linux := PingThroughPlatform(cfg)
+	avg := func(r [][]float64) float64 {
+		var s float64
+		for _, f := range r {
+			s += f[0]
+		}
+		return s / float64(len(r))
+	}
+	a, b := avg(clickos), avg(linux)
+	if b < 8*a {
+		t.Errorf("linux first-packet %.1f ms vs clickos %.1f ms: want ~order of magnitude (paper: 700 vs 50)", b, a)
+	}
+	if b < 500 || b > 1200 {
+		t.Errorf("linux first-packet = %.1f ms, paper ≈700 ms", b)
+	}
+}
+
+func TestFig6HTTPShape(t *testing.T) {
+	cfg := DefaultHTTPConfig()
+	cfg.Clients = 30
+	res := HTTPThroughPlatform(cfg)
+	if len(res) != cfg.Clients {
+		t.Fatal("results")
+	}
+	for _, r := range res {
+		if r.ConnectMS < 15 || r.ConnectMS > 400 {
+			t.Errorf("flow %d connect = %.1f ms, outside Fig. 6's band", r.Flow, r.ConnectMS)
+		}
+		// 50 MB at 25 Mb/s ≈ 16.8 s.
+		if r.TransferS < 16 || r.TransferS > 18.5 {
+			t.Errorf("flow %d transfer = %.1f s, want ≈16.8 s", r.Flow, r.TransferS)
+		}
+	}
+	// Connection time grows with flow id (more resident VMs).
+	if res[cfg.Clients-1].ConnectMS <= res[0].ConnectMS {
+		t.Error("connection time did not grow with resident VMs")
+	}
+}
+
+func TestFig15SlowlorisDefense(t *testing.T) {
+	single := SlowlorisScenario(DefaultSlowlorisConfig(false))
+	defended := SlowlorisScenario(DefaultSlowlorisConfig(true))
+	window := func(s []float64, fromSec, toSec int) float64 {
+		var sum float64
+		for i := fromSec; i < toSec; i++ {
+			sum += s[i]
+		}
+		return sum / float64(toSec-fromSec)
+	}
+	preAttack := window(single, 60, 170)
+	underAttackSingle := window(single, 400, 600)
+	underAttackDefended := window(defended, 400, 600)
+	postAttack := window(single, 750, 890)
+	if preAttack < 250 {
+		t.Errorf("baseline rate = %.0f req/s, want ≈300", preAttack)
+	}
+	if underAttackSingle > preAttack/3 {
+		t.Errorf("single server under attack = %.0f req/s, attack ineffective", underAttackSingle)
+	}
+	if underAttackDefended < preAttack*0.7 {
+		t.Errorf("defended rate = %.0f req/s vs baseline %.0f: defense ineffective", underAttackDefended, preAttack)
+	}
+	if postAttack < preAttack*0.7 {
+		t.Errorf("post-attack recovery = %.0f req/s", postAttack)
+	}
+}
+
+func TestFig16CDNShape(t *testing.T) {
+	res := CDNScenario(DefaultCDNConfig())
+	if len(res.OriginMS) != len(res.CDNMS) || len(res.OriginMS) == 0 {
+		t.Fatal("samples")
+	}
+	medO := Percentile(res.OriginMS, 50)
+	medC := Percentile(res.CDNMS, 50)
+	p90O := Percentile(res.OriginMS, 90)
+	p90C := Percentile(res.CDNMS, 90)
+	// Paper: "the median download time is halved, and the 90th
+	// percentile is four times lower."
+	if r := medO / medC; r < 1.5 || r > 3.5 {
+		t.Errorf("median ratio = %.2f (origin %.0f ms, cdn %.0f ms), want ≈2", r, medO, medC)
+	}
+	if r := p90O / p90C; r < 2.5 || r > 6.5 {
+		t.Errorf("p90 ratio = %.2f (origin %.0f ms, cdn %.0f ms), want ≈4", r, p90O, p90C)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if Percentile(s, 0) != 1 || Percentile(s, 100) != 5 || Percentile(s, 50) != 3 {
+		t.Error("percentile basics")
+	}
+	if got := Percentile(s, 75); got != 4 {
+		t.Errorf("p75 = %f", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	// Input must not be mutated.
+	u := []float64{3, 1, 2}
+	Percentile(u, 50)
+	if u[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestDeterministicScenarios(t *testing.T) {
+	a := SlowlorisScenario(DefaultSlowlorisConfig(true))
+	b := SlowlorisScenario(DefaultSlowlorisConfig(true))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("slowloris nondeterministic")
+		}
+	}
+	c1 := CDNScenario(DefaultCDNConfig())
+	c2 := CDNScenario(DefaultCDNConfig())
+	for i := range c1.CDNMS {
+		if c1.CDNMS[i] != c2.CDNMS[i] {
+			t.Fatal("cdn nondeterministic")
+		}
+	}
+}
+
+var _ = netsim.Second // keep import if cases change

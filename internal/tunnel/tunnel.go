@@ -1,0 +1,224 @@
+// Package tunnel simulates running SCTP over UDP and over TCP
+// tunnels across a lossy wide-area link (paper Fig. 14: 100 Mb/s,
+// 20 ms RTT, 0-5 % random loss). Over UDP the SCTP congestion loop
+// sees the raw loss and behaves like a single AIMD flow. Over TCP the
+// tunnel hides losses but adds head-of-line-blocking stalls and its
+// own window halvings; the stacked control loops interact badly —
+// stalls trigger spurious SCTP timeouts that collapse the upper
+// window — which is why the paper measures 2-5x less throughput at
+// 1-5 % loss.
+package tunnel
+
+import (
+	"math/rand"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+// Params configures one emulated transfer.
+type Params struct {
+	// LinkBps is the bottleneck rate (paper: 100 Mb/s).
+	LinkBps float64
+	// RTT is the round-trip time (paper: 20 ms).
+	RTT netsim.Time
+	// Loss is the random loss probability per packet.
+	Loss float64
+	// Duration is the emulated transfer length.
+	Duration netsim.Time
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultParams returns the paper's link setup.
+func DefaultParams() Params {
+	return Params{
+		LinkBps:  100e6,
+		RTT:      netsim.Millis(20),
+		Loss:     0,
+		Duration: netsim.Seconds(60),
+		Seed:     1,
+	}
+}
+
+const mss = 1460 // bytes per segment
+
+// bdpSegments returns the link's bandwidth-delay product in segments.
+func (p Params) bdpSegments() float64 {
+	return p.LinkBps * float64(p.RTT) / 1e9 / 8 / mss
+}
+
+// SCTPOverUDP returns the achieved goodput in Mb/s when the SCTP
+// association runs over a UDP tunnel: its AIMD loop sees the link's
+// raw random loss.
+func SCTPOverUDP(p Params) float64 {
+	rng := rand.New(rand.NewSource(p.Seed))
+	rounds := int(p.Duration / p.RTT)
+	bdp := p.bdpSegments()
+	maxW := bdp * 2 // window may fill one BDP of router buffer
+	cwnd := 10.0
+	ssthresh := maxW
+	var delivered float64
+	for r := 0; r < rounds; r++ {
+		w := int(cwnd)
+		if w < 1 {
+			w = 1
+		}
+		lost := false
+		good := 0.0
+		for i := 0; i < w; i++ {
+			if p.Loss > 0 && rng.Float64() < p.Loss {
+				lost = true
+			} else {
+				good++
+			}
+		}
+		// The wire drains at most one BDP per RTT; a window beyond
+		// that sits in the router queue.
+		delivered += min(good, bdp)
+		if lost {
+			// Fast retransmit: halve once per round.
+			ssthresh = cwnd / 2
+			if ssthresh < 2 {
+				ssthresh = 2
+			}
+			cwnd = ssthresh
+		} else if cwnd < ssthresh {
+			cwnd *= 2 // slow start
+			if cwnd > ssthresh {
+				cwnd = ssthresh
+			}
+		} else {
+			cwnd++ // congestion avoidance
+		}
+		if cwnd > maxW {
+			cwnd = maxW
+		}
+	}
+	seconds := float64(p.Duration) / 1e9
+	return delivered * mss * 8 / seconds / 1e6
+}
+
+// SCTPOverTCP returns the achieved goodput in Mb/s when the SCTP
+// association runs inside a TCP tunnel. The TCP loop absorbs the raw
+// loss (halving its window and stalling delivery for in-order
+// recovery); the SCTP loop above sees a loss-free but stall-prone
+// pipe and resets its window on long stalls (spurious timeouts).
+func SCTPOverTCP(p Params) float64 {
+	rng := rand.New(rand.NewSource(p.Seed))
+	bdp := p.bdpSegments()
+	maxW := bdp * 2
+
+	// Lower (tunnel) TCP state.
+	tcpW := 10.0
+	tcpSS := maxW
+	// Upper SCTP state.
+	sctpW := 10.0
+	sctpSS := maxW
+
+	// SCTP's retransmission timeout: stalls at least this long look
+	// like loss to the upper loop (implementations floor the RTO near
+	// 200 ms), triggering a spurious timeout.
+	sctpRTO := netsim.Millis(200)
+	tcpRTOStall := netsim.Millis(250) // tunnel timeout recovery stall
+	frStall := 2 * p.RTT              // fast-retransmit HoL stall
+
+	var delivered float64
+	now := netsim.Time(0)
+	for now < p.Duration {
+		// One RTT round: the pipe carries min of the two windows —
+		// SCTP cannot push more than its window, the tunnel cannot
+		// drain more than its own — capped by the wire.
+		w := int(min(tcpW, sctpW))
+		if w < 1 {
+			w = 1
+		}
+		lost := false
+		for i := 0; i < w; i++ {
+			if p.Loss > 0 && rng.Float64() < p.Loss {
+				lost = true
+			}
+		}
+		// The tunnel retransmits internally: all segments eventually
+		// arrive, but a loss round stalls in-order delivery.
+		delivered += min(float64(w), bdp)
+		now += p.RTT
+		if !lost {
+			tcpW = grow(tcpW, tcpSS, maxW)
+			sctpW = grow(sctpW, sctpSS, maxW)
+			continue
+		}
+		// Tunnel reacts.
+		tcpSS = tcpW / 2
+		if tcpSS < 2 {
+			tcpSS = 2
+		}
+		tcpW = tcpSS
+		// Head-of-line stall: fast retransmit most of the time,
+		// occasionally a full tunnel timeout.
+		stall := frStall
+		if rng.Float64() < 0.3 {
+			stall = tcpRTOStall
+		}
+		now += stall
+		// The upper loop interprets long stalls as loss: a spurious
+		// timeout collapses its window to 1, re-enters slow start,
+		// and needlessly retransmits in-flight data that the tunnel
+		// will (again) deliver reliably — the pathological stacked-
+		// control-loop interaction.
+		if stall >= sctpRTO {
+			duplicated := min(sctpW, bdp)
+			delivered -= min(duplicated, delivered)
+			sctpW = 1
+			sctpSS = maxW / 2
+		} else {
+			// Delayed SACKs shrink the upper window too.
+			sctpSS = sctpW / 2
+			if sctpSS < 2 {
+				sctpSS = 2
+			}
+			sctpW = sctpSS
+		}
+	}
+	seconds := float64(p.Duration) / 1e9
+	return delivered * mss * 8 / seconds / 1e6
+}
+
+func grow(w, ss, maxW float64) float64 {
+	if w < ss {
+		w *= 2
+		if w > ss {
+			w = ss
+		}
+	} else {
+		w++
+	}
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Sweep runs both tunnels across the paper's loss range and returns
+// (lossPct, udpMbps, tcpMbps) rows — the series of Fig. 14.
+func Sweep(base Params, lossesPct []float64, trials int) [][3]float64 {
+	var rows [][3]float64
+	for _, lp := range lossesPct {
+		var udpSum, tcpSum float64
+		for tr := 0; tr < trials; tr++ {
+			p := base
+			p.Loss = lp / 100
+			p.Seed = base.Seed + int64(tr)*7919
+			udpSum += SCTPOverUDP(p)
+			tcpSum += SCTPOverTCP(p)
+		}
+		rows = append(rows, [3]float64{lp, udpSum / float64(trials), tcpSum / float64(trials)})
+	}
+	return rows
+}

@@ -1,0 +1,99 @@
+package tunnel
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+func TestNoLossBothNearLineRate(t *testing.T) {
+	p := DefaultParams()
+	udp := SCTPOverUDP(p)
+	tcp := SCTPOverTCP(p)
+	if udp < 85 || udp > 101 {
+		t.Errorf("udp @0%% = %.1f Mb/s", udp)
+	}
+	if tcp < 85 || tcp > 101 {
+		t.Errorf("tcp @0%% = %.1f Mb/s", tcp)
+	}
+}
+
+func TestLossDegradesThroughput(t *testing.T) {
+	p := DefaultParams()
+	var prevUDP, prevTCP float64 = 1e9, 1e9
+	for _, loss := range []float64{0.5, 1, 2, 5} {
+		p.Loss = loss / 100
+		udp := avg(func(seed int64) float64 { q := p; q.Seed = seed; return SCTPOverUDP(q) })
+		tcp := avg(func(seed int64) float64 { q := p; q.Seed = seed; return SCTPOverTCP(q) })
+		if udp >= prevUDP*1.05 {
+			t.Errorf("udp not decreasing at %.1f%%: %.1f >= %.1f", loss, udp, prevUDP)
+		}
+		if tcp >= prevTCP*1.05 {
+			t.Errorf("tcp not decreasing at %.1f%%: %.1f >= %.1f", loss, tcp, prevTCP)
+		}
+		prevUDP, prevTCP = udp, tcp
+	}
+}
+
+func TestTCPTunnelTwoToFiveTimesWorse(t *testing.T) {
+	// The paper's claim: "when loss rate varies from 1% to 5%,
+	// running SCTP over a TCP tunnel gives two to five times less
+	// throughput compared to running SCTP over a UDP tunnel."
+	p := DefaultParams()
+	for _, loss := range []float64{1, 2, 3, 4, 5} {
+		p.Loss = loss / 100
+		udp := avg(func(seed int64) float64 { q := p; q.Seed = seed; return SCTPOverUDP(q) })
+		tcp := avg(func(seed int64) float64 { q := p; q.Seed = seed; return SCTPOverTCP(q) })
+		ratio := udp / tcp
+		if ratio < 1.8 || ratio > 6.5 {
+			t.Errorf("loss %.0f%%: udp %.2f tcp %.2f ratio %.2f, want roughly 2-5x", loss, udp, tcp, ratio)
+		}
+	}
+}
+
+func avg(f func(seed int64) float64) float64 {
+	const n = 8
+	var s float64
+	for i := int64(0); i < n; i++ {
+		s += f(100 + i*7919)
+	}
+	return s / n
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := DefaultParams()
+	p.Loss = 0.02
+	if SCTPOverUDP(p) != SCTPOverUDP(p) {
+		t.Error("udp nondeterministic")
+	}
+	if SCTPOverTCP(p) != SCTPOverTCP(p) {
+		t.Error("tcp nondeterministic")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rows := Sweep(DefaultParams(), []float64{0, 1, 5}, 4)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != 0 || rows[2][0] != 5 {
+		t.Error("loss column")
+	}
+	// At zero loss both are close; at 5% UDP clearly wins.
+	if rows[0][1] < rows[0][2]*0.8 {
+		t.Error("zero-loss rows should be comparable")
+	}
+	if rows[2][1] < rows[2][2]*1.5 {
+		t.Errorf("5%% loss: udp %.1f tcp %.1f", rows[2][1], rows[2][2])
+	}
+}
+
+func TestShorterRTTHigherThroughputUnderLoss(t *testing.T) {
+	p := DefaultParams()
+	p.Loss = 0.01
+	short := p
+	short.RTT = netsim.Millis(10)
+	if SCTPOverUDP(short) <= SCTPOverUDP(p)*0.9 {
+		t.Error("shorter RTT should not reduce AIMD throughput")
+	}
+}

@@ -1,0 +1,88 @@
+package vswitch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+// TestProcessMatchesNaiveScanQuick checks, with random rule tables
+// and random packets, that the switch's (cached) decision always
+// equals a naive highest-priority-first scan — i.e. the flow cache
+// never changes semantics.
+func TestProcessMatchesNaiveScanQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		_ = seed
+		s := New()
+		var rules []*Rule
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			m := Match{}
+			if rng.Intn(2) == 0 {
+				m.DstIP = uint32(1 + rng.Intn(4))
+			}
+			if rng.Intn(2) == 0 {
+				m.Proto = packet.ProtoUDP
+			}
+			if rng.Intn(2) == 0 {
+				m.DstPort = uint16(1 + rng.Intn(3))
+			}
+			r := s.Install(Rule{
+				Priority: rng.Intn(3),
+				Match:    m,
+				Action:   ActOutput,
+				Port:     i,
+			})
+			rules = append(rules, r)
+		}
+		// Naive reference: priority desc, specificity desc, stable.
+		naive := func(p *packet.Packet) int {
+			best := -1
+			bestPrio, bestSpec := -1, -1
+			for idx, r := range rules {
+				if !r.Match.Covers(p) {
+					continue
+				}
+				spec := r.Match.specificity()
+				if r.Priority > bestPrio ||
+					(r.Priority == bestPrio && spec > bestSpec) {
+					best, bestPrio, bestSpec = idx, r.Priority, spec
+					_ = idx
+				}
+			}
+			if best < 0 {
+				return -1
+			}
+			return rules[best].Port
+		}
+		for trial := 0; trial < 40; trial++ {
+			p := &packet.Packet{
+				Protocol: []packet.Proto{packet.ProtoUDP, packet.ProtoTCP}[rng.Intn(2)],
+				SrcIP:    rng.Uint32(),
+				DstIP:    uint32(1 + rng.Intn(5)),
+				DstPort:  uint16(rng.Intn(5)),
+				SrcPort:  uint16(rng.Intn(65536)),
+				TTL:      64,
+			}
+			got := -1
+			s.Output = func(port int, pk *packet.Packet) { got = port }
+			got = -1
+			s.Process(p)
+			// Process twice: the second hit uses the flow cache.
+			got2 := -1
+			s.Output = func(port int, pk *packet.Packet) { got2 = port }
+			s.Process(p)
+			want := naive(p)
+			if got != want || got2 != want {
+				t.Logf("rules=%d pkt=%v got=%d cached=%d want=%d", len(rules), p, got, got2, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package vswitch implements the platform's back-end software switch
+// (paper §4.3/§5): an OpenFlow-style rule table the controller
+// programs so that traffic for a module's address/protocol/port
+// reaches its processing module, plus the switch controller that
+// detects new flows (a TCP SYN or a first UDP packet) — the trigger
+// for on-the-fly VM instantiation.
+package vswitch
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+// ActionKind says what to do with a matching packet.
+type ActionKind int
+
+// Actions.
+const (
+	// ActDrop discards the packet.
+	ActDrop ActionKind = iota
+	// ActToModule hands the packet to the platform datapath for the
+	// rule's module address.
+	ActToModule
+	// ActOutput forwards through a switch port (pass-through).
+	ActOutput
+)
+
+func (a ActionKind) String() string {
+	switch a {
+	case ActDrop:
+		return "drop"
+	case ActToModule:
+		return "to-module"
+	case ActOutput:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// Match is a wildcard-capable OpenFlow-style match. Zero fields are
+// wildcards (Proto: 0 is an invalid IP protocol in practice, so it
+// serves as the wildcard).
+type Match struct {
+	DstIP   uint32
+	Proto   packet.Proto
+	DstPort uint16
+}
+
+// Covers reports whether the match accepts a packet.
+func (m Match) Covers(p *packet.Packet) bool {
+	if m.DstIP != 0 && p.DstIP != m.DstIP {
+		return false
+	}
+	if m.Proto != 0 && p.Protocol != m.Proto {
+		return false
+	}
+	if m.DstPort != 0 && p.DstPort != m.DstPort {
+		return false
+	}
+	return true
+}
+
+// specificity orders overlapping rules (more fields = higher).
+func (m Match) specificity() int {
+	n := 0
+	if m.DstIP != 0 {
+		n++
+	}
+	if m.Proto != 0 {
+		n++
+	}
+	if m.DstPort != 0 {
+		n++
+	}
+	return n
+}
+
+// Rule is one flow-table entry.
+type Rule struct {
+	Priority int
+	Match    Match
+	Action   ActionKind
+	// Module is the module address for ActToModule.
+	Module uint32
+	// Port is the output port for ActOutput.
+	Port int
+	// Hits counts matched packets.
+	Hits uint64
+}
+
+// Switch is the software switch.
+type Switch struct {
+	rules []*Rule
+	// flowCache memoizes per-five-tuple decisions, cleared whenever
+	// the rule table changes.
+	flowCache map[packet.FiveTuple]*Rule
+	seen      map[packet.FiveTuple]bool
+
+	// OnNewFlow, if set, fires for each new flow (first UDP packet or
+	// TCP SYN) before the action applies — the §5 switch controller
+	// hook.
+	OnNewFlow func(p *packet.Packet)
+	// ToModule delivers ActToModule packets (the platform datapath).
+	ToModule func(module uint32, p *packet.Packet)
+	// Output delivers ActOutput packets.
+	Output func(port int, p *packet.Packet)
+
+	// Misses counts packets matching no rule (dropped).
+	Misses uint64
+	// NewFlows counts detected flow starts.
+	NewFlows uint64
+}
+
+// New returns an empty switch.
+func New() *Switch {
+	return &Switch{
+		flowCache: make(map[packet.FiveTuple]*Rule),
+		seen:      make(map[packet.FiveTuple]bool),
+	}
+}
+
+// Install adds a rule and reorders the table (priority desc, then
+// specificity desc).
+func (s *Switch) Install(r Rule) *Rule {
+	rule := &r
+	s.rules = append(s.rules, rule)
+	sort.SliceStable(s.rules, func(i, j int) bool {
+		if s.rules[i].Priority != s.rules[j].Priority {
+			return s.rules[i].Priority > s.rules[j].Priority
+		}
+		return s.rules[i].Match.specificity() > s.rules[j].Match.specificity()
+	})
+	s.flowCache = make(map[packet.FiveTuple]*Rule)
+	return rule
+}
+
+// Remove deletes a rule.
+func (s *Switch) Remove(rule *Rule) error {
+	for i, r := range s.rules {
+		if r == rule {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+			s.flowCache = make(map[packet.FiveTuple]*Rule)
+			return nil
+		}
+	}
+	return fmt.Errorf("vswitch: rule not installed")
+}
+
+// Rules returns the current table size.
+func (s *Switch) Rules() int { return len(s.rules) }
+
+// Process runs one packet through the table.
+func (s *Switch) Process(p *packet.Packet) {
+	t := p.Tuple()
+	if !s.seen[t] {
+		isNew := p.Protocol == packet.ProtoUDP ||
+			(p.Protocol == packet.ProtoTCP && p.TCPFlags&packet.TCPSyn != 0 && p.TCPFlags&packet.TCPAck == 0) ||
+			p.Protocol == packet.ProtoICMP
+		if isNew {
+			s.seen[t] = true
+			s.NewFlows++
+			if s.OnNewFlow != nil {
+				s.OnNewFlow(p)
+			}
+		}
+	}
+	rule := s.flowCache[t]
+	if rule == nil {
+		for _, r := range s.rules {
+			if r.Match.Covers(p) {
+				rule = r
+				break
+			}
+		}
+		if rule == nil {
+			s.Misses++
+			return
+		}
+		s.flowCache[t] = rule
+	}
+	rule.Hits++
+	switch rule.Action {
+	case ActDrop:
+	case ActToModule:
+		if s.ToModule != nil {
+			s.ToModule(rule.Module, p)
+		}
+	case ActOutput:
+		if s.Output != nil {
+			s.Output(rule.Port, p)
+		}
+	}
+}
+
+// ExpireFlow forgets a five-tuple (connection teardown), so a later
+// packet counts as a new flow again.
+func (s *Switch) ExpireFlow(t packet.FiveTuple) {
+	delete(s.seen, t)
+	delete(s.flowCache, t)
+}

@@ -1,0 +1,196 @@
+package vswitch
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+func tcpSyn(dst string, dport uint16) *packet.Packet {
+	return &packet.Packet{
+		Protocol: packet.ProtoTCP,
+		SrcIP:    packet.MustParseIP("8.8.8.8"),
+		DstIP:    packet.MustParseIP(dst),
+		SrcPort:  1234, DstPort: dport,
+		TCPFlags: packet.TCPSyn, TTL: 64,
+	}
+}
+
+func udpPkt(dst string, dport uint16) *packet.Packet {
+	return &packet.Packet{
+		Protocol: packet.ProtoUDP,
+		SrcIP:    packet.MustParseIP("8.8.8.8"),
+		DstIP:    packet.MustParseIP(dst),
+		SrcPort:  1234, DstPort: dport, TTL: 64,
+	}
+}
+
+func TestRuleMatchingAndActions(t *testing.T) {
+	s := New()
+	var toModule []uint32
+	var output []int
+	s.ToModule = func(m uint32, p *packet.Packet) { toModule = append(toModule, m) }
+	s.Output = func(port int, p *packet.Packet) { output = append(output, port) }
+
+	mod := packet.MustParseIP("198.51.100.10")
+	s.Install(Rule{Priority: 10, Match: Match{DstIP: mod}, Action: ActToModule, Module: mod})
+	s.Install(Rule{Priority: 0, Match: Match{}, Action: ActOutput, Port: 1})
+
+	s.Process(udpPkt("198.51.100.10", 1500))
+	s.Process(udpPkt("9.9.9.9", 80))
+	if len(toModule) != 1 || toModule[0] != mod {
+		t.Errorf("toModule = %v", toModule)
+	}
+	if len(output) != 1 || output[0] != 1 {
+		t.Errorf("output = %v", output)
+	}
+}
+
+func TestPrioritiesAndSpecificity(t *testing.T) {
+	s := New()
+	var got []string
+	s.Output = func(port int, p *packet.Packet) {
+		got = append(got, map[int]string{1: "specific", 2: "general"}[port])
+	}
+	mod := packet.MustParseIP("198.51.100.10")
+	// Same priority: the more specific match (ip+proto+port) wins.
+	s.Install(Rule{Priority: 5, Match: Match{DstIP: mod}, Action: ActOutput, Port: 2})
+	s.Install(Rule{Priority: 5, Match: Match{DstIP: mod, Proto: packet.ProtoUDP, DstPort: 1500}, Action: ActOutput, Port: 1})
+	s.Process(udpPkt("198.51.100.10", 1500))
+	s.Process(udpPkt("198.51.100.10", 99))
+	if len(got) != 2 || got[0] != "specific" || got[1] != "general" {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestMissCounted(t *testing.T) {
+	s := New()
+	s.Process(udpPkt("1.2.3.4", 5))
+	if s.Misses != 1 {
+		t.Errorf("misses = %d", s.Misses)
+	}
+}
+
+func TestDropAction(t *testing.T) {
+	s := New()
+	fired := false
+	s.Output = func(int, *packet.Packet) { fired = true }
+	s.Install(Rule{Priority: 1, Match: Match{}, Action: ActDrop})
+	s.Process(udpPkt("1.2.3.4", 5))
+	if fired {
+		t.Error("dropped packet was forwarded")
+	}
+}
+
+func TestNewFlowDetection(t *testing.T) {
+	s := New()
+	s.Install(Rule{Match: Match{}, Action: ActDrop})
+	var newFlows []packet.FiveTuple
+	s.OnNewFlow = func(p *packet.Packet) { newFlows = append(newFlows, p.Tuple()) }
+
+	// First UDP packet: new flow; repeats are not.
+	u := udpPkt("1.1.1.1", 53)
+	s.Process(u)
+	s.Process(u)
+	if len(newFlows) != 1 {
+		t.Fatalf("udp new flows = %d", len(newFlows))
+	}
+	// TCP SYN starts a flow; a non-SYN packet of an unknown flow does
+	// not (mid-connection packets must not boot VMs).
+	syn := tcpSyn("2.2.2.2", 80)
+	s.Process(syn)
+	if len(newFlows) != 2 {
+		t.Fatalf("tcp new flows = %d", len(newFlows))
+	}
+	ack := tcpSyn("3.3.3.3", 80)
+	ack.TCPFlags = packet.TCPAck
+	s.Process(ack)
+	if len(newFlows) != 2 {
+		t.Errorf("plain ACK detected as a new flow")
+	}
+	if s.NewFlows != 2 {
+		t.Errorf("NewFlows = %d", s.NewFlows)
+	}
+}
+
+func TestFlowCacheInvalidationOnInstall(t *testing.T) {
+	s := New()
+	var ports []int
+	s.Output = func(port int, p *packet.Packet) { ports = append(ports, port) }
+	s.Install(Rule{Priority: 1, Match: Match{}, Action: ActOutput, Port: 1})
+	p := udpPkt("1.1.1.1", 53)
+	s.Process(p)
+	// A higher-priority rule must take effect for cached flows too.
+	s.Install(Rule{Priority: 9, Match: Match{Proto: packet.ProtoUDP}, Action: ActOutput, Port: 2})
+	s.Process(p)
+	if len(ports) != 2 || ports[0] != 1 || ports[1] != 2 {
+		t.Errorf("ports = %v", ports)
+	}
+}
+
+func TestRemoveRule(t *testing.T) {
+	s := New()
+	r := s.Install(Rule{Match: Match{}, Action: ActDrop})
+	if s.Rules() != 1 {
+		t.Fatal("install")
+	}
+	if err := s.Remove(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rules() != 0 {
+		t.Error("remove")
+	}
+	if err := s.Remove(r); err == nil {
+		t.Error("double remove accepted")
+	}
+	s.Process(udpPkt("1.1.1.1", 5))
+	if s.Misses != 1 {
+		t.Error("removed rule still matches")
+	}
+}
+
+func TestExpireFlow(t *testing.T) {
+	s := New()
+	s.Install(Rule{Match: Match{}, Action: ActDrop})
+	n := 0
+	s.OnNewFlow = func(p *packet.Packet) { n++ }
+	u := udpPkt("1.1.1.1", 53)
+	s.Process(u)
+	s.ExpireFlow(u.Tuple())
+	s.Process(u)
+	if n != 2 {
+		t.Errorf("new flow events = %d", n)
+	}
+}
+
+func TestRuleHits(t *testing.T) {
+	s := New()
+	r := s.Install(Rule{Match: Match{}, Action: ActDrop})
+	for i := 0; i < 3; i++ {
+		s.Process(udpPkt("1.1.1.1", uint16(i)))
+	}
+	if r.Hits != 3 {
+		t.Errorf("hits = %d", r.Hits)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	if ActDrop.String() != "drop" || ActToModule.String() != "to-module" ||
+		ActOutput.String() != "output" || ActionKind(9).String() != "unknown" {
+		t.Error("action strings")
+	}
+}
+
+func BenchmarkProcessCached(b *testing.B) {
+	s := New()
+	mod := packet.MustParseIP("198.51.100.10")
+	s.Install(Rule{Priority: 10, Match: Match{DstIP: mod}, Action: ActToModule, Module: mod})
+	s.ToModule = func(uint32, *packet.Packet) {}
+	p := udpPkt("198.51.100.10", 1500)
+	s.Process(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(p)
+	}
+}
