@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz fmt vet clean golden
+.PHONY: all build test race cover bench experiments examples fuzz fmt vet clean golden chaos
 
 all: build test
 
@@ -44,6 +44,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/flowspec/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/policy/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/topology/
+
+# The seeded chaos suite: fault-injected cluster runs with the full
+# multi-seed sweep (the sweep is skipped under `go test -short`).
+chaos:
+	$(GO) test ./internal/faults/ -run 'TestChaos' -count=1 -v
 
 # Refresh the golden experiment tables after an intentional
 # calibration change.

@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/in-net/innet/internal/api"
 	"github.com/in-net/innet/internal/controller"
@@ -24,6 +26,9 @@ import (
 
 func main() {
 	server := flag.String("s", envOr("INNET_SERVER", "http://127.0.0.1:8640"), "controller base URL")
+	retries := flag.Int("retries", 3, "retry transient errors (5xx gateway, connection refused) this many times")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond,
+		"first retry backoff; doubles per attempt with jitter")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -32,6 +37,8 @@ func main() {
 		os.Exit(2)
 	}
 	client := api.NewClient(*server)
+	client.Retries = *retries
+	client.RetryBase = *retryBase
 	var err error
 	switch args[0] {
 	case "deploy":
@@ -46,6 +53,8 @@ func main() {
 		err = query(client, args[1:])
 	case "inject":
 		err = inject(client, args[1:])
+	case "health":
+		err = health(client)
 	default:
 		fmt.Fprintf(os.Stderr, "innetctl: unknown command %q\n", args[0])
 		usage()
@@ -58,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: innetctl [-s URL] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: innetctl [-s URL] [-retries N] [-retry-base D] <command> [args]
 
 commands:
   deploy -f REQUEST_FILE [-tenant T]
@@ -71,6 +80,7 @@ commands:
   query '<reach statement>'
   inject -dst IP [-src IP] [-proto udp|tcp|icmp] [-sport N] [-dport N]
          [-payload S] [-count N]      (innetd -simulate mode)
+  health
 `)
 }
 
@@ -172,10 +182,39 @@ func list(c *api.Client) error {
 		fmt.Println("no deployments")
 		return nil
 	}
-	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "SANDBOXED")
+	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "STATUS", "SANDBOXED")
 	for _, m := range mods {
-		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %v\n",
-			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Sandboxed)
+		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %v\n",
+			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Status, m.Sandboxed)
+	}
+	return nil
+}
+
+func health(c *api.Client) error {
+	h, err := c.Health()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status: %s\n", h.Status)
+	names := make([]string, 0, len(h.Platforms))
+	for name := range h.Platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		state := "up"
+		if !h.Platforms[name] {
+			state = "DOWN"
+		}
+		fmt.Printf("platform %s: %s\n", name, state)
+	}
+	states := make([]string, 0, len(h.Deployments))
+	for st := range h.Deployments {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Printf("deployments %s: %d\n", st, h.Deployments[st])
 	}
 	return nil
 }

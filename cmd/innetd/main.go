@@ -16,11 +16,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/in-net/innet/internal/api"
 	"github.com/in-net/innet/internal/controller"
@@ -29,6 +34,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:8640", "HTTP listen address")
 		topoName = flag.String("topology", "fig3", "built-in operator topology: fig3 | fig1 | grown:<n>")
@@ -38,6 +47,8 @@ func main() {
 			"sandbox third-party modules whose reply traffic can be connectionless (amplification mitigation, paper §7)")
 		simulate = flag.Bool("simulate", false,
 			"attach an in-process platform emulation; deployments become live and POST /v1/inject drives packets through them")
+		drain = flag.Duration("drain-timeout", 10*time.Second,
+			"how long to let in-flight requests finish on SIGINT/SIGTERM before exiting")
 	)
 	flag.Parse()
 
@@ -46,31 +57,70 @@ func main() {
 	if *topoFile != "" {
 		data, rerr := os.ReadFile(*topoFile)
 		if rerr != nil {
-			log.Fatalf("innetd: %v", rerr)
+			log.Printf("innetd: %v", rerr)
+			return 1
 		}
 		topo, err = topology.Parse(string(data))
 	} else {
 		topo, err = loadTopology(*topoName)
 	}
 	if err != nil {
-		log.Fatalf("innetd: %v", err)
+		log.Printf("innetd: %v", err)
+		return 1
 	}
 	ctl, err := controller.NewWithOptions(topo, *policy, controller.Options{
 		BanConnectionlessReplies: *banUDP,
 	})
 	if err != nil {
-		log.Fatalf("innetd: %v", err)
+		log.Printf("innetd: %v", err)
+		return 1
 	}
 	var sim *api.Simulator
 	if *simulate {
 		sim = api.NewSimulator(topo.Platforms())
 		log.Printf("innetd: simulation mode on; POST /v1/inject to drive packets through deployed modules")
 	}
-	srv := api.NewServerWithSimulator(ctl, sim)
+	handler := api.NewServerWithSimulator(ctl, sim)
 	log.Printf("innetd: topology %q with platforms %v", *topoName, topo.Platforms())
-	log.Printf("innetd: listening on http://%s", *listen)
-	if err := http.ListenAndServe(*listen, srv); err != nil {
-		log.Fatalf("innetd: %v", err)
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Serve in the background; drain gracefully on SIGINT/SIGTERM so
+	// in-flight deployments finish rather than dying mid-placement.
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("innetd: listening on http://%s", *listen)
+		errc <- srv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (port taken, fd limit, ...).
+		log.Printf("innetd: %v", err)
+		return 1
+	case sig := <-sigc:
+		log.Printf("innetd: caught %v, draining (max %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("innetd: drain incomplete: %v", err)
+			return 1
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("innetd: %v", err)
+			return 1
+		}
+		log.Printf("innetd: drained, bye")
+		return 0
 	}
 }
 

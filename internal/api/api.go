@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 )
@@ -44,6 +45,20 @@ type ModuleInfo struct {
 	Platform   string `json:"platform"`
 	Addr       string `json:"addr"`
 	Sandboxed  bool   `json:"sandboxed"`
+	// Status is the deployment lifecycle state: "active",
+	// "degraded", "migrating" or "failed".
+	Status string `json:"status"`
+}
+
+// HealthResponse is the GET /v1/health body.
+type HealthResponse struct {
+	// Status is "ok" when every platform is healthy and every
+	// deployment active, "degraded" otherwise.
+	Status string `json:"status"`
+	// Platforms maps platform name to health.
+	Platforms map[string]bool `json:"platforms"`
+	// Deployments counts deployments by lifecycle state.
+	Deployments map[string]int `json:"deployments"`
 }
 
 // QueryRequest is the POST /v1/query body: reach statements to check
@@ -65,38 +80,119 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// Client talks to an innetd instance.
+// Client talks to an innetd instance. Transient failures — transport
+// errors and 502/503/504 responses — are retried with jittered
+// exponential backoff; controller refusals (4xx) are not.
 type Client struct {
 	// BaseURL is e.g. "http://127.0.0.1:8640".
 	BaseURL string
 	// HTTP is the underlying client (default with 30 s timeout).
 	HTTP *http.Client
+	// Retries is the number of additional attempts after a transient
+	// failure (0 disables retrying).
+	Retries int
+	// RetryBase is the first backoff delay; it doubles per attempt
+	// with ±50% jitter.
+	RetryBase time.Duration
+	// Sleep is stubbed by tests; nil means time.Sleep.
+	Sleep func(time.Duration)
 }
 
 // NewClient builds a client with sane defaults.
 func NewClient(baseURL string) *Client {
 	return &Client{
-		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		BaseURL:   baseURL,
+		HTTP:      &http.Client{Timeout: 30 * time.Second},
+		Retries:   3,
+		RetryBase: 100 * time.Millisecond,
 	}
+}
+
+// retryable reports whether a response status indicates a transient
+// condition worth retrying.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do issues one request, retrying transient failures. body may be nil;
+// it is re-sent verbatim on every attempt.
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := c.RetryBase
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.HTTP.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		case retryable(resp.StatusCode):
+			lastErr = decodeError(resp)
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= c.Retries {
+			plural := "s"
+			if attempt == 0 {
+				plural = ""
+			}
+			return nil, fmt.Errorf("after %d attempt%s: %w", attempt+1, plural, lastErr)
+		}
+		// Jitter the delay by ±50% so retry storms decorrelate.
+		sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+		backoff *= 2
+	}
+}
+
+// call issues a request and decodes the response into out (skipped if
+// out is nil). Responses other than wantStatus become errors.
+func (c *Client) call(method, path string, in any, wantStatus int, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	resp, err := c.do(method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Deploy submits a deployment request.
 func (c *Client) Deploy(req DeployRequest) (*DeployResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/modules", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return nil, decodeError(resp)
-	}
 	var out DeployResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.call(http.MethodPost, "/v1/modules", req, http.StatusCreated, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -104,20 +200,8 @@ func (c *Client) Deploy(req DeployRequest) (*DeployResponse, error) {
 
 // Query checks reachability without deploying.
 func (c *Client) Query(requirements string) (*QueryResponse, error) {
-	body, err := json.Marshal(QueryRequest{Requirements: requirements})
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var out QueryResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.call(http.MethodPost, "/v1/query", QueryRequest{Requirements: requirements}, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -126,20 +210,8 @@ func (c *Client) Query(requirements string) (*QueryResponse, error) {
 // Inject sends test packets through a deployed module (innetd
 // -simulate mode only).
 func (c *Client) Inject(req InjectRequest) (*InjectResponse, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/inject", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var out InjectResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.call(http.MethodPost, "/v1/inject", req, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -147,33 +219,13 @@ func (c *Client) Inject(req InjectRequest) (*InjectResponse, error) {
 
 // Kill stops a deployed module.
 func (c *Client) Kill(id string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/v1/modules/"+id, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return decodeError(resp)
-	}
-	return nil
+	return c.call(http.MethodDelete, "/v1/modules/"+id, nil, http.StatusNoContent, nil)
 }
 
 // List fetches the current deployments.
 func (c *Client) List() ([]ModuleInfo, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/modules")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var out []ModuleInfo
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.call(http.MethodGet, "/v1/modules", nil, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -181,19 +233,21 @@ func (c *Client) List() ([]ModuleInfo, error) {
 
 // Classes fetches the element classes the platform offers.
 func (c *Client) Classes() ([]string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/classes")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var out []string
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.call(http.MethodGet, "/v1/classes", nil, http.StatusOK, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Health fetches controller health: platform liveness and deployment
+// lifecycle counts.
+func (c *Client) Health() (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.call(http.MethodGet, "/v1/health", nil, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 func decodeError(resp *http.Response) error {

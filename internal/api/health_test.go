@@ -1,0 +1,169 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/topology"
+)
+
+func TestHealthEndpoint(t *testing.T) {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(ctl))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if len(h.Platforms) != 3 {
+		t.Errorf("platforms = %v", h.Platforms)
+	}
+	for name, up := range h.Platforms {
+		if !up {
+			t.Errorf("platform %s reported down on a fresh controller", name)
+		}
+	}
+
+	ctl.MarkPlatformDown("Platform1")
+	h, err = c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Platforms["Platform1"] {
+		t.Errorf("after outage: %+v", h)
+	}
+}
+
+func TestModuleInfoCarriesStatus(t *testing.T) {
+	_, c := newTestServer(t)
+	dep, err := c.Deploy(DeployRequest{
+		Tenant: "erin", ModuleName: "dns", Stock: "geo-dns", Trust: "third-party",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 1 || mods[0].Status != "active" {
+		t.Errorf("list = %+v", mods)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Deployments["active"] != 1 {
+		t.Errorf("deployments = %v", h.Deployments)
+	}
+	_ = dep
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","platforms":{},"deployments":{}}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	var slept []time.Duration
+	c.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.RetryBase = 10 * time.Millisecond
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times", len(slept))
+	}
+	// Jittered exponential backoff: attempt n waits in
+	// [base/2, 3*base/2) with base doubling each round.
+	base := 10 * time.Millisecond
+	for i, d := range slept {
+		if d < base/2 || d >= base+base/2 {
+			t.Errorf("sleep %d = %v outside [%v, %v)", i, d, base/2, base+base/2)
+		}
+		base *= 2
+	}
+}
+
+func TestClientRetriesExhaust(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.Retries = 2
+	c.Sleep = func(time.Duration) {}
+	if _, err := c.Health(); err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryRejections(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"no"}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.Sleep = func(time.Duration) { t.Error("slept on a non-retryable status") }
+	if _, err := c.Deploy(DeployRequest{}); err == nil {
+		t.Fatal("422 reported success")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d; controller refusals must not be retried", calls.Load())
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A connection-refused address: transport errors retry too.
+	c := NewClient("http://127.0.0.1:1")
+	c.Retries = 2
+	n := 0
+	c.Sleep = func(time.Duration) { n++ }
+	if _, err := c.Health(); err == nil {
+		t.Fatal("dead endpoint reported success")
+	}
+	if n != 2 {
+		t.Errorf("slept %d times, want 2", n)
+	}
+}

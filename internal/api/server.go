@@ -35,6 +35,7 @@ func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server 
 	s.mux.HandleFunc("/v1/classes", s.classes)
 	s.mux.HandleFunc("/v1/query", s.query)
 	s.mux.HandleFunc("/v1/inject", s.inject)
+	s.mux.HandleFunc("/v1/health", s.health)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -51,14 +52,7 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		var out []ModuleInfo
 		for _, d := range s.ctl.Deployments() {
-			out = append(out, ModuleInfo{
-				ID:         d.ID,
-				Tenant:     d.Tenant,
-				ModuleName: d.ModuleName,
-				Platform:   d.Platform,
-				Addr:       packet.IPString(d.Addr),
-				Sandboxed:  d.Sandboxed,
-			})
+			out = append(out, moduleInfo(d))
 		}
 		if out == nil {
 			out = []ModuleInfo{}
@@ -136,17 +130,47 @@ func (s *Server) moduleByID(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("no deployment %q", id))
 			return
 		}
-		writeJSON(w, http.StatusOK, ModuleInfo{
-			ID:         d.ID,
-			Tenant:     d.Tenant,
-			ModuleName: d.ModuleName,
-			Platform:   d.Platform,
-			Addr:       packet.IPString(d.Addr),
-			Sandboxed:  d.Sandboxed,
-		})
+		writeJSON(w, http.StatusOK, moduleInfo(d))
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+func moduleInfo(d *controller.Deployment) ModuleInfo {
+	return ModuleInfo{
+		ID:         d.ID,
+		Tenant:     d.Tenant,
+		ModuleName: d.ModuleName,
+		Platform:   d.Platform,
+		Addr:       packet.IPString(d.Addr),
+		Sandboxed:  d.Sandboxed,
+		Status:     d.Status().String(),
+	}
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	resp := HealthResponse{
+		Status:      "ok",
+		Platforms:   s.ctl.PlatformHealth(),
+		Deployments: map[string]int{},
+	}
+	for _, up := range resp.Platforms {
+		if !up {
+			resp.Status = "degraded"
+		}
+	}
+	for _, d := range s.ctl.Deployments() {
+		st := d.Status()
+		resp.Deployments[st.String()]++
+		if st != controller.StatusActive {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) classes(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/in-net/innet/internal/click"
@@ -95,6 +96,40 @@ type Timings struct {
 	Check time.Duration
 }
 
+// DeploymentStatus is a deployment's lifecycle state (§4.3: the
+// operator "must handle failures" of platforms and modules).
+type DeploymentStatus int32
+
+// Deployment lifecycle states.
+const (
+	// StatusActive: placed, verified, serving.
+	StatusActive DeploymentStatus = iota
+	// StatusDegraded: the hosting platform is down; traffic is being
+	// dropped or buffered while the controller arranges failover.
+	StatusDegraded
+	// StatusMigrating: failover in progress — the module is being
+	// re-verified and re-placed on an alternate platform.
+	StatusMigrating
+	// StatusFailed: no alternate platform passed the policy and
+	// security checks; the module is out of service.
+	StatusFailed
+)
+
+func (s DeploymentStatus) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusDegraded:
+		return "degraded"
+	case StatusMigrating:
+		return "migrating"
+	case StatusFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
 // Deployment is a successfully placed processing module.
 type Deployment struct {
 	ID         string
@@ -112,8 +147,23 @@ type Deployment struct {
 	// Timings is the handling-latency breakdown.
 	Timings Timings
 
+	// status is atomic so HTTP handlers may read it while a failover
+	// mutates it. All other fields are immutable after placement:
+	// failover replaces the map entry with a fresh Deployment under
+	// the same ID rather than mutating this one.
+	status atomic.Int32
+	// req is the original request, retained so failover can re-run
+	// the full verification pipeline on an alternate platform.
+	req    Request
 	module topology.HostedModule
 }
+
+// Status returns the deployment's lifecycle state.
+func (d *Deployment) Status() DeploymentStatus {
+	return DeploymentStatus(d.status.Load())
+}
+
+func (d *Deployment) setStatus(s DeploymentStatus) { d.status.Store(int32(s)) }
 
 // statefulClasses lists element classes that hold cross-packet state:
 // the platform must not consolidate such modules and uses
@@ -172,10 +222,16 @@ type Controller struct {
 	operatorPolicy []*policy.Requirement
 	deployments    map[string]*Deployment
 	nextID         int
+	// platformDown tracks platform health; down platforms are skipped
+	// by placement and trigger failover of their modules.
+	platformDown map[string]bool
 
 	// Placed, Rejections count controller decisions.
 	Placed     int
 	Rejections int
+	// Migrations and FailedMigrations count failover outcomes.
+	Migrations       int
+	FailedMigrations int
 }
 
 // New builds a controller for the given operator topology and policy
@@ -187,9 +243,10 @@ func New(topo *topology.Topology, operatorPolicy string) (*Controller, error) {
 // NewWithOptions builds a controller with operator policy knobs.
 func NewWithOptions(topo *topology.Topology, operatorPolicy string, opts Options) (*Controller, error) {
 	c := &Controller{
-		opts:        opts,
-		topo:        topo,
-		deployments: make(map[string]*Deployment),
+		opts:         opts,
+		topo:         topo,
+		deployments:  make(map[string]*Deployment),
+		platformDown: make(map[string]bool),
 	}
 	if strings.TrimSpace(operatorPolicy) != "" {
 		reqs, err := policy.ParseAll(operatorPolicy)
@@ -238,6 +295,21 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 			return nil, &RejectionError{Reason: fmt.Sprintf("module %q already deployed", req.ModuleName)}
 		}
 	}
+	dep, err := c.placeLocked(req)
+	if err != nil {
+		c.Rejections++
+		return nil, err
+	}
+	c.deployments[dep.ID] = dep
+	c.Placed++
+	return dep, nil
+}
+
+// placeLocked runs the full verification-and-placement pipeline for a
+// request over every healthy platform, returning the placement
+// without inserting it into the deployment set. It is the shared core
+// of Deploy and Failover.
+func (c *Controller) placeLocked(req Request) (*Deployment, error) {
 	src, isVM, err := resolveConfig(req)
 	if err != nil {
 		return nil, err
@@ -264,19 +336,20 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 	// processing, checking all operator and client requirements").
 	var lastReason string
 	for _, pl := range c.topo.Platforms() {
+		if c.platformDown[pl] {
+			lastReason = fmt.Sprintf("platform %s is down", pl)
+			continue
+		}
 		dep, reason, err := c.tryPlatform(req, src, isVM, whitelist, reqs, pl, &timings)
 		if err != nil {
 			return nil, err
 		}
 		if dep != nil {
 			dep.Timings = timings
-			c.deployments[dep.ID] = dep
-			c.Placed++
 			return dep, nil
 		}
 		lastReason = reason
 	}
-	c.Rejections++
 	if lastReason == "" {
 		lastReason = "no platform available"
 	}
@@ -394,9 +467,130 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		Sandboxed:  sandboxed || isVM,
 		Security:   rep,
 		Config:     deploySrc,
+		req:        req,
 		module:     hosted,
 	}
 	return dep, "", nil
+}
+
+// MarkPlatformDown records a platform outage: placement skips the
+// platform and every deployment hosted there turns Degraded. The
+// affected deployments are returned (sorted by ID); call Failover to
+// migrate them.
+func (c *Controller) MarkPlatformDown(name string) []*Deployment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.platformDown[name] = true
+	var affected []*Deployment
+	for _, d := range c.deployments {
+		if d.Platform == name && d.Status() == StatusActive {
+			d.setStatus(StatusDegraded)
+			affected = append(affected, d)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].ID < affected[j].ID })
+	return affected
+}
+
+// MarkPlatformUp records a platform recovery: deployments still on it
+// (not migrated away) return to Active.
+func (c *Controller) MarkPlatformUp(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.platformDown, name)
+	for _, d := range c.deployments {
+		if d.Platform == name && d.Status() == StatusDegraded {
+			d.setStatus(StatusActive)
+		}
+	}
+}
+
+// PlatformHealth reports up/down per topology platform.
+func (c *Controller) PlatformHealth() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool)
+	for _, pl := range c.topo.Platforms() {
+		out[pl] = !c.platformDown[pl]
+	}
+	return out
+}
+
+// Migration records one failover: From is the stale placement on the
+// dead platform, To the verified replacement (same ID, new platform
+// and address).
+type Migration struct {
+	From, To *Deployment
+}
+
+// Failover migrates every degraded deployment off a dead platform.
+// Each module is re-placed through the full pipeline — operator
+// policy, client requirements and the security rules are re-verified
+// on the alternate platform, so failover cannot place a module the
+// static checks would have refused (§4.3's obligation to handle
+// platform failures without weakening In-Net's guarantees). Modules
+// with no passing alternate turn StatusFailed and are reported in
+// failed. Deployment IDs are preserved across migration.
+func (c *Controller) Failover(name string) (migrated []Migration, failed []*Deployment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.deployments))
+	for id, d := range c.deployments {
+		if d.Platform == name && d.Status() != StatusFailed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := c.deployments[id]
+		d.setStatus(StatusMigrating)
+		// Remove the stale copy so the tentative snapshots compiled by
+		// placeLocked do not include the unreachable module.
+		delete(c.deployments, id)
+		nd, err := c.placeLocked(d.req)
+		if err != nil {
+			c.deployments[id] = d
+			d.setStatus(StatusFailed)
+			c.FailedMigrations++
+			failed = append(failed, d)
+			continue
+		}
+		nd.ID = id
+		c.deployments[id] = nd
+		c.Migrations++
+		migrated = append(migrated, Migration{From: d, To: nd})
+	}
+	return migrated, failed
+}
+
+// RetryFailed re-attempts placement of StatusFailed deployments
+// (e.g. after a platform came back). Successfully re-placed modules
+// return to Active under their original IDs.
+func (c *Controller) RetryFailed() []*Deployment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.deployments))
+	for id, d := range c.deployments {
+		if d.Status() == StatusFailed {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	var recovered []*Deployment
+	for _, id := range ids {
+		d := c.deployments[id]
+		delete(c.deployments, id)
+		nd, err := c.placeLocked(d.req)
+		if err != nil {
+			c.deployments[id] = d
+			continue
+		}
+		nd.ID = id
+		c.deployments[id] = nd
+		c.Migrations++
+		recovered = append(recovered, nd)
+	}
+	return recovered
 }
 
 // QueryResult answers a reachability query.
@@ -483,10 +677,14 @@ func (c *Controller) Get(id string) (*Deployment, bool) {
 }
 
 // hostedLocked lists all hosted modules plus an optional tentative
-// one.
+// one. Failed deployments are excluded: their modules are not on the
+// network.
 func (c *Controller) hostedLocked(extra *topology.HostedModule) []topology.HostedModule {
 	var out []topology.HostedModule
 	for _, d := range c.deployments {
+		if d.Status() == StatusFailed {
+			continue
+		}
 		out = append(out, d.module)
 	}
 	if extra != nil {

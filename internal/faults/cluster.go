@@ -1,0 +1,276 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/platform"
+	"github.com/in-net/innet/internal/topology"
+	"github.com/in-net/innet/internal/vswitch"
+)
+
+// Cluster binds the three recovery layers together for fault-injected
+// runs: the controller (placement, health tracking, verified
+// failover), one simulated platform per topology platform, and one
+// back-end switch per platform (outage buffering). It implements
+// Target, so a Plan can be scheduled straight onto it, and routes
+// workload packets by deployment — not by address — so traffic
+// follows modules across migrations.
+type Cluster struct {
+	Sim *netsim.Sim
+	Ctl *controller.Controller
+
+	platforms map[string]*platform.Platform
+	switches  map[string]*vswitch.Switch
+	// depIDs orders deployments; fault Module indexes resolve here.
+	depIDs []string
+	rules  map[string]*vswitch.Rule
+	ruleOn map[string]string // deployment ID -> switch (platform) name
+
+	lossUntil map[string]netsim.Time
+	lossProb  map[string]float64
+
+	// Sent / Received count workload packets in and module emissions
+	// out. LostOnLink counts loss-burst drops. Errs records recovery
+	// actions that failed (empty on a healthy run).
+	Sent, Received, LostOnLink uint64
+	Errs                       []string
+}
+
+// NewCluster builds a fault-injectable cluster over a topology. The
+// seed drives the virtual clock's RNG (loss bursts); pair it with a
+// Plan generated from the same or a different seed as the experiment
+// demands.
+func NewCluster(seed int64, topo *topology.Topology, operatorPolicy string) (*Cluster, error) {
+	ctl, err := controller.New(topo, operatorPolicy)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Sim:       netsim.New(seed),
+		Ctl:       ctl,
+		platforms: make(map[string]*platform.Platform),
+		switches:  make(map[string]*vswitch.Switch),
+		rules:     make(map[string]*vswitch.Rule),
+		ruleOn:    make(map[string]string),
+		lossUntil: make(map[string]netsim.Time),
+		lossProb:  make(map[string]float64),
+	}
+	for _, name := range topo.Platforms() {
+		p := platform.New(c.Sim, platform.DefaultModel(), 16*1024)
+		sw := vswitch.New()
+		sw.ToModule = func(module uint32, pk *packet.Packet) {
+			p.Deliver(pk, c.recv)
+		}
+		c.platforms[name] = p
+		c.switches[name] = sw
+	}
+	return c, nil
+}
+
+func (c *Cluster) recv(iface int, pk *packet.Packet) { c.Received++ }
+
+// Platform returns a platform simulator by name (for assertions).
+func (c *Cluster) Platform(name string) *platform.Platform { return c.platforms[name] }
+
+// Switch returns a platform's back-end switch by name.
+func (c *Cluster) Switch(name string) *vswitch.Switch { return c.switches[name] }
+
+// Deploy verifies and places a request, registers the module on its
+// hosting platform and installs the steering rule. The returned index
+// identifies the module for Send and for fault plans.
+func (c *Cluster) Deploy(req controller.Request) (int, error) {
+	dep, err := c.Ctl.Deploy(req)
+	if err != nil {
+		return -1, err
+	}
+	if err := c.platforms[dep.Platform].Register(dep.PlatformSpec()); err != nil {
+		return -1, err
+	}
+	c.installRule(dep)
+	c.depIDs = append(c.depIDs, dep.ID)
+	return len(c.depIDs) - 1, nil
+}
+
+func (c *Cluster) installRule(dep *controller.Deployment) {
+	sw := c.switches[dep.Platform]
+	r := sw.Install(vswitch.Rule{
+		Match:  vswitch.Match{DstIP: dep.Addr},
+		Action: vswitch.ActToModule,
+		Module: dep.Addr,
+	})
+	c.rules[dep.ID] = r
+	c.ruleOn[dep.ID] = dep.Platform
+}
+
+// dep resolves a module index to its current deployment (placements
+// move on failover).
+func (c *Cluster) dep(module int) *controller.Deployment {
+	if module < 0 || module >= len(c.depIDs) {
+		return nil
+	}
+	d, ok := c.Ctl.Get(c.depIDs[module])
+	if !ok {
+		return nil
+	}
+	return d
+}
+
+// Send pushes one workload packet toward a module at the current
+// virtual time. The destination address is resolved now, so traffic
+// follows the module to its post-failover home.
+func (c *Cluster) Send(module int, pk *packet.Packet) {
+	d := c.dep(module)
+	if d == nil {
+		return
+	}
+	c.Sent++
+	name := d.Platform
+	if until, ok := c.lossUntil[name]; ok && c.Sim.Now() < until {
+		if c.Sim.Rand().Float64() < c.lossProb[name] {
+			c.LostOnLink++
+			return
+		}
+	}
+	pk.DstIP = d.Addr
+	c.switches[name].Process(pk)
+}
+
+// ---- Target ----------------------------------------------------------
+
+// CrashVM kills the guest currently serving a module.
+func (c *Cluster) CrashVM(module int) {
+	if d := c.dep(module); d != nil {
+		c.platforms[d.Platform].CrashVM(d.Addr)
+	}
+}
+
+// FailNextBoot arms a boot failure for a module's next instantiation.
+func (c *Cluster) FailNextBoot(module int) {
+	if d := c.dep(module); d != nil {
+		c.platforms[d.Platform].FailNextBoot(d.Addr)
+	}
+}
+
+// PlatformDown simulates a platform outage end to end: the host dies,
+// its switch starts buffering, the controller marks it unhealthy and
+// every module hosted there is re-verified and migrated to an
+// alternate platform (or marked failed).
+func (c *Cluster) PlatformDown(name string) {
+	c.platforms[name].Fail()
+	c.switches[name].SetDown(true)
+	c.Ctl.MarkPlatformDown(name)
+	migrated, failed := c.Ctl.Failover(name)
+	for _, m := range migrated {
+		// Tear down the stale placement...
+		c.platforms[m.From.Platform].Unregister(m.From.Addr)
+		if r := c.rules[m.From.ID]; r != nil {
+			if err := c.switches[c.ruleOn[m.From.ID]].Remove(r); err != nil {
+				c.Errs = append(c.Errs, fmt.Sprintf("rule remove %s: %v", m.From.ID, err))
+			}
+		}
+		// ...and stand up the verified replacement.
+		if err := c.platforms[m.To.Platform].Register(m.To.PlatformSpec()); err != nil {
+			c.Errs = append(c.Errs, fmt.Sprintf("register %s: %v", m.To.ID, err))
+			continue
+		}
+		c.installRule(m.To)
+	}
+	for _, d := range failed {
+		c.Errs = append(c.Errs, fmt.Sprintf("failover %s: no alternate platform", d.ID))
+	}
+}
+
+// PlatformUp recovers a platform: buffered switch traffic is
+// re-dispatched and the controller marks the platform healthy again.
+func (c *Cluster) PlatformUp(name string) {
+	c.platforms[name].Recover()
+	c.Ctl.MarkPlatformUp(name)
+	c.switches[name].SetDown(false)
+}
+
+// LossBurst degrades a platform's access link: packets sent toward it
+// drop with probability loss until now+dur.
+func (c *Cluster) LossBurst(name string, loss float64, dur netsim.Time) {
+	c.lossProb[name] = loss
+	c.lossUntil[name] = c.Sim.Now() + dur
+}
+
+// ---- Accounting ------------------------------------------------------
+
+// ScheduleCheckpoints arms periodic suspend-image checkpoints of all
+// stateful modules on every platform, every interval up to horizon
+// (a finite schedule, so Sim.Run terminates).
+func (c *Cluster) ScheduleCheckpoints(every, horizon netsim.Time) {
+	for t := every; t <= horizon; t += every {
+		c.Sim.At(t, func() {
+			for _, name := range c.platformNames() {
+				c.platforms[name].Checkpoint()
+			}
+		})
+	}
+}
+
+func (c *Cluster) platformNames() []string {
+	names := make([]string, 0, len(c.platforms))
+	for name := range c.platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DroppedTotal sums every explicit drop counter across all layers.
+func (c *Cluster) DroppedTotal() uint64 {
+	n := c.LostOnLink
+	for _, name := range c.platformNames() {
+		n += c.platforms[name].DroppedTotal()
+		n += c.switches[name].Misses + c.switches[name].DroppedDown
+	}
+	return n
+}
+
+// Buffered counts packets still parked in boot buffers, orphan queues
+// and outage buffers.
+func (c *Cluster) Buffered() int {
+	n := 0
+	for _, name := range c.platformNames() {
+		n += c.platforms[name].PendingBuffered()
+		n += c.switches[name].Buffered()
+	}
+	return n
+}
+
+// Summary renders the run's outcome deterministically: workload
+// accounting, per-platform failure counters and final deployment
+// statuses. Two runs with identical seeds must produce byte-identical
+// summaries.
+func (c *Cluster) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent=%d received=%d dropped=%d buffered=%d lost-link=%d\n",
+		c.Sent, c.Received, c.DroppedTotal(), c.Buffered(), c.LostOnLink)
+	for _, name := range c.platformNames() {
+		p := c.platforms[name]
+		sw := c.switches[name]
+		fmt.Fprintf(&b, "platform %s: boots=%d crashes=%d bootfails=%d respawns=%d outages=%d checkpoints=%d restores=%d drops[full=%d timeout=%d down=%d inflight=%d nomem=%d nomod=%d] sw[miss=%d down=%d redisp=%d]\n",
+			name, p.Boots, p.Crashes, p.BootFailures, p.Respawns, p.Outages,
+			p.Checkpoints, p.Restores,
+			p.DroppedBufferFull, p.DroppedTimeout, p.DroppedDown, p.DroppedInFlight,
+			p.DroppedNoMemory, p.DroppedNoModule,
+			sw.Misses, sw.DroppedDown, sw.Redispatched)
+	}
+	deps := c.Ctl.Deployments()
+	sort.Slice(deps, func(i, j int) bool { return deps[i].ID < deps[j].ID })
+	for _, d := range deps {
+		fmt.Fprintf(&b, "deployment %s: platform=%s addr=%s status=%s\n",
+			d.ID, d.Platform, packet.IPString(d.Addr), d.Status())
+	}
+	for _, e := range c.Errs {
+		fmt.Fprintf(&b, "err: %s\n", e)
+	}
+	return b.String()
+}

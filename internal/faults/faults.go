@@ -1,0 +1,189 @@
+// Package faults is the deterministic fault-injection and
+// failure-recovery subsystem. The paper's operator "must handle
+// failures" of platforms and processing modules (§4.3) and leans on
+// ClickOS's fast boot and suspend/resume as the recovery primitives;
+// this package supplies the other half of that story: a seeded
+// FaultPlan scheduled on the netsim clock that kills guests, fails
+// boots, takes platforms down and degrades links — reproducibly, so
+// every chaos run is replayable bit for bit — and a Cluster harness
+// that wires controller-driven failover to the simulated platforms
+// and switches.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+// Kind classifies one injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindVMCrash kills the guest currently serving a module.
+	KindVMCrash Kind = iota
+	// KindBootFail arms the module's next VM boot to fail.
+	KindBootFail
+	// KindPlatformDown takes a whole platform (and its switch) down.
+	KindPlatformDown
+	// KindPlatformUp recovers a failed platform.
+	KindPlatformUp
+	// KindLossBurst degrades a platform's access link for a while.
+	KindLossBurst
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVMCrash:
+		return "vm-crash"
+	case KindBootFail:
+		return "boot-fail"
+	case KindPlatformDown:
+		return "platform-down"
+	case KindPlatformUp:
+		return "platform-up"
+	case KindLossBurst:
+		return "loss-burst"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one scheduled failure event.
+type Fault struct {
+	// At is the injection time on the virtual clock.
+	At netsim.Time
+	// Kind selects the failure.
+	Kind Kind
+	// Module identifies the target module for VM-level faults (an
+	// index the Target resolves; module addresses move on failover, so
+	// plans never name raw addresses).
+	Module int
+	// Platform names the target for platform-level faults.
+	Platform string
+	// Loss is the drop probability of a KindLossBurst.
+	Loss float64
+	// Duration is the length of a KindLossBurst.
+	Duration netsim.Time
+}
+
+// Target receives injected faults. Cluster implements it against the
+// full controller + platform + vswitch stack; unit tests may
+// implement it against a single layer.
+type Target interface {
+	CrashVM(module int)
+	FailNextBoot(module int)
+	PlatformDown(name string)
+	PlatformUp(name string)
+	LossBurst(name string, loss float64, dur netsim.Time)
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	Seed   int64
+	Faults []Fault
+}
+
+// Config shapes plan generation.
+type Config struct {
+	// Horizon bounds fault injection times: every fault (and outage
+	// recovery) lands in (0, Horizon].
+	Horizon netsim.Time
+	// VMCrashes / BootFails are counts of VM-level faults spread over
+	// Modules.
+	VMCrashes, BootFails int
+	// Modules is the number of deployed modules fault targets are
+	// drawn from.
+	Modules int
+	// Platforms are the platform names outages and loss bursts pick
+	// from.
+	Platforms []string
+	// Outage, when true, schedules one platform outage of
+	// OutageDuration somewhere in the horizon's middle half.
+	Outage         bool
+	OutageDuration netsim.Time
+	// LossBursts counts link-degradation windows (LossBurstLoss
+	// probability for LossBurstDuration).
+	LossBursts        int
+	LossBurstLoss     float64
+	LossBurstDuration netsim.Time
+}
+
+// Generate derives a fault plan from a seed. Identical seeds and
+// configs yield identical plans; different seeds yield different (but
+// each reproducible) schedules.
+func Generate(seed int64, cfg Config) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	pl := &Plan{Seed: seed}
+	at := func(lo, hi float64) netsim.Time {
+		span := float64(cfg.Horizon)
+		return netsim.Time(span*lo + rng.Float64()*span*(hi-lo))
+	}
+	for i := 0; i < cfg.VMCrashes; i++ {
+		pl.Faults = append(pl.Faults, Fault{
+			At: at(0, 1), Kind: KindVMCrash, Module: rng.Intn(cfg.Modules),
+		})
+	}
+	for i := 0; i < cfg.BootFails; i++ {
+		pl.Faults = append(pl.Faults, Fault{
+			At: at(0, 1), Kind: KindBootFail, Module: rng.Intn(cfg.Modules),
+		})
+	}
+	if cfg.Outage && len(cfg.Platforms) > 0 {
+		name := cfg.Platforms[rng.Intn(len(cfg.Platforms))]
+		down := at(0.25, 0.5)
+		pl.Faults = append(pl.Faults,
+			Fault{At: down, Kind: KindPlatformDown, Platform: name},
+			Fault{At: down + cfg.OutageDuration, Kind: KindPlatformUp, Platform: name},
+		)
+	}
+	for i := 0; i < cfg.LossBursts && len(cfg.Platforms) > 0; i++ {
+		pl.Faults = append(pl.Faults, Fault{
+			At:       at(0, 0.9),
+			Kind:     KindLossBurst,
+			Platform: cfg.Platforms[rng.Intn(len(cfg.Platforms))],
+			Loss:     cfg.LossBurstLoss,
+			Duration: cfg.LossBurstDuration,
+		})
+	}
+	sort.SliceStable(pl.Faults, func(i, j int) bool { return pl.Faults[i].At < pl.Faults[j].At })
+	return pl
+}
+
+// Schedule arms every fault on the simulator clock against a target.
+func (pl *Plan) Schedule(sim *netsim.Sim, tgt Target) {
+	for _, f := range pl.Faults {
+		f := f
+		sim.At(f.At, func() {
+			switch f.Kind {
+			case KindVMCrash:
+				tgt.CrashVM(f.Module)
+			case KindBootFail:
+				tgt.FailNextBoot(f.Module)
+			case KindPlatformDown:
+				tgt.PlatformDown(f.Platform)
+			case KindPlatformUp:
+				tgt.PlatformUp(f.Platform)
+			case KindLossBurst:
+				tgt.LossBurst(f.Platform, f.Loss, f.Duration)
+			}
+		})
+	}
+}
+
+// Signature renders the schedule as a stable string — the chaos tests
+// compare signatures to prove same-seed determinism and
+// different-seed divergence.
+func (pl *Plan) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", pl.Seed)
+	for _, f := range pl.Faults {
+		fmt.Fprintf(&b, "%012d %s mod=%d plat=%s loss=%.3f dur=%d\n",
+			f.At, f.Kind, f.Module, f.Platform, f.Loss, f.Duration)
+	}
+	return b.String()
+}

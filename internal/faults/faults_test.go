@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/netsim"
+)
+
+func planConfig() Config {
+	return Config{
+		Horizon:           4 * netsim.Second,
+		VMCrashes:         6,
+		BootFails:         2,
+		Modules:           8,
+		Platforms:         []string{"Platform1"},
+		Outage:            true,
+		OutageDuration:    netsim.Millis(500),
+		LossBursts:        1,
+		LossBurstLoss:     0.3,
+		LossBurstDuration: netsim.Millis(200),
+	}
+}
+
+func TestGenerateSameSeedIdentical(t *testing.T) {
+	a := Generate(42, planConfig())
+	b := Generate(42, planConfig())
+	if a.Signature() != b.Signature() {
+		t.Errorf("same seed, different plans:\n%s\nvs\n%s", a.Signature(), b.Signature())
+	}
+}
+
+func TestGenerateDifferentSeedsDiverge(t *testing.T) {
+	a := Generate(1, planConfig())
+	b := Generate(2, planConfig())
+	if a.Signature() == b.Signature() {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := planConfig()
+	pl := Generate(7, cfg)
+	counts := map[Kind]int{}
+	var last netsim.Time
+	var downAt, upAt netsim.Time
+	for _, f := range pl.Faults {
+		counts[f.Kind]++
+		if f.At < last {
+			t.Fatalf("plan not time-ordered at %v", f.At)
+		}
+		last = f.At
+		if f.At <= 0 || f.At > cfg.Horizon+cfg.OutageDuration {
+			t.Errorf("fault at %d outside horizon", f.At)
+		}
+		switch f.Kind {
+		case KindVMCrash, KindBootFail:
+			if f.Module < 0 || f.Module >= cfg.Modules {
+				t.Errorf("module %d out of range", f.Module)
+			}
+		case KindPlatformDown:
+			downAt = f.At
+		case KindPlatformUp:
+			upAt = f.At
+		}
+	}
+	want := map[Kind]int{
+		KindVMCrash: cfg.VMCrashes, KindBootFail: cfg.BootFails,
+		KindPlatformDown: 1, KindPlatformUp: 1, KindLossBurst: cfg.LossBursts,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s count = %d, want %d", k, counts[k], n)
+		}
+	}
+	if upAt-downAt != cfg.OutageDuration {
+		t.Errorf("outage window %d, want %d", upAt-downAt, cfg.OutageDuration)
+	}
+	if downAt < cfg.Horizon/4 || downAt > cfg.Horizon/2 {
+		t.Errorf("outage at %d outside the horizon's middle half", downAt)
+	}
+}
+
+type recordingTarget struct {
+	events []Fault
+	sim    *netsim.Sim
+}
+
+func (r *recordingTarget) record(f Fault) {
+	f.At = r.sim.Now()
+	r.events = append(r.events, f)
+}
+func (r *recordingTarget) CrashVM(m int)      { r.record(Fault{Kind: KindVMCrash, Module: m}) }
+func (r *recordingTarget) FailNextBoot(m int) { r.record(Fault{Kind: KindBootFail, Module: m}) }
+func (r *recordingTarget) PlatformDown(n string) {
+	r.record(Fault{Kind: KindPlatformDown, Platform: n})
+}
+func (r *recordingTarget) PlatformUp(n string) { r.record(Fault{Kind: KindPlatformUp, Platform: n}) }
+func (r *recordingTarget) LossBurst(n string, loss float64, d netsim.Time) {
+	r.record(Fault{Kind: KindLossBurst, Platform: n, Loss: loss, Duration: d})
+}
+
+func TestScheduleFiresEveryFaultAtItsTime(t *testing.T) {
+	pl := Generate(3, planConfig())
+	sim := netsim.New(3)
+	tgt := &recordingTarget{sim: sim}
+	pl.Schedule(sim, tgt)
+	sim.Run()
+	if len(tgt.events) != len(pl.Faults) {
+		t.Fatalf("fired %d of %d faults", len(tgt.events), len(pl.Faults))
+	}
+	for i, f := range pl.Faults {
+		got := tgt.events[i]
+		if got.At != f.At || got.Kind != f.Kind || got.Module != f.Module || got.Platform != f.Platform {
+			t.Errorf("event %d: got %+v, want %+v", i, got, f)
+		}
+	}
+}

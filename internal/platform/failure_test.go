@@ -1,0 +1,428 @@
+package platform
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+)
+
+const statefulMeter = `
+in :: FromNetfront();
+m :: FlowMeter();
+out :: ToNetfront();
+in -> m -> out;
+`
+
+// ---- Crash & respawn -------------------------------------------------
+
+func TestCrashRespawnsWithBackoff(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	got := 0
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) { got++ })
+	sim.Run()
+	if !p.CrashVM(addr) {
+		t.Fatal("crash of a resident VM reported no-op")
+	}
+	if p.VMFor(addr) != nil {
+		t.Fatal("crashed VM still resident")
+	}
+	sim.Run() // respawn fires after RespawnBase
+	if p.Crashes != 1 || p.Respawns != 1 {
+		t.Errorf("crashes=%d respawns=%d", p.Crashes, p.Respawns)
+	}
+	vm := p.VMFor(addr)
+	if vm == nil || vm.State != VMRunning {
+		t.Fatalf("module not re-instantiated after crash: %v", vm)
+	}
+	// The replacement serves traffic.
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) { got++ })
+	sim.Run()
+	if got != 2 {
+		t.Errorf("delivered = %d", got)
+	}
+}
+
+func TestCrashRedispatchesBufferedPackets(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	got := 0
+	out := func(int, *packet.Packet) { got++ }
+	// Two packets land during the boot window, then the VM crashes
+	// mid-boot: the buffer must survive into the replacement guest.
+	p.Deliver(udp("198.51.100.10"), out)
+	p.Deliver(udp("198.51.100.10"), out)
+	p.CrashVM(addr)
+	// More traffic while the respawn backoff runs also queues.
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	if got != 3 {
+		t.Errorf("delivered = %d of 3; buffered packets lost across the crash", got)
+	}
+	if p.DroppedTotal() != 0 {
+		t.Errorf("unexpected drops: %d", p.DroppedTotal())
+	}
+}
+
+func TestBootFailureBacksOffExponentially(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	// Fail the next three boots; the fourth succeeds.
+	p.FailNextBoot(addr)
+	p.FailNextBoot(addr)
+	p.FailNextBoot(addr)
+	got := 0
+	start := sim.Now()
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) { got++ })
+	sim.Run()
+	if p.BootFailures != 3 {
+		t.Errorf("boot failures = %d", p.BootFailures)
+	}
+	if got != 1 {
+		t.Errorf("delivered = %d; packet lost across boot failures", got)
+	}
+	vm := p.VMFor(addr)
+	if vm == nil || vm.State != VMRunning {
+		t.Fatal("module never came up")
+	}
+	// Backoff doubles: boot + base + boot + 2*base + boot + 4*base + boot.
+	minElapsed := 4*p.model.BootLatency(ClickOS, 0) + p.RespawnBase*(1+2+4)
+	if elapsed := sim.Now() - start; elapsed < minElapsed {
+		t.Errorf("elapsed %d < %d: backoff not applied", elapsed, minElapsed)
+	}
+}
+
+func TestRespawnBackoffCapped(t *testing.T) {
+	p := newPlatform(netsim.New(1))
+	p.RespawnBase = netsim.Millis(10)
+	p.RespawnMax = netsim.Millis(50)
+	// After many consecutive failures the delay must not exceed the cap.
+	addr := packet.MustParseIP("198.51.100.10")
+	for i := 0; i < 10; i++ {
+		p.respawn[addr] = i
+		delay := p.RespawnBase
+		for j := 0; j < i && delay < p.RespawnMax; j++ {
+			delay *= 2
+		}
+		if delay > p.RespawnMax {
+			delay = p.RespawnMax
+		}
+		if delay > netsim.Millis(50) {
+			t.Fatalf("attempt %d: delay %d exceeds cap", i, delay)
+		}
+	}
+}
+
+// ---- Checkpoint & restore --------------------------------------------
+
+func TestStatefulStateRestoredFromCheckpointAfterCrash(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: statefulMeter, Stateful: true})
+	out := func(int, *packet.Packet) {}
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	if n := p.Checkpoint(); n != 1 {
+		t.Fatalf("checkpointed %d images, want 1", n)
+	}
+	p.CrashVM(addr)
+	sim.Run()
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	if p.Restores != 1 {
+		t.Errorf("restores = %d; replacement did not load the suspend image", p.Restores)
+	}
+}
+
+func TestCrashWithoutCheckpointLosesState(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: statefulMeter, Stateful: true})
+	out := func(int, *packet.Packet) {}
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	p.CrashVM(addr)
+	sim.Run()
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	if p.Restores != 0 {
+		t.Errorf("restores = %d without any checkpoint", p.Restores)
+	}
+}
+
+func TestSuspendRecordsCheckpoint(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: statefulMeter, Stateful: true})
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) {})
+	sim.Run()
+	p.Suspend(p.VMFor(addr))
+	sim.Run()
+	if p.Checkpoints != 1 {
+		t.Errorf("checkpoints = %d; suspend image not recorded", p.Checkpoints)
+	}
+}
+
+// ---- Boot buffer bound & timeout -------------------------------------
+
+func TestBootBufferBounded(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	p.PendingLimit = 4
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	got := 0
+	for i := 0; i < 10; i++ {
+		p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) { got++ })
+	}
+	if p.DroppedBufferFull != 6 {
+		t.Errorf("DroppedBufferFull = %d, want 6", p.DroppedBufferFull)
+	}
+	sim.Run()
+	if got != 4 {
+		t.Errorf("delivered = %d, want the 4 buffered", got)
+	}
+}
+
+func TestBootBufferTimeout(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	p.PendingTimeout = netsim.Millis(100)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	// Arm enough boot failures that the guest stays down past the
+	// buffering timeout.
+	for i := 0; i < 8; i++ {
+		p.FailNextBoot(addr)
+	}
+	got := 0
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) { got++ })
+	sim.Run()
+	if p.DroppedTimeout == 0 {
+		t.Error("stale buffered packet was not timeout-dropped")
+	}
+	if got != 0 {
+		t.Errorf("delivered = %d; timeout-dropped packet delivered anyway", got)
+	}
+}
+
+// ---- Platform outage -------------------------------------------------
+
+func TestPlatformOutageAndRecovery(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	got := 0
+	out := func(int, *packet.Packet) { got++ }
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	p.Fail()
+	if !p.Down() || p.ResidentVMs() != 0 || p.MemUsedMB != 0 {
+		t.Fatalf("outage left residents: down=%v vms=%d mem=%d", p.Down(), p.ResidentVMs(), p.MemUsedMB)
+	}
+	// Traffic during the outage drops with an explicit counter.
+	p.Deliver(udp("198.51.100.10"), out)
+	if p.DroppedDown != 1 {
+		t.Errorf("DroppedDown = %d", p.DroppedDown)
+	}
+	p.Recover()
+	// After recovery, the module cold-boots on demand.
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	if got != 2 {
+		t.Errorf("delivered = %d", got)
+	}
+	if p.Outages != 1 {
+		t.Errorf("outages = %d", p.Outages)
+	}
+}
+
+func TestOutagePreservesCheckpointedState(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: statefulMeter, Stateful: true})
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) {})
+	sim.Run()
+	// Fail checkpoints stateful guests on the way down (best effort —
+	// a real power loss would rely on the last periodic sweep).
+	p.Fail()
+	p.Recover()
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) {})
+	sim.Run()
+	if p.Restores != 1 {
+		t.Errorf("restores = %d after outage", p.Restores)
+	}
+}
+
+// ---- Memory pressure -------------------------------------------------
+
+func TestMemoryPressureEvictsIdleBeforeRejecting(t *testing.T) {
+	sim := netsim.New(1)
+	p := New(sim, DefaultModel(), 1024) // room for two 512 MB guests
+	a1 := packet.MustParseIP("198.51.100.1")
+	a2 := packet.MustParseIP("198.51.100.2")
+	a3 := packet.MustParseIP("198.51.100.3")
+	for _, a := range []uint32{a1, a2, a3} {
+		if err := p.Register(ModuleSpec{Addr: a, Config: passthrough, Kind: LinuxVM}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	out := func(int, *packet.Packet) { got++ }
+	pk := func(a uint32) *packet.Packet { q := udp("0.0.0.0"); q.DstIP = a; return q }
+	p.Deliver(pk(a1), out)
+	p.Deliver(pk(a2), out)
+	sim.Run() // both running, now idle
+	// A third guest does not fit — the LRU idle guest must be evicted
+	// instead of dropping the packet.
+	p.Deliver(pk(a3), out)
+	sim.Run()
+	if p.DroppedNoMemory != 0 {
+		t.Errorf("DroppedNoMemory = %d; eviction should have made room", p.DroppedNoMemory)
+	}
+	if p.Evictions != 1 {
+		t.Errorf("evictions = %d", p.Evictions)
+	}
+	if got != 3 {
+		t.Errorf("delivered = %d", got)
+	}
+	if p.VMFor(a1) != nil {
+		t.Error("LRU guest (a1) still resident")
+	}
+	// The evicted module still re-boots on demand.
+	p.Deliver(pk(a1), out)
+	sim.Run()
+	if got != 4 {
+		t.Errorf("delivered = %d after re-boot", got)
+	}
+}
+
+func TestMemoryPressureEvictionCheckpointsStateful(t *testing.T) {
+	sim := netsim.New(1)
+	p := New(sim, DefaultModel(), 1024)
+	a1 := packet.MustParseIP("198.51.100.1")
+	a2 := packet.MustParseIP("198.51.100.2")
+	p.Register(ModuleSpec{Addr: a1, Config: statefulMeter, Kind: LinuxVM, Stateful: true})
+	p.Register(ModuleSpec{Addr: a2, Config: passthrough, Kind: LinuxVM})
+	p.Register(ModuleSpec{Addr: a2 + 1, Config: passthrough, Kind: LinuxVM})
+	out := func(int, *packet.Packet) {}
+	pk := func(a uint32) *packet.Packet { q := udp("0.0.0.0"); q.DstIP = a; return q }
+	p.Deliver(pk(a1), out)
+	p.Deliver(pk(a2), out)
+	sim.Run()
+	p.Deliver(pk(a2+1), out) // forces eviction of a1 (LRU, stateful)
+	sim.Run()
+	if p.Checkpoints != 1 {
+		t.Errorf("checkpoints = %d; stateful eviction must checkpoint", p.Checkpoints)
+	}
+	// Re-booting the stateful module restores the image.
+	p.Deliver(pk(a1), out)
+	sim.Run()
+	if p.Restores != 1 {
+		t.Errorf("restores = %d", p.Restores)
+	}
+}
+
+// ---- Lifecycle edge cases (satellites) -------------------------------
+
+func TestSuspendOfBootingVMRefused(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough, Stateful: true})
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) {})
+	vm := p.VMFor(addr)
+	if vm.State != VMBooting {
+		t.Fatalf("state = %v", vm.State)
+	}
+	if d := p.Suspend(vm); d != 0 {
+		t.Error("suspend accepted on a booting VM")
+	}
+	sim.Run()
+	if vm.State != VMRunning || p.Suspends != 0 {
+		t.Errorf("state=%v suspends=%d; refused suspend must not wedge the boot", vm.State, p.Suspends)
+	}
+}
+
+func TestReclaimIdleRacingDelivery(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	got := 0
+	out := func(int, *packet.Packet) { got++ }
+	p.Deliver(udp("198.51.100.10"), out)
+	sim.Run()
+	// A delivery is in flight (processing latency scheduled) when the
+	// reclaimer fires: the VM looks idle by LastActive but the packet
+	// must be accounted, not silently lost.
+	p.Deliver(udp("198.51.100.10"), out)
+	n := p.ReclaimIdle(0)
+	sim.Run()
+	if n != 1 {
+		t.Fatalf("reclaimed = %d", n)
+	}
+	if got+int(p.DroppedInFlight) != 2 {
+		t.Errorf("delivered=%d inflight-drops=%d; packet vanished", got, p.DroppedInFlight)
+	}
+}
+
+func TestUnregisterCrashedVM(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) {})
+	sim.Run()
+	p.CrashVM(addr)
+	// Unregister between crash and respawn: the respawn must cancel.
+	p.Unregister(addr)
+	sim.Run()
+	if p.ResidentVMs() != 0 || p.Respawns != 0 {
+		t.Errorf("vms=%d respawns=%d; respawn of an unregistered module", p.ResidentVMs(), p.Respawns)
+	}
+	if p.MemUsedMB != 0 {
+		t.Errorf("leaked %d MB", p.MemUsedMB)
+	}
+}
+
+func TestDoubleDestroyIsNoop(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.10")
+	p.Register(ModuleSpec{Addr: addr, Config: passthrough})
+	p.Deliver(udp("198.51.100.10"), func(int, *packet.Packet) {})
+	sim.Run()
+	vm := p.VMFor(addr)
+	p.destroy(vm)
+	mem := p.MemUsedMB
+	p.destroy(vm) // second destroy must not double-free memory
+	if p.MemUsedMB != mem {
+		t.Errorf("mem %d -> %d: double-destroy double-freed", mem, p.MemUsedMB)
+	}
+	if p.Destroys != 1 {
+		t.Errorf("destroys = %d", p.Destroys)
+	}
+}
+
+func TestCrashOfAbsentVMIsNoop(t *testing.T) {
+	p := newPlatform(netsim.New(1))
+	if p.CrashVM(packet.MustParseIP("198.51.100.99")) {
+		t.Error("crash of a non-resident address reported success")
+	}
+	if p.Crashes != 0 {
+		t.Errorf("crashes = %d", p.Crashes)
+	}
+}

@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/in-net/innet/internal/click"
 	"github.com/in-net/innet/internal/clicklang"
@@ -19,6 +20,10 @@ const (
 	VMSuspending
 	VMSuspended
 	VMResuming
+	// VMFailed marks a guest that crashed or failed to boot; the
+	// platform re-instantiates its modules with capped exponential
+	// backoff.
+	VMFailed
 )
 
 func (s VMState) String() string {
@@ -33,6 +38,8 @@ func (s VMState) String() string {
 		return "suspended"
 	case VMResuming:
 		return "resuming"
+	case VMFailed:
+		return "failed"
 	default:
 		return "unknown"
 	}
@@ -78,6 +85,9 @@ type VM struct {
 type pendingPacket struct {
 	pkt *packet.Packet
 	out func(iface int, p *packet.Packet)
+	// enq is when the packet entered the boot buffer; packets older
+	// than PendingTimeout are dropped instead of delivered late.
+	enq netsim.Time
 }
 
 // Platform is the simulated In-Net host.
@@ -103,21 +113,59 @@ type Platform struct {
 	Consolidate      bool
 	ConsolidatePerVM int
 
+	// Failure & recovery knobs (DESIGN.md "Failure model & recovery").
+	//
+	// PendingLimit bounds the per-VM boot buffer; overflow drops are
+	// counted in DroppedBufferFull. PendingTimeout bounds how long a
+	// packet may wait for a guest to come up before it is dropped
+	// (DroppedTimeout). RespawnBase/RespawnMax shape the capped
+	// exponential backoff used to re-instantiate crashed guests.
+	PendingLimit   int
+	PendingTimeout netsim.Time
+	RespawnBase    netsim.Time
+	RespawnMax     netsim.Time
+
+	down bool
+	// respawn tracks consecutive failures per module address (backoff
+	// exponent); failBoots holds armed boot-failure injections;
+	// checkpoints are the suspend images of stateful modules; orphans
+	// are packets whose guest died and that await the replacement.
+	respawn     map[uint32]int
+	failBoots   map[uint32]int
+	checkpoints map[uint32]*click.Router
+	orphans     map[uint32][]pendingPacket
+
 	// Counters.
 	Boots, Suspends, Resumes, Destroys uint64
 	DroppedNoModule                    uint64
 	DroppedNoMemory                    uint64
+	// Failure counters.
+	Crashes, BootFailures, Respawns uint64
+	Outages, Evictions              uint64
+	Checkpoints, Restores           uint64
+	DroppedBufferFull               uint64
+	DroppedTimeout                  uint64
+	DroppedDown                     uint64
+	DroppedInFlight                 uint64
 }
 
 // New builds a platform attached to a simulator.
 func New(sim *netsim.Sim, model Model, memTotalMB int) *Platform {
 	return &Platform{
-		sim:        sim,
-		model:      model,
-		MemTotalMB: memTotalMB,
-		vms:        make(map[int]*VM),
-		byAddr:     make(map[uint32]*VM),
-		specs:      make(map[uint32]*ModuleSpec),
+		sim:            sim,
+		model:          model,
+		MemTotalMB:     memTotalMB,
+		vms:            make(map[int]*VM),
+		byAddr:         make(map[uint32]*VM),
+		specs:          make(map[uint32]*ModuleSpec),
+		respawn:        make(map[uint32]int),
+		failBoots:      make(map[uint32]int),
+		checkpoints:    make(map[uint32]*click.Router),
+		orphans:        make(map[uint32][]pendingPacket),
+		PendingLimit:   256,
+		PendingTimeout: 5 * netsim.Second,
+		RespawnBase:    netsim.Millis(10),
+		RespawnMax:     2 * netsim.Second,
 	}
 }
 
@@ -165,9 +213,14 @@ func configHasSource(cfg *clicklang.Config) bool {
 }
 
 // Unregister removes a module and destroys its VM if it was the only
-// occupant.
+// occupant. Unregistering a crashed module cancels its pending
+// respawn and discards its checkpoint and orphaned packets.
 func (p *Platform) Unregister(addr uint32) {
 	delete(p.specs, addr)
+	delete(p.respawn, addr)
+	delete(p.failBoots, addr)
+	delete(p.checkpoints, addr)
+	delete(p.orphans, addr)
 	if vm := p.byAddr[addr]; vm != nil {
 		delete(p.byAddr, addr)
 		for i, s := range vm.Specs {
@@ -193,11 +246,21 @@ func (p *Platform) RegisteredModules() int { return len(p.specs) }
 // if needed (the switch controller of §5). out is invoked, in virtual
 // time, for every packet the module emits.
 func (p *Platform) Deliver(pkt *packet.Packet, out func(iface int, pk *packet.Packet)) {
+	if p.down {
+		p.DroppedDown++
+		return
+	}
 	vm := p.byAddr[pkt.DstIP]
 	if vm == nil {
 		spec := p.specs[pkt.DstIP]
 		if spec == nil {
 			p.DroppedNoModule++
+			return
+		}
+		if p.respawn[pkt.DstIP] > 0 {
+			// A respawn is already scheduled with backoff; queue the
+			// packet for the replacement guest instead of racing it.
+			p.stashOrphan(pkt.DstIP, pendingPacket{pkt: pkt, out: out, enq: p.sim.Now()})
 			return
 		}
 		vm = p.instantiate(spec)
@@ -208,18 +271,64 @@ func (p *Platform) Deliver(pkt *packet.Packet, out func(iface int, pk *packet.Pa
 	}
 	switch vm.State {
 	case VMBooting, VMResuming, VMSuspending:
-		vm.pending = append(vm.pending, pendingPacket{pkt: pkt, out: out})
+		p.buffer(vm, pendingPacket{pkt: pkt, out: out, enq: p.sim.Now()})
 	case VMSuspended:
-		vm.pending = append(vm.pending, pendingPacket{pkt: pkt, out: out})
+		p.buffer(vm, pendingPacket{pkt: pkt, out: out, enq: p.sim.Now()})
 		p.resume(vm)
 	case VMRunning:
 		p.process(vm, pkt, out)
 	}
 }
 
+// buffer appends to a VM's boot buffer, enforcing the bound and
+// arming the staleness timeout.
+func (p *Platform) buffer(vm *VM, pp pendingPacket) {
+	if p.PendingLimit > 0 && len(vm.pending) >= p.PendingLimit {
+		p.DroppedBufferFull++
+		return
+	}
+	vm.pending = append(vm.pending, pp)
+	if p.PendingTimeout > 0 {
+		p.sim.After(p.PendingTimeout, func() { p.expirePending(vm) })
+	}
+}
+
+// expirePending drops boot-buffered packets that waited longer than
+// PendingTimeout on a VM that still is not running.
+func (p *Platform) expirePending(vm *VM) {
+	if _, alive := p.vms[vm.ID]; !alive || vm.State == VMRunning {
+		return
+	}
+	deadline := p.sim.Now() - p.PendingTimeout
+	kept := vm.pending[:0]
+	for _, pp := range vm.pending {
+		if pp.enq <= deadline {
+			p.DroppedTimeout++
+			continue
+		}
+		kept = append(kept, pp)
+	}
+	vm.pending = kept
+}
+
+// stashOrphan queues a packet whose guest died, bounded like the boot
+// buffer.
+func (p *Platform) stashOrphan(addr uint32, pp pendingPacket) {
+	if p.PendingLimit > 0 && len(p.orphans[addr]) >= p.PendingLimit {
+		p.DroppedBufferFull++
+		return
+	}
+	p.orphans[addr] = append(p.orphans[addr], pp)
+}
+
 // instantiate places a spec into a VM: either consolidated into an
 // existing stateless VM with room, or into a fresh booting guest.
+// Under memory pressure it degrades gracefully by evicting idle
+// guests (LRU) before rejecting the boot.
 func (p *Platform) instantiate(spec *ModuleSpec) *VM {
+	if p.down {
+		return nil
+	}
 	if p.Consolidate && !spec.Stateful && spec.Kind == ClickOS {
 		for _, vm := range p.vms {
 			if vm.Kind != ClickOS || len(vm.Specs) >= p.consolidateLimit() {
@@ -231,10 +340,14 @@ func (p *Platform) instantiate(spec *ModuleSpec) *VM {
 			// Join this VM; no boot needed.
 			vm.Specs = append(vm.Specs, spec)
 			p.byAddr[spec.Addr] = vm
+			p.adoptOrphans(vm, spec.Addr)
 			return vm
 		}
 	}
 	mem := p.model.MemMB(spec.Kind)
+	if p.MemUsedMB+mem > p.MemTotalMB {
+		p.evictForMemory(p.MemUsedMB + mem - p.MemTotalMB)
+	}
 	if p.MemUsedMB+mem > p.MemTotalMB {
 		return nil
 	}
@@ -250,9 +363,69 @@ func (p *Platform) instantiate(spec *ModuleSpec) *VM {
 	p.vms[vm.ID] = vm
 	p.byAddr[spec.Addr] = vm
 	p.Boots++
+	p.adoptOrphans(vm, spec.Addr)
 	boot := p.model.BootLatency(spec.Kind, len(p.vms)-1)
 	p.sim.After(boot, func() { p.finishBoot(vm) })
 	return vm
+}
+
+// adoptOrphans moves packets stranded by a dead guest into the
+// replacement's buffer (re-dispatch after recovery), dropping any
+// that already exceeded the buffering timeout.
+func (p *Platform) adoptOrphans(vm *VM, addr uint32) {
+	pend := p.orphans[addr]
+	if len(pend) == 0 {
+		return
+	}
+	delete(p.orphans, addr)
+	now := p.sim.Now()
+	for _, pp := range pend {
+		if p.PendingTimeout > 0 && now-pp.enq >= p.PendingTimeout {
+			p.DroppedTimeout++
+			continue
+		}
+		p.buffer(vm, pp)
+	}
+	if vm.State == VMRunning {
+		p.flush(vm)
+	}
+}
+
+// evictForMemory frees at least needMB by destroying idle guests,
+// least-recently-active first. Stateless guests are simply destroyed
+// (they reboot on demand); stateful guests are checkpointed first so
+// their state is restored when traffic re-instantiates them — the
+// suspend-to-disk degradation mode. Booting, resuming or
+// packet-holding guests are never evicted.
+func (p *Platform) evictForMemory(needMB int) {
+	var idle []*VM
+	for _, vm := range p.vms {
+		if vm.State != VMRunning && vm.State != VMSuspended {
+			continue
+		}
+		if len(vm.pending) > 0 {
+			continue
+		}
+		idle = append(idle, vm)
+	}
+	sort.Slice(idle, func(i, j int) bool {
+		if idle[i].LastActive != idle[j].LastActive {
+			return idle[i].LastActive < idle[j].LastActive
+		}
+		return idle[i].ID < idle[j].ID
+	})
+	freed := 0
+	for _, vm := range idle {
+		if freed >= needMB {
+			return
+		}
+		if !vmIsStateless(vm) {
+			p.checkpointVM(vm)
+		}
+		freed += vm.MemMB
+		p.destroy(vm)
+		p.Evictions++
+	}
 }
 
 func (p *Platform) consolidateLimit() int {
@@ -275,7 +448,24 @@ func (p *Platform) finishBoot(vm *VM) {
 	if _, alive := p.vms[vm.ID]; !alive {
 		return
 	}
+	// An armed boot-failure injection fires here: the guest never
+	// comes up, its buffered packets move to the orphan queue and the
+	// modules are re-instantiated with backoff.
+	for _, s := range vm.Specs {
+		if p.failBoots[s.Addr] > 0 {
+			p.failBoots[s.Addr]--
+			if p.failBoots[s.Addr] == 0 {
+				delete(p.failBoots, s.Addr)
+			}
+			p.BootFailures++
+			p.failVM(vm)
+			return
+		}
+	}
 	vm.State = VMRunning
+	for _, s := range vm.Specs {
+		delete(p.respawn, s.Addr)
+	}
 	p.flush(vm)
 	// Source modules start ticking as soon as the guest is up.
 	for _, spec := range vm.Specs {
@@ -319,6 +509,12 @@ func (p *Platform) process(vm *VM, pkt *packet.Packet, out func(iface int, pk *p
 	}
 	lat := p.model.ProcessingLatency(len(p.vms), len(vm.Specs), pkt.Len(), extra)
 	p.sim.After(lat, func() {
+		if _, alive := p.vms[vm.ID]; !alive {
+			// The guest died (crash, eviction, outage) with this
+			// packet in flight.
+			p.DroppedInFlight++
+			return
+		}
 		r, err := p.routerFor(vm, pkt.DstIP)
 		if err != nil || r == nil {
 			return
@@ -347,6 +543,15 @@ func (p *Platform) routerFor(vm *VM, addr uint32) (*click.Router, error) {
 	}
 	if r := vm.routers[addr]; r != nil {
 		return r, nil
+	}
+	// A checkpointed suspend image restores the module's state instead
+	// of booting a pristine graph (§5 suspend/resume as the recovery
+	// primitive). Images are referenced, not copied: divergence between
+	// the checkpoint instant and the crash is not modeled.
+	if ck := p.checkpoints[addr]; ck != nil {
+		vm.routers[addr] = ck
+		p.Restores++
+		return ck, nil
 	}
 	cfg, err := clicklang.Parse(spec.Config)
 	if err != nil {
@@ -387,6 +592,9 @@ func (p *Platform) Suspend(vm *VM) netsim.Time {
 	p.sim.After(d, func() {
 		if vm.State == VMSuspending {
 			vm.State = VMSuspended
+			// The finished suspend image doubles as a crash-recovery
+			// checkpoint for stateful modules.
+			p.checkpointVM(vm)
 			if len(vm.pending) > 0 {
 				p.resume(vm)
 			}
@@ -432,6 +640,9 @@ func (p *Platform) ReclaimIdle(idleFor netsim.Time) int {
 }
 
 func (p *Platform) destroy(vm *VM) {
+	if _, alive := p.vms[vm.ID]; !alive {
+		return // double-destroy is a no-op
+	}
 	delete(p.vms, vm.ID)
 	for _, s := range vm.Specs {
 		if p.byAddr[s.Addr] == vm {
@@ -444,3 +655,172 @@ func (p *Platform) destroy(vm *VM) {
 
 // VMFor returns the VM currently serving an address, or nil.
 func (p *Platform) VMFor(addr uint32) *VM { return p.byAddr[addr] }
+
+// ---- Failure injection & recovery ------------------------------------
+
+// CrashVM kills the guest currently serving addr (fault injection: a
+// guest panic, an OOM kill, a Xen domain failure). Buffered packets
+// move to the orphan queue and every module hosted in the guest is
+// re-instantiated with capped exponential backoff; stateful modules
+// restore from their latest checkpoint. Reports whether a guest was
+// actually resident.
+func (p *Platform) CrashVM(addr uint32) bool {
+	vm := p.byAddr[addr]
+	if vm == nil {
+		return false
+	}
+	p.Crashes++
+	p.failVM(vm)
+	return true
+}
+
+// failVM implements the shared crash/boot-failure path: tear the
+// guest down, strand its buffered packets and schedule respawns.
+func (p *Platform) failVM(vm *VM) {
+	pend := vm.pending
+	vm.pending = nil
+	vm.State = VMFailed
+	vm.routers = nil
+	p.destroy(vm)
+	for _, pp := range pend {
+		p.stashOrphan(pp.pkt.DstIP, pp)
+	}
+	for _, s := range vm.Specs {
+		p.scheduleRespawn(s.Addr)
+	}
+}
+
+// scheduleRespawn re-instantiates a module's guest after the current
+// backoff delay, doubling up to RespawnMax on consecutive failures.
+func (p *Platform) scheduleRespawn(addr uint32) {
+	attempts := p.respawn[addr]
+	p.respawn[addr] = attempts + 1
+	delay := p.RespawnBase
+	for i := 0; i < attempts && delay < p.RespawnMax; i++ {
+		delay *= 2
+	}
+	if delay > p.RespawnMax {
+		delay = p.RespawnMax
+	}
+	p.sim.After(delay, func() {
+		if p.down {
+			return // the whole platform died; Recover reboots lazily
+		}
+		spec := p.specs[addr]
+		if spec == nil {
+			return // unregistered while the respawn was pending
+		}
+		if p.byAddr[addr] != nil {
+			return // traffic already re-instantiated it
+		}
+		p.Respawns++
+		if p.instantiate(spec) == nil {
+			p.scheduleRespawn(addr) // no memory yet: keep backing off
+		}
+	})
+}
+
+// FailNextBoot arms a boot-failure injection: the next boot of addr's
+// guest fails at the end of the boot window, exercising the backoff
+// path. May be called repeatedly to fail several consecutive boots.
+func (p *Platform) FailNextBoot(addr uint32) {
+	p.failBoots[addr]++
+}
+
+// Fail takes the whole platform down (power loss, host kernel panic):
+// every resident guest dies, in-flight and buffered packets are
+// dropped (counted in DroppedDown), and Deliver drops until Recover.
+// Module registrations survive — they live in the controller's
+// database, not on the host.
+func (p *Platform) Fail() {
+	if p.down {
+		return
+	}
+	p.down = true
+	p.Outages++
+	ids := make([]int, 0, len(p.vms))
+	for id := range p.vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		vm := p.vms[id]
+		if !vmIsStateless(vm) {
+			p.checkpointVM(vm)
+		}
+		p.DroppedDown += uint64(len(vm.pending))
+		vm.pending = nil
+		vm.State = VMFailed
+		vm.routers = nil
+		p.destroy(vm)
+	}
+	for addr, pend := range p.orphans {
+		p.DroppedDown += uint64(len(pend))
+		delete(p.orphans, addr)
+	}
+}
+
+// Recover brings a failed platform back up. Guests re-instantiate
+// lazily when traffic arrives, exactly like a cold start; stateful
+// modules restore from their checkpoints. Respawn backoff state is
+// reset — pre-outage crash history is moot after a reboot.
+func (p *Platform) Recover() {
+	p.down = false
+	p.respawn = make(map[uint32]int)
+}
+
+// Down reports whether the platform is in a simulated outage.
+func (p *Platform) Down() bool { return p.down }
+
+// Checkpoint snapshots the suspend image of every resident stateful
+// module (the operator's periodic checkpoint sweep). Harnesses call
+// this on their own schedule so the event heap stays finite.
+func (p *Platform) Checkpoint() int {
+	n := 0
+	ids := make([]int, 0, len(p.vms))
+	for id := range p.vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n += p.checkpointVM(p.vms[id])
+	}
+	return n
+}
+
+// checkpointVM records suspend images for a guest's stateful modules.
+func (p *Platform) checkpointVM(vm *VM) int {
+	n := 0
+	for _, s := range vm.Specs {
+		if !s.Stateful {
+			continue
+		}
+		if r := vm.routers[s.Addr]; r != nil {
+			p.checkpoints[s.Addr] = r
+			p.Checkpoints++
+			n++
+		}
+	}
+	return n
+}
+
+// PendingBuffered returns the number of packets currently parked in
+// boot buffers and orphan queues — traffic neither delivered nor
+// dropped yet.
+func (p *Platform) PendingBuffered() int {
+	n := 0
+	for _, vm := range p.vms {
+		n += len(vm.pending)
+	}
+	for _, pend := range p.orphans {
+		n += len(pend)
+	}
+	return n
+}
+
+// DroppedTotal sums every explicit drop counter: the invariant the
+// chaos tests assert is sent == delivered + DroppedTotal + buffered.
+func (p *Platform) DroppedTotal() uint64 {
+	return p.DroppedNoModule + p.DroppedNoMemory + p.DroppedBufferFull +
+		p.DroppedTimeout + p.DroppedDown + p.DroppedInFlight
+}

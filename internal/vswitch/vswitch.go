@@ -112,6 +112,20 @@ type Switch struct {
 	Misses uint64
 	// NewFlows counts detected flow starts.
 	NewFlows uint64
+
+	// down buffers traffic while the attached platform is in an
+	// outage; SetDown(false) re-dispatches the buffer through the
+	// table so packets survive a recovery instead of vanishing.
+	down   bool
+	buffer []*packet.Packet
+	// BufferLimit bounds the outage buffer (default 512; overflow is
+	// counted in DroppedDown).
+	BufferLimit int
+	// DroppedDown counts packets dropped because the outage buffer
+	// overflowed.
+	DroppedDown uint64
+	// Redispatched counts buffered packets replayed after a recovery.
+	Redispatched uint64
 }
 
 // New returns an empty switch.
@@ -152,8 +166,46 @@ func (s *Switch) Remove(rule *Rule) error {
 // Rules returns the current table size.
 func (s *Switch) Rules() int { return len(s.rules) }
 
+// SetDown marks the switch's platform as failed (true) or recovered
+// (false). While down, Process buffers up to BufferLimit packets;
+// recovery replays them through the table in arrival order.
+func (s *Switch) SetDown(down bool) {
+	if s.down == down {
+		return
+	}
+	s.down = down
+	if down {
+		return
+	}
+	buf := s.buffer
+	s.buffer = nil
+	for _, p := range buf {
+		s.Redispatched++
+		s.Process(p)
+	}
+}
+
+// IsDown reports whether the switch is buffering for a failed
+// platform.
+func (s *Switch) IsDown() bool { return s.down }
+
+// Buffered returns the number of packets parked in the outage buffer.
+func (s *Switch) Buffered() int { return len(s.buffer) }
+
 // Process runs one packet through the table.
 func (s *Switch) Process(p *packet.Packet) {
+	if s.down {
+		limit := s.BufferLimit
+		if limit <= 0 {
+			limit = 512
+		}
+		if len(s.buffer) >= limit {
+			s.DroppedDown++
+			return
+		}
+		s.buffer = append(s.buffer, p)
+		return
+	}
 	t := p.Tuple()
 	if !s.seen[t] {
 		isNew := p.Protocol == packet.ProtoUDP ||
