@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/flowspec/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/policy/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/topology/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=30s ./internal/journal/
 
 # The seeded chaos suite: fault-injected cluster runs with the full
 # multi-seed sweep (the sweep is skipped under `go test -short`).

@@ -9,9 +9,14 @@
 //	DELETE /v1/modules/{id} kill a deployment
 //	GET    /v1/classes      list available Click element classes
 //
+// With -state-dir the controller is crash-safe: every deployment
+// lifecycle transition is written ahead to a checksummed journal
+// (compacted into snapshots), and a restarted daemon recovers its
+// deployment state from the directory before serving.
+//
 // Example:
 //
-//	innetd -listen :8640 \
+//	innetd -listen :8640 -state-dir /var/lib/innetd \
 //	  -policy 'reach from internet tcp src port 80 -> HTTPOptimizer -> client'
 package main
 
@@ -30,6 +35,7 @@ import (
 	"github.com/in-net/innet/internal/api"
 	"github.com/in-net/innet/internal/controller"
 	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -49,6 +55,12 @@ func run() int {
 			"attach an in-process platform emulation; deployments become live and POST /v1/inject drives packets through them")
 		drain = flag.Duration("drain-timeout", 10*time.Second,
 			"how long to let in-flight requests finish on SIGINT/SIGTERM before exiting")
+		stateDir = flag.String("state-dir", "",
+			"directory for the controller's write-ahead journal and snapshots; on restart the deployment state is recovered from it (empty disables persistence)")
+		fsyncPolicy = flag.String("fsync", "always",
+			"journal durability: always (fsync each record) | none (leave flushing to the OS)")
+		snapshotEvery = flag.Int("snapshot-every", 256,
+			"compact the journal into a snapshot every N records (negative disables compaction)")
 	)
 	flag.Parse()
 
@@ -68,17 +80,58 @@ func run() int {
 		log.Printf("innetd: %v", err)
 		return 1
 	}
-	ctl, err := controller.NewWithOptions(topo, *policy, controller.Options{
-		BanConnectionlessReplies: *banUDP,
-	})
-	if err != nil {
-		log.Printf("innetd: %v", err)
+	opts := controller.Options{BanConnectionlessReplies: *banUDP}
+
+	var store *journal.Store
+	if *stateDir != "" {
+		if err := checkStateDir(*stateDir); err != nil {
+			log.Printf("innetd: -state-dir: %v", err)
+			return 1
+		}
+		sync, err := journal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Printf("innetd: -fsync: %v", err)
+			return 1
+		}
+		store, err = journal.Open(*stateDir, journal.Options{Sync: sync, CompactEvery: *snapshotEvery})
+		if err != nil {
+			log.Printf("innetd: open state dir %s: %v", *stateDir, err)
+			return 1
+		}
+		defer store.Close()
+	}
+
+	var ctl *controller.Controller
+	var err2 error
+	if store != nil {
+		var rep *controller.RecoveryReport
+		ctl, rep, err2 = controller.Restore(topo, *policy, opts, store.State(), nil, store)
+		if err2 == nil {
+			log.Printf("innetd: recovered state from %s: %d reattached, %d replaced, %d failed (seq %d, %v)",
+				*stateDir, len(rep.Reattached), len(rep.Replaced), len(rep.Failed), store.Seq(), rep.Elapsed)
+		}
+	} else {
+		ctl, err2 = controller.NewWithOptions(topo, *policy, opts)
+	}
+	if err2 != nil {
+		log.Printf("innetd: %v", err2)
 		return 1
 	}
 	var sim *api.Simulator
 	if *simulate {
 		sim = api.NewSimulator(topo.Platforms())
 		log.Printf("innetd: simulation mode on; POST /v1/inject to drive packets through deployed modules")
+		// Recovered deployments become live on the emulated platforms
+		// too (failed ones wait for an explicit retry).
+		for _, d := range ctl.Deployments() {
+			if d.Status() == controller.StatusFailed {
+				continue
+			}
+			if err := sim.Register(d); err != nil {
+				log.Printf("innetd: re-register recovered %s: %v", d.ID, err)
+				return 1
+			}
+		}
 	}
 	handler := api.NewServerWithSimulator(ctl, sim)
 	log.Printf("innetd: topology %q with platforms %v", *topoName, topo.Platforms())
@@ -122,6 +175,26 @@ func run() int {
 		log.Printf("innetd: drained, bye")
 		return 0
 	}
+}
+
+// checkStateDir verifies the journal directory exists, is a
+// directory, and is writable — failing loudly at boot beats
+// discovering an unwritable journal on the first deployment.
+func checkStateDir(dir string) error {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("%v (create the directory first)", err)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("%s is not a directory", dir)
+	}
+	probe, err := os.CreateTemp(dir, ".innetd-probe-*")
+	if err != nil {
+		return fmt.Errorf("directory is not writable: %v", err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return nil
 }
 
 func loadTopology(name string) (*topology.Topology, error) {

@@ -1,9 +1,12 @@
 package api
 
 import (
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/in-net/innet/internal/controller"
 	_ "github.com/in-net/innet/internal/elements"
@@ -196,5 +199,71 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestOversizedBodyMapsTo413(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Valid JSON throughout, so the decoder keeps reading until the
+	// byte cap — not a syntax error — stops it.
+	big := `{"config":"` + strings.Repeat("x", MaxRequestBody+1) + `"}`
+	for _, path := range []string{"/v1/modules", "/v1/query"} {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e ErrorResponse
+		derr := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status = %d, want 413", path, resp.StatusCode)
+		}
+		if derr != nil || !strings.Contains(e.Error, "exceeds") {
+			t.Errorf("%s: error body = %+v (%v)", path, e, derr)
+		}
+	}
+}
+
+func TestDeployTimeoutMapsTo503AndRollsBack(t *testing.T) {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ctl)
+	srv.SetDeployTimeout(10 * time.Millisecond)
+	release := make(chan struct{})
+	rolledBack := make(chan struct{})
+	srv.testSlowDeploy = func() { <-release }
+	srv.testRollbackDone = func() { close(rolledBack) }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retries = 0 // a retried 503 would pile up more blocked workers
+
+	_, err = c.Deploy(DeployRequest{Tenant: "slow", ModuleName: "m", Config: batcher, Trust: "client"})
+	if err == nil {
+		t.Fatal("slow deploy did not time out")
+	}
+	if !strings.Contains(err.Error(), "503") || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error = %v", err)
+	}
+
+	// Let the abandoned worker finish: its late success must be
+	// rolled back so the 503 the client saw stays true.
+	close(release)
+	select {
+	case <-rolledBack:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rollback never ran")
+	}
+	if live := len(ctl.Deployments()); live != 0 {
+		t.Fatalf("late deployment not rolled back: %d live", live)
+	}
+	if ctl.Placed != 1 {
+		t.Errorf("Placed = %d, want 1 (worker did place before rollback)", ctl.Placed)
 	}
 }

@@ -2,9 +2,11 @@ package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/in-net/innet/internal/controller"
 	"github.com/in-net/innet/internal/packet"
@@ -13,11 +15,30 @@ import (
 	"github.com/in-net/innet/internal/click"
 )
 
+// MaxRequestBody caps every JSON request body. Module configs are
+// text; anything past this is either abuse or a mistake, and gets a
+// 413 before the decoder buffers it.
+const MaxRequestBody = 1 << 20
+
+// DefaultDeployTimeout bounds one POST /v1/modules admission. The
+// symbolic-execution budget (controller.Options) already bounds the
+// work; this is the client-facing backstop that turns a slow
+// admission into a 503 instead of a hung connection.
+const DefaultDeployTimeout = 30 * time.Second
+
 // Server exposes a controller over HTTP.
 type Server struct {
 	ctl *controller.Controller
 	sim *Simulator
 	mux *http.ServeMux
+
+	deployTimeout time.Duration
+	// testSlowDeploy, when set, runs inside the deploy worker before
+	// admission starts — a deterministic way for tests to hold the
+	// worker past the timeout. testRollbackDone fires after a
+	// timed-out worker's outcome has been discarded.
+	testSlowDeploy   func()
+	testRollbackDone func()
 }
 
 // NewServer wraps a controller.
@@ -29,7 +50,7 @@ func NewServer(ctl *controller.Controller) *Server {
 // emulation: deployments are registered on simulated platforms and
 // POST /v1/inject drives test traffic through them.
 func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server {
-	s := &Server{ctl: ctl, sim: sim, mux: http.NewServeMux()}
+	s := &Server{ctl: ctl, sim: sim, mux: http.NewServeMux(), deployTimeout: DefaultDeployTimeout}
 	s.mux.HandleFunc("/v1/modules", s.modules)
 	s.mux.HandleFunc("/v1/modules/", s.moduleByID)
 	s.mux.HandleFunc("/v1/classes", s.classes)
@@ -42,9 +63,33 @@ func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server 
 	return s
 }
 
+// SetDeployTimeout overrides the per-request admission deadline. Zero
+// or negative disables the bound.
+func (s *Server) SetDeployTimeout(d time.Duration) {
+	s.deployTimeout = d
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// decodeBody reads a size-capped JSON body into v, writing the error
+// response (413 for oversized bodies, 400 otherwise) itself. Returns
+// false when the handler should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+		return false
+	}
+	writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+	return false
 }
 
 func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
@@ -60,8 +105,7 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		var req DeployRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		if !decodeBody(w, r, &req) {
 			return
 		}
 		trust, err := ParseTrust(req.Trust)
@@ -69,7 +113,7 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		dep, err := s.ctl.Deploy(controller.Request{
+		dep, err := s.deployBounded(controller.Request{
 			Tenant:       req.Tenant,
 			ModuleName:   req.ModuleName,
 			Config:       req.Config,
@@ -83,6 +127,8 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 			status := http.StatusInternalServerError
 			if _, ok := err.(*controller.RejectionError); ok {
 				status = http.StatusUnprocessableEntity
+			} else if errors.Is(err, errDeployTimeout) {
+				status = http.StatusServiceUnavailable
 			}
 			writeErr(w, status, err)
 			return
@@ -104,6 +150,51 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 		})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+var errDeployTimeout = errors.New("admission timed out; the request was abandoned and any late placement is rolled back")
+
+// deployBounded runs one admission under the server's deploy
+// timeout. On timeout the worker keeps running (controller calls are
+// not interruptible) but its outcome is discarded: a late successful
+// placement is killed so the 503 the client saw stays true.
+func (s *Server) deployBounded(req controller.Request) (*controller.Deployment, error) {
+	if s.deployTimeout <= 0 && s.testSlowDeploy == nil {
+		return s.ctl.Deploy(req)
+	}
+	type result struct {
+		dep *controller.Deployment
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		if s.testSlowDeploy != nil {
+			s.testSlowDeploy()
+		}
+		dep, err := s.ctl.Deploy(req)
+		ch <- result{dep, err}
+	}()
+	timeout := s.deployTimeout
+	if timeout <= 0 {
+		timeout = DefaultDeployTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.dep, res.err
+	case <-timer.C:
+		go func() {
+			res := <-ch
+			if res.err == nil && res.dep != nil {
+				_ = s.ctl.Kill(res.dep.ID)
+			}
+			if s.testRollbackDone != nil {
+				s.testRollbackDone()
+			}
+		}()
+		return nil, fmt.Errorf("deploy exceeded %v: %w", timeout, errDeployTimeout)
 	}
 }
 
@@ -187,8 +278,7 @@ func (s *Server) inject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req InjectRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.sim.Inject(req)
@@ -205,8 +295,7 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	res, err := s.ctl.Query(req.Requirements)

@@ -8,6 +8,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,10 +18,12 @@ import (
 
 	"github.com/in-net/innet/internal/click"
 	"github.com/in-net/innet/internal/clicklang"
+	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/packet"
 	"github.com/in-net/innet/internal/platform"
 	"github.com/in-net/innet/internal/policy"
 	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/symexec"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -205,12 +208,51 @@ func (d *Deployment) PlatformSpec() platform.ModuleSpec {
 	}
 }
 
+// Admission-budget defaults: a pathological tenant configuration must
+// not wedge Deploy, so both the symbolic step count and the wall
+// clock are bounded and exhaustion is a *RejectionError*, not a hang.
+const (
+	// DefaultAdmissionSteps bounds symbolic-execution steps per
+	// individual check (security analysis; each requirement/policy
+	// check) during admission.
+	DefaultAdmissionSteps = 500_000
+	// DefaultAdmissionTimeout bounds one placement attempt's total
+	// wall-clock time across all platforms.
+	DefaultAdmissionTimeout = 30 * time.Second
+)
+
 // Options are operator-wide policy knobs.
 type Options struct {
 	// BanConnectionlessReplies enables the §7 amplification-attack
 	// mitigation: third-party modules whose reply-to-sender traffic
 	// can be connectionless are sandboxed instead of trusted.
 	BanConnectionlessReplies bool
+	// AdmissionSteps bounds symbolic-execution steps per admission
+	// check (0 = DefaultAdmissionSteps, negative = unlimited).
+	AdmissionSteps int
+	// AdmissionTimeout bounds one placement attempt's wall-clock
+	// time (0 = DefaultAdmissionTimeout, negative = unlimited).
+	AdmissionTimeout time.Duration
+}
+
+// admissionBudget resolves the options into a per-check step budget
+// and an absolute deadline for a placement attempt starting now.
+func (o Options) admissionBudget() (steps int, deadline time.Time) {
+	steps = o.AdmissionSteps
+	if steps == 0 {
+		steps = DefaultAdmissionSteps
+	}
+	if steps < 0 {
+		steps = 0 // symexec default only
+	}
+	d := o.AdmissionTimeout
+	if d == 0 {
+		d = DefaultAdmissionTimeout
+	}
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	return steps, deadline
 }
 
 // Controller is the operator's control plane.
@@ -225,6 +267,11 @@ type Controller struct {
 	// platformDown tracks platform health; down platforms are skipped
 	// by placement and trigger failover of their modules.
 	platformDown map[string]bool
+	// journal receives one record per state transition (nil = no
+	// persistence); journalErr remembers the first best-effort
+	// append that failed.
+	journal    Journal
+	journalErr error
 
 	// Placed, Rejections count controller decisions.
 	Placed     int
@@ -298,7 +345,14 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 	dep, err := c.placeLocked(req)
 	if err != nil {
 		c.Rejections++
+		c.journalBestEffortLocked(journal.Record{
+			Type: journal.EvReject, ID: req.ModuleName, Reason: err.Error(),
+		})
 		return nil, err
+	}
+	// Write-ahead: the admission is durable before it is visible.
+	if jerr := c.appendLocked(journal.Record{Type: journal.EvAdmit, Dep: depRecord(dep)}); jerr != nil {
+		return nil, fmt.Errorf("controller: journal admit: %v", jerr)
 	}
 	c.deployments[dep.ID] = dep
 	c.Placed++
@@ -334,13 +388,16 @@ func (c *Controller) placeLocked(req Request) (*Deployment, error) {
 	// Iterate over the platforms (§4.3: "it iterates through all its
 	// available platforms, pretends it has instantiated the client
 	// processing, checking all operator and client requirements").
+	// The whole attempt shares one admission deadline so a config
+	// that is slow to analyze cannot multiply its cost per platform.
+	steps, deadline := c.opts.admissionBudget()
 	var lastReason string
 	for _, pl := range c.topo.Platforms() {
 		if c.platformDown[pl] {
 			lastReason = fmt.Sprintf("platform %s is down", pl)
 			continue
 		}
-		dep, reason, err := c.tryPlatform(req, src, isVM, whitelist, reqs, pl, &timings)
+		dep, reason, err := c.tryPlatform(req, src, isVM, whitelist, reqs, pl, &timings, steps, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -356,9 +413,19 @@ func (c *Controller) placeLocked(req Request) (*Deployment, error) {
 	return nil, &RejectionError{Reason: lastReason}
 }
 
+// budgetRejection converts a symexec budget exhaustion into the
+// client-visible rejection the admission pipeline must produce
+// instead of hanging; other errors pass through unchanged.
+func budgetRejection(err error) error {
+	if errors.Is(err, symexec.ErrBudget) {
+		return &RejectionError{Reason: fmt.Sprintf("admission budget exceeded (configuration too expensive to verify): %v", err)}
+	}
+	return err
+}
+
 // tryPlatform attempts a tentative placement on one platform.
 // It returns (nil, reason, nil) when this platform does not fit.
-func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist []uint32, reqs []*policy.Requirement, platformName string, timings *Timings) (*Deployment, string, error) {
+func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist []uint32, reqs []*policy.Requirement, platformName string, timings *Timings, steps int, deadline time.Time) (*Deployment, string, error) {
 	addr, ok := c.allocAddrLocked(platformName)
 	if !ok {
 		return nil, fmt.Sprintf("platform %s address pool exhausted", platformName), nil
@@ -388,9 +455,11 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		Whitelist:                whitelist,
 		Transparent:              req.Transparent,
 		BanConnectionlessReplies: c.opts.BanConnectionlessReplies,
+		MaxSteps:                 steps,
+		Deadline:                 deadline,
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, "", budgetRejection(err)
 	}
 	timings.Check += time.Since(checkStart)
 	if rep.Verdict == security.Rejected {
@@ -433,11 +502,19 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 
 	// Client requirements and operator policy must all hold.
 	checkStart = time.Now()
-	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: c.topo.ClientNet}
+	env := &policy.CheckEnv{
+		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
+		MaxSteps: steps, Deadline: deadline,
+	}
 	for _, r := range reqs {
 		res, err := r.Check(env)
 		if err != nil {
 			timings.Check += time.Since(checkStart)
+			if errors.Is(err, symexec.ErrBudget) {
+				// Budget exhaustion aborts the whole deployment: the
+				// config would burn the same budget on every platform.
+				return nil, "", budgetRejection(err)
+			}
 			return nil, fmt.Sprintf("platform %s: requirement %q: %v", platformName, r, err), nil
 		}
 		if !res.Satisfied {
@@ -448,7 +525,7 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 	for _, r := range c.operatorPolicy {
 		res, err := r.Check(env)
 		if err != nil {
-			return nil, "", err
+			return nil, "", budgetRejection(err)
 		}
 		if !res.Satisfied {
 			timings.Check += time.Since(checkStart)
@@ -481,6 +558,9 @@ func (c *Controller) MarkPlatformDown(name string) []*Deployment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.platformDown[name] = true
+	// One platform-down record covers the whole sweep: replay folds
+	// the same active→degraded transition.
+	c.journalBestEffortLocked(journal.Record{Type: journal.EvPlatformDown, Platform: name})
 	var affected []*Deployment
 	for _, d := range c.deployments {
 		if d.Platform == name && d.Status() == StatusActive {
@@ -498,6 +578,7 @@ func (c *Controller) MarkPlatformUp(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.platformDown, name)
+	c.journalBestEffortLocked(journal.Record{Type: journal.EvPlatformUp, Platform: name})
 	for _, d := range c.deployments {
 		if d.Platform == name && d.Status() == StatusDegraded {
 			d.setStatus(StatusActive)
@@ -552,12 +633,14 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 			c.deployments[id] = d
 			d.setStatus(StatusFailed)
 			c.FailedMigrations++
+			c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrateFailed, ID: id, Reason: err.Error()})
 			failed = append(failed, d)
 			continue
 		}
 		nd.ID = id
 		c.deployments[id] = nd
 		c.Migrations++
+		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
 		migrated = append(migrated, Migration{From: d, To: nd})
 	}
 	return migrated, failed
@@ -588,6 +671,7 @@ func (c *Controller) RetryFailed() []*Deployment {
 		nd.ID = id
 		c.deployments[id] = nd
 		c.Migrations++
+		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
 		recovered = append(recovered, nd)
 	}
 	return recovered
@@ -627,12 +711,16 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 		return nil, err
 	}
 	out.Timings.Compile = time.Since(compileStart)
-	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: c.topo.ClientNet}
+	steps, deadline := c.opts.admissionBudget()
+	env := &policy.CheckEnv{
+		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
+		MaxSteps: steps, Deadline: deadline,
+	}
 	checkStart := time.Now()
 	for _, r := range reqs {
 		res, err := r.Check(env)
 		if err != nil {
-			return nil, err
+			return nil, budgetRejection(err)
 		}
 		if !res.Satisfied {
 			out.Satisfied = false
@@ -651,6 +739,11 @@ func (c *Controller) Kill(id string) error {
 	defer c.mu.Unlock()
 	if _, ok := c.deployments[id]; !ok {
 		return fmt.Errorf("controller: no deployment %q", id)
+	}
+	// Write-ahead: a kill that is not durable is not performed, so a
+	// recovered controller can never resurrect a killed module.
+	if jerr := c.appendLocked(journal.Record{Type: journal.EvKill, ID: id}); jerr != nil {
+		return fmt.Errorf("controller: journal kill: %v", jerr)
 	}
 	delete(c.deployments, id)
 	return nil

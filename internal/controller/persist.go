@@ -1,0 +1,325 @@
+// Controller persistence and restart recovery: the controller
+// journals every deployment lifecycle transition (admit, reject,
+// migrate, kill, platform health) through the Journal interface, and
+// Restore rebuilds a controller from the folded journal state —
+// re-attaching to platforms that still report the module and
+// re-running only the placement step (never the full
+// symbolic-execution admission pipeline, which the journal already
+// paid for) for deployments whose platform vanished.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// Journal receives one record per controller state transition.
+// *journal.Store implements it; nil disables persistence. Admission
+// and kill records are write-ahead (the operation fails if the append
+// does); the rest are best-effort with the first failure remembered
+// by JournalErr.
+type Journal interface {
+	Append(journal.Record) error
+}
+
+// AttachJournal wires a journal sink into the controller. Call it
+// before serving requests; transitions before attachment are lost.
+func (c *Controller) AttachJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+}
+
+// JournalErr reports the first best-effort journal append that
+// failed (nil on a healthy journal).
+func (c *Controller) JournalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.journalErr
+}
+
+// appendLocked journals one record, stamping the ID counter so a
+// recovered controller never reissues a deployment ID.
+func (c *Controller) appendLocked(r journal.Record) error {
+	if c.journal == nil {
+		return nil
+	}
+	r.NextID = c.nextID
+	return c.journal.Append(r)
+}
+
+// journalBestEffortLocked appends a record, remembering the first
+// failure instead of failing the state transition: dropping a status
+// flip is recoverable (recovery re-derives health from platforms),
+// losing an admission or kill is not — those use appendLocked
+// directly and propagate.
+func (c *Controller) journalBestEffortLocked(r journal.Record) {
+	if err := c.appendLocked(r); err != nil && c.journalErr == nil {
+		c.journalErr = err
+	}
+}
+
+// depRecord renders a deployment as its journal record.
+func depRecord(d *Deployment) *journal.DeploymentRecord {
+	return &journal.DeploymentRecord{
+		ID:              d.ID,
+		Tenant:          d.Tenant,
+		ModuleName:      d.ModuleName,
+		Platform:        d.Platform,
+		Addr:            d.Addr,
+		Sandboxed:       d.Sandboxed,
+		Verdict:         verdictName(d.Security),
+		Config:          d.Config,
+		Status:          d.Status().String(),
+		ReqConfig:       d.req.Config,
+		ReqStock:        d.req.Stock,
+		ReqRequirements: d.req.Requirements,
+		Trust:           int(d.req.Trust),
+		Whitelist:       append([]string(nil), d.req.Whitelist...),
+		Transparent:     d.req.Transparent,
+	}
+}
+
+func verdictName(rep *security.Report) string {
+	if rep == nil {
+		return ""
+	}
+	return rep.Verdict.String()
+}
+
+// recoveredReport synthesizes a minimal security report for a
+// deployment rebuilt from the journal: the verdict survives, the
+// per-flow findings do not (they were advisory; the admission-time
+// decision — sandbox or not — is baked into the deployed config).
+func recoveredReport(verdict string) *security.Report {
+	rep := &security.Report{Reasons: []string{"recovered from journal"}}
+	if verdict == security.NeedsSandbox.String() {
+		rep.Verdict = security.NeedsSandbox
+	}
+	return rep
+}
+
+func parseStatus(s string) DeploymentStatus {
+	switch s {
+	case journal.StatusDegraded:
+		return StatusDegraded
+	case journal.StatusFailed:
+		return StatusFailed
+	default:
+		return StatusActive
+	}
+}
+
+// requestFromRecord rebuilds the original deployment request.
+func requestFromRecord(rec *journal.DeploymentRecord) Request {
+	return Request{
+		Tenant:       rec.Tenant,
+		ModuleName:   rec.ModuleName,
+		Config:       rec.ReqConfig,
+		Stock:        rec.ReqStock,
+		Requirements: rec.ReqRequirements,
+		Trust:        security.TrustClass(rec.Trust),
+		Whitelist:    append([]string(nil), rec.Whitelist...),
+		Transparent:  rec.Transparent,
+	}
+}
+
+// deploymentFromRecord rebuilds a deployment exactly as journaled:
+// same platform, address and deployed config. Only the Click build
+// runs — no symbolic analysis.
+func deploymentFromRecord(rec *journal.DeploymentRecord) (*Deployment, error) {
+	router, err := buildConfig(rec.Config)
+	if err != nil {
+		return nil, fmt.Errorf("controller: recover %s: journaled config does not build: %v", rec.ID, err)
+	}
+	d := &Deployment{
+		ID:         rec.ID,
+		Tenant:     rec.Tenant,
+		ModuleName: rec.ModuleName,
+		Platform:   rec.Platform,
+		Addr:       rec.Addr,
+		Sandboxed:  rec.Sandboxed,
+		Security:   recoveredReport(rec.Verdict),
+		Config:     rec.Config,
+		req:        requestFromRecord(rec),
+		module: topology.HostedModule{
+			ID: rec.ModuleName, Platform: rec.Platform, Addr: rec.Addr, Router: router,
+		},
+	}
+	d.setStatus(parseStatus(rec.Status))
+	return d, nil
+}
+
+// recoverPlaceLocked re-runs ONLY the placement step for a journaled
+// deployment whose platform vanished: pick a healthy platform with a
+// free address, substitute $MODULE_IP, re-apply the admission-time
+// sandbox decision and build the config. The expensive verification
+// (security analysis, operator policy, tenant requirements) is NOT
+// re-run — the journal records that admission already passed, and the
+// sandbox verdict travels with the record.
+func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deployment, error) {
+	req := requestFromRecord(rec)
+	src, isVM, err := resolveConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	var whitelist []uint32
+	for _, w := range rec.Whitelist {
+		ip, perr := packet.ParseIP(w)
+		if perr != nil {
+			return nil, fmt.Errorf("controller: recover %s: bad whitelist address %q", rec.ID, w)
+		}
+		whitelist = append(whitelist, ip)
+	}
+	for _, pl := range c.topo.Platforms() {
+		if c.platformDown[pl] {
+			continue
+		}
+		addr, ok := c.allocAddrLocked(pl)
+		if !ok {
+			continue
+		}
+		deploySrc := strings.ReplaceAll(src, "$MODULE_IP", packet.IPString(addr))
+		switch {
+		case isVM:
+			deploySrc, err = SandboxConfig(StockModules[StockReverseProxy], whitelist)
+		case rec.Sandboxed:
+			deploySrc, err = SandboxConfig(deploySrc, whitelist)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("controller: recover %s: %v", rec.ID, err)
+		}
+		router, berr := buildConfig(deploySrc)
+		if berr != nil {
+			return nil, fmt.Errorf("controller: recover %s: %v", rec.ID, berr)
+		}
+		d := &Deployment{
+			ID:         rec.ID,
+			Tenant:     rec.Tenant,
+			ModuleName: rec.ModuleName,
+			Platform:   pl,
+			Addr:       addr,
+			Sandboxed:  rec.Sandboxed,
+			Security:   recoveredReport(rec.Verdict),
+			Config:     deploySrc,
+			req:        req,
+			module: topology.HostedModule{
+				ID: rec.ModuleName, Platform: pl, Addr: addr, Router: router,
+			},
+		}
+		d.setStatus(StatusActive)
+		return d, nil
+	}
+	return nil, &RejectionError{Reason: "no platform available for recovery placement"}
+}
+
+// Inventory answers, during recovery, whether a platform still
+// reports a module at an address — the re-attach probe. A nil
+// Inventory re-attaches everything as journaled.
+type Inventory interface {
+	HasModule(platform string, addr uint32) bool
+}
+
+// RecoveryReport summarizes one Restore (IDs sorted).
+type RecoveryReport struct {
+	// Reattached deployments were found intact on their journaled
+	// platform and rebuilt in place.
+	Reattached []string
+	// Replaced deployments lost their platform and were re-placed
+	// (placement step only) on a healthy one.
+	Replaced []string
+	// Failed deployments could not be re-placed (or were journaled
+	// as failed); they are kept with StatusFailed for RetryFailed.
+	Failed []string
+	// Elapsed is the total recovery time.
+	Elapsed time.Duration
+}
+
+// Restore rebuilds a controller from journaled state. The topology
+// and operator policy are NOT persisted — they are configuration, and
+// must be supplied exactly as on the original boot (the base-network
+// policy check still runs). Deployments journaled as failed stay
+// failed (only the full RetryFailed pipeline may bring them back);
+// everything else is re-attached or re-placed per the Inventory. j
+// (usually the same *journal.Store the state came from) is attached
+// to the new controller, and re-placements are journaled through it
+// before Restore returns.
+func Restore(topo *topology.Topology, operatorPolicy string, opts Options, st *journal.State, inv Inventory, j Journal) (*Controller, *RecoveryReport, error) {
+	start := time.Now()
+	c, err := NewWithOptions(topo, operatorPolicy, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+	c.nextID = st.NextID
+	c.Placed = st.Placed
+	c.Rejections = st.Rejections
+	c.Migrations = st.Migrations
+	c.FailedMigrations = st.FailedMigrations
+	for name, down := range st.PlatformDown {
+		if down {
+			c.platformDown[name] = true
+		}
+	}
+
+	report := &RecoveryReport{}
+	// Pass 1: re-attach everything still present, so its addresses
+	// are occupied before any re-placement allocates.
+	var vanished []string
+	for _, id := range st.IDs() {
+		rec := st.Deployments[id]
+		if rec.Status == journal.StatusFailed {
+			d, derr := deploymentFromRecord(rec)
+			if derr != nil {
+				return nil, nil, derr
+			}
+			c.deployments[id] = d
+			report.Failed = append(report.Failed, id)
+			continue
+		}
+		if inv != nil && !inv.HasModule(rec.Platform, rec.Addr) {
+			vanished = append(vanished, id)
+			continue
+		}
+		d, derr := deploymentFromRecord(rec)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		c.deployments[id] = d
+		report.Reattached = append(report.Reattached, id)
+	}
+	// Pass 2: placement-only recovery for vanished platforms.
+	for _, id := range vanished {
+		rec := st.Deployments[id]
+		d, perr := c.recoverPlaceLocked(rec)
+		if perr != nil {
+			// Keep the deployment, failed: capacity may return.
+			d2, derr := deploymentFromRecord(rec)
+			if derr != nil {
+				return nil, nil, derr
+			}
+			d2.setStatus(StatusFailed)
+			c.deployments[id] = d2
+			c.FailedMigrations++
+			c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrateFailed, ID: id, Reason: perr.Error()})
+			report.Failed = append(report.Failed, id)
+			continue
+		}
+		c.deployments[id] = d
+		c.Migrations++
+		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(d)})
+		report.Replaced = append(report.Replaced, id)
+	}
+	sort.Strings(report.Failed)
+	report.Elapsed = time.Since(start)
+	return c, report, nil
+}

@@ -65,14 +65,24 @@ func probe(flow int) *packet.Packet {
 // simulation to quiescence and returns the cluster and plan.
 func chaosRun(t *testing.T, clusterSeed, planSeed int64) (*Cluster, *Plan) {
 	t.Helper()
+	return chaosRunIn(t, clusterSeed, planSeed, "", nil, 0)
+}
+
+// chaosRunIn is chaosRun with controller persistence: a non-empty
+// stateDir journals every controller transition there, crashAt kills
+// and recovers the controller at fixed virtual times, and
+// controllerCrashes adds seeded crash faults to the generated plan.
+func chaosRunIn(t *testing.T, clusterSeed, planSeed int64, stateDir string, crashAt []netsim.Time, controllerCrashes int) (*Cluster, *Plan) {
+	t.Helper()
 	topo, err := topology.PaperFig3()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := NewCluster(clusterSeed, topo, operatorHTTPPolicy)
+	cl, err := NewClusterWithState(clusterSeed, topo, operatorHTTPPolicy, stateDir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { cl.Close() })
 	for i := 0; i < chaosModules; i++ {
 		cfg := chaosStateless
 		if i%2 == 1 {
@@ -115,8 +125,12 @@ func chaosRun(t *testing.T, clusterSeed, planSeed int64) (*Cluster, *Plan) {
 		LossBursts:        1,
 		LossBurstLoss:     0.3,
 		LossBurstDuration: netsim.Millis(200),
+		ControllerCrashes: controllerCrashes,
 	})
 	plan.Schedule(cl.Sim, cl)
+	for _, at := range crashAt {
+		cl.Sim.At(at, cl.CrashController)
+	}
 
 	// One late probe per module proves eventual recovery end to end.
 	var beforeFinal uint64

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/netsim"
 	"github.com/in-net/innet/internal/packet"
 	"github.com/in-net/innet/internal/platform"
@@ -23,6 +24,16 @@ import (
 type Cluster struct {
 	Sim *netsim.Sim
 	Ctl *controller.Controller
+
+	// topo / policy / stateDir let CrashController rebuild the
+	// controller from scratch; store is the open journal (nil when the
+	// cluster runs without persistence).
+	topo     *topology.Topology
+	policy   string
+	stateDir string
+	store    *journal.Store
+	// Recoveries counts completed controller crash-recover cycles.
+	Recoveries int
 
 	platforms map[string]*platform.Platform
 	switches  map[string]*vswitch.Switch
@@ -46,6 +57,15 @@ type Cluster struct {
 // Plan generated from the same or a different seed as the experiment
 // demands.
 func NewCluster(seed int64, topo *topology.Topology, operatorPolicy string) (*Cluster, error) {
+	return NewClusterWithState(seed, topo, operatorPolicy, "")
+}
+
+// NewClusterWithState additionally journals every controller
+// transition under stateDir (an existing directory), arming the
+// cluster for KindControllerCrash faults. An empty stateDir disables
+// persistence — CrashController then records an error and does
+// nothing.
+func NewClusterWithState(seed int64, topo *topology.Topology, operatorPolicy, stateDir string) (*Cluster, error) {
 	ctl, err := controller.New(topo, operatorPolicy)
 	if err != nil {
 		return nil, err
@@ -53,12 +73,23 @@ func NewCluster(seed int64, topo *topology.Topology, operatorPolicy string) (*Cl
 	c := &Cluster{
 		Sim:       netsim.New(seed),
 		Ctl:       ctl,
+		topo:      topo,
+		policy:    operatorPolicy,
+		stateDir:  stateDir,
 		platforms: make(map[string]*platform.Platform),
 		switches:  make(map[string]*vswitch.Switch),
 		rules:     make(map[string]*vswitch.Rule),
 		ruleOn:    make(map[string]string),
 		lossUntil: make(map[string]netsim.Time),
 		lossProb:  make(map[string]float64),
+	}
+	if stateDir != "" {
+		store, err := journal.Open(stateDir, journal.Options{Sync: journal.SyncNone})
+		if err != nil {
+			return nil, err
+		}
+		c.store = store
+		ctl.AttachJournal(store)
 	}
 	for _, name := range topo.Platforms() {
 		p := platform.New(c.Sim, platform.DefaultModel(), 16*1024)
@@ -198,6 +229,81 @@ func (c *Cluster) PlatformUp(name string) {
 func (c *Cluster) LossBurst(name string, loss float64, dur netsim.Time) {
 	c.lossProb[name] = loss
 	c.lossUntil[name] = c.Sim.Now() + dur
+}
+
+// clusterInventory is the recovery re-attach probe: a deployment is
+// still present when its platform simulator is up and reports a
+// module spec at the journaled address.
+type clusterInventory struct{ c *Cluster }
+
+func (ci clusterInventory) HasModule(name string, addr uint32) bool {
+	p := ci.c.platforms[name]
+	return p != nil && !p.Down() && p.HasModule(addr)
+}
+
+// CrashController kills the controller process mid-run and restarts
+// it: all in-memory controller state is discarded, a fresh store is
+// opened over the state dir (exactly the restart path innetd takes),
+// and the controller is rebuilt from snapshot + journal. Deployments
+// whose platform vanished while the controller was down are re-placed
+// and their dataplane rules moved. Without a state dir the fault is
+// recorded in Errs and skipped.
+func (c *Cluster) CrashController() {
+	if c.store == nil {
+		c.Errs = append(c.Errs, "controller-crash: no state dir; fault skipped")
+		return
+	}
+	// Only the state dir survives the crash.
+	old := make(map[string]*controller.Deployment)
+	for _, d := range c.Ctl.Deployments() {
+		old[d.ID] = d
+	}
+	if err := c.store.Close(); err != nil {
+		c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: close store: %v", err))
+	}
+	store, err := journal.Open(c.stateDir, journal.Options{Sync: journal.SyncNone})
+	if err != nil {
+		c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: reopen journal: %v", err))
+		return
+	}
+	ctl, rep, err := controller.Restore(c.topo, c.policy, controller.Options{}, store.State(), clusterInventory{c}, store)
+	if err != nil {
+		store.Close()
+		c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: restore: %v", err))
+		return
+	}
+	c.Ctl = ctl
+	c.store = store
+	// Move the dataplane for re-placed deployments: tear down the
+	// stale registration and rule, stand up the recovered placement.
+	for _, id := range rep.Replaced {
+		nd, ok := ctl.Get(id)
+		if !ok {
+			continue
+		}
+		if od := old[id]; od != nil {
+			c.platforms[od.Platform].Unregister(od.Addr)
+			if r := c.rules[id]; r != nil {
+				if err := c.switches[c.ruleOn[id]].Remove(r); err != nil {
+					c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: rule remove %s: %v", id, err))
+				}
+			}
+		}
+		if err := c.platforms[nd.Platform].Register(nd.PlatformSpec()); err != nil {
+			c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: register %s: %v", id, err))
+			continue
+		}
+		c.installRule(nd)
+	}
+	c.Recoveries++
+}
+
+// Close releases the journal store (a no-op without persistence).
+func (c *Cluster) Close() error {
+	if c.store != nil {
+		return c.store.Close()
+	}
+	return nil
 }
 
 // ---- Accounting ------------------------------------------------------

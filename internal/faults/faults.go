@@ -34,6 +34,9 @@ const (
 	KindPlatformUp
 	// KindLossBurst degrades a platform's access link for a while.
 	KindLossBurst
+	// KindControllerCrash kills the controller process and restarts it
+	// from its journal and snapshot (crash-safe controller recovery).
+	KindControllerCrash
 )
 
 func (k Kind) String() string {
@@ -48,6 +51,8 @@ func (k Kind) String() string {
 		return "platform-up"
 	case KindLossBurst:
 		return "loss-burst"
+	case KindControllerCrash:
+		return "controller-crash"
 	default:
 		return "unknown"
 	}
@@ -80,6 +85,7 @@ type Target interface {
 	PlatformDown(name string)
 	PlatformUp(name string)
 	LossBurst(name string, loss float64, dur netsim.Time)
+	CrashController()
 }
 
 // Plan is a deterministic fault schedule.
@@ -111,6 +117,10 @@ type Config struct {
 	LossBursts        int
 	LossBurstLoss     float64
 	LossBurstDuration netsim.Time
+	// ControllerCrashes counts controller kill-and-recover events:
+	// the controller process dies mid-run and is rebuilt from its
+	// write-ahead journal and snapshot.
+	ControllerCrashes int
 }
 
 // Generate derives a fault plan from a seed. Identical seeds and
@@ -150,6 +160,11 @@ func Generate(seed int64, cfg Config) *Plan {
 			Duration: cfg.LossBurstDuration,
 		})
 	}
+	// Controller crashes draw last so adding them to a config leaves
+	// the rest of an existing seeded plan untouched.
+	for i := 0; i < cfg.ControllerCrashes; i++ {
+		pl.Faults = append(pl.Faults, Fault{At: at(0, 1), Kind: KindControllerCrash})
+	}
 	sort.SliceStable(pl.Faults, func(i, j int) bool { return pl.Faults[i].At < pl.Faults[j].At })
 	return pl
 }
@@ -170,6 +185,8 @@ func (pl *Plan) Schedule(sim *netsim.Sim, tgt Target) {
 				tgt.PlatformUp(f.Platform)
 			case KindLossBurst:
 				tgt.LossBurst(f.Platform, f.Loss, f.Duration)
+			case KindControllerCrash:
+				tgt.CrashController()
 			}
 		})
 	}

@@ -98,6 +98,7 @@ func (r *recordingTarget) PlatformUp(n string) { r.record(Fault{Kind: KindPlatfo
 func (r *recordingTarget) LossBurst(n string, loss float64, d netsim.Time) {
 	r.record(Fault{Kind: KindLossBurst, Platform: n, Loss: loss, Duration: d})
 }
+func (r *recordingTarget) CrashController() { r.record(Fault{Kind: KindControllerCrash}) }
 
 func TestScheduleFiresEveryFaultAtItsTime(t *testing.T) {
 	pl := Generate(3, planConfig())

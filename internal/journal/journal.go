@@ -1,0 +1,348 @@
+// Package journal is the controller's persistence layer: a
+// length-prefixed, checksummed write-ahead journal of deployment
+// lifecycle events plus periodic compacted snapshots. The paper's
+// platform survives VM churn via ClickOS suspend/resume (§5); this
+// package gives the controller — the single point of trust that
+// admitted every module — the same story, so an `innetd` restart
+// neither orphans running modules nor forgets admission decisions,
+// and recovery never has to re-run the expensive symbolic-execution
+// admission pipeline (§4.3) for modules whose platform still holds
+// them.
+//
+// On-disk layout (one directory):
+//
+//	journal.log    frames appended per state transition
+//	snapshot.json  compacted fold of every frame up to its Seq
+//
+// Frame format (see docs/FORMATS.md §7):
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32 (IEEE) of the payload
+//	[]byte  payload: one JSON-encoded Record
+//
+// Replay reads frames until the first torn or corrupt one — short
+// header, short payload, oversized length, checksum mismatch, invalid
+// JSON, or a non-increasing sequence number — and truncates the file
+// there: a crash mid-append loses at most the record being written,
+// never the prefix.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventType tags one journal record.
+type EventType string
+
+// Journal record types: one per controller state transition.
+const (
+	// EvAdmit records a successful Deploy: the full request plus the
+	// placement result, enough to rebuild the deployment without
+	// re-running symbolic analysis.
+	EvAdmit EventType = "admit"
+	// EvReject records a refused Deploy (keeps the Rejections counter
+	// truthful across restarts).
+	EvReject EventType = "reject"
+	// EvStatus records a bare lifecycle-status change.
+	EvStatus EventType = "status"
+	// EvMigrate records a verified failover or recovery re-placement:
+	// the deployment (same ID) on its new platform and address.
+	EvMigrate EventType = "migrate"
+	// EvMigrateFailed records a failover that found no passing
+	// alternate platform; the deployment turns failed.
+	EvMigrateFailed EventType = "migrate-failed"
+	// EvKill records an explicit module kill.
+	EvKill EventType = "kill"
+	// EvPlatformDown / EvPlatformUp record platform health flips,
+	// including the implied active↔degraded status sweeps.
+	EvPlatformDown EventType = "platform-down"
+	EvPlatformUp   EventType = "platform-up"
+)
+
+// Deployment lifecycle status names as journaled (the controller's
+// DeploymentStatus.String values).
+const (
+	StatusActive   = "active"
+	StatusDegraded = "degraded"
+	StatusFailed   = "failed"
+)
+
+// DeploymentRecord is everything needed to rebuild a deployment on
+// restart without re-running the admission pipeline: the placement
+// result plus the original request (retained so recovery can re-run
+// only the placement step when the hosting platform vanished).
+type DeploymentRecord struct {
+	ID         string `json:"id"`
+	Tenant     string `json:"tenant,omitempty"`
+	ModuleName string `json:"module"`
+	Platform   string `json:"platform"`
+	Addr       uint32 `json:"addr"`
+	Sandboxed  bool   `json:"sandboxed,omitempty"`
+	// Verdict is the security check's verdict name (safe,
+	// needs-sandbox); the full report is not persisted.
+	Verdict string `json:"verdict,omitempty"`
+	// Config is the deployed (possibly sandbox-wrapped,
+	// $MODULE_IP-substituted) Click source.
+	Config string `json:"config"`
+	Status string `json:"status"`
+
+	// The original request, for placement-only recovery.
+	ReqConfig       string   `json:"req_config,omitempty"`
+	ReqStock        string   `json:"req_stock,omitempty"`
+	ReqRequirements string   `json:"req_requirements,omitempty"`
+	Trust           int      `json:"trust,omitempty"`
+	Whitelist       []string `json:"whitelist,omitempty"`
+	Transparent     bool     `json:"transparent,omitempty"`
+}
+
+// Clone returns a deep copy.
+func (d *DeploymentRecord) Clone() *DeploymentRecord {
+	if d == nil {
+		return nil
+	}
+	c := *d
+	c.Whitelist = append([]string(nil), d.Whitelist...)
+	return &c
+}
+
+// Record is one journal frame's payload.
+type Record struct {
+	// Seq is assigned by Store.Append: strictly increasing, never
+	// reset by compaction.
+	Seq  uint64    `json:"seq"`
+	Type EventType `json:"type"`
+	// Dep carries the full deployment for EvAdmit and EvMigrate.
+	Dep *DeploymentRecord `json:"dep,omitempty"`
+	// ID names the target deployment for EvStatus, EvMigrateFailed
+	// and EvKill (and the refused module name for EvReject).
+	ID       string `json:"id,omitempty"`
+	Status   string `json:"status,omitempty"`
+	Platform string `json:"platform,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// NextID is the controller's ID counter at emission time, so a
+	// recovered controller never reissues a deployment ID.
+	NextID int `json:"next_id,omitempty"`
+}
+
+// State is the fold of a snapshot plus every journal record after it:
+// exactly the controller state the recovery path rebuilds.
+type State struct {
+	// Seq is the last applied record's sequence number.
+	Seq uint64 `json:"seq"`
+	// NextID is the controller's deployment ID counter.
+	NextID int `json:"next_id"`
+	// Deployments maps deployment ID to its latest record.
+	Deployments map[string]*DeploymentRecord `json:"deployments"`
+	// PlatformDown marks platforms last known unhealthy.
+	PlatformDown map[string]bool `json:"platform_down,omitempty"`
+	// Controller decision counters (the accounting identity).
+	Placed           int `json:"placed"`
+	Rejections       int `json:"rejections"`
+	Migrations       int `json:"migrations"`
+	FailedMigrations int `json:"failed_migrations"`
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		Deployments:  make(map[string]*DeploymentRecord),
+		PlatformDown: make(map[string]bool),
+	}
+}
+
+// Clone returns a deep copy.
+func (st *State) Clone() *State {
+	c := *st
+	c.Deployments = make(map[string]*DeploymentRecord, len(st.Deployments))
+	for id, d := range st.Deployments {
+		c.Deployments[id] = d.Clone()
+	}
+	c.PlatformDown = make(map[string]bool, len(st.PlatformDown))
+	for p, down := range st.PlatformDown {
+		c.PlatformDown[p] = down
+	}
+	return &c
+}
+
+// IDs returns the deployment IDs in sorted order (recovery iterates
+// deterministically).
+func (st *State) IDs() []string {
+	ids := make([]string, 0, len(st.Deployments))
+	for id := range st.Deployments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// idNum extracts N from a "pm-N" deployment ID (0 if malformed).
+func idNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "pm-"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Apply folds one record into the state. Unknown or dangling records
+// (e.g. a status for a killed deployment) are ignored rather than
+// rejected: a journal that truncated differently than the writer
+// expected must still replay.
+func (st *State) Apply(r Record) {
+	st.Seq = r.Seq
+	if r.NextID > st.NextID {
+		st.NextID = r.NextID
+	}
+	switch r.Type {
+	case EvAdmit:
+		if r.Dep == nil {
+			return
+		}
+		st.Deployments[r.Dep.ID] = r.Dep.Clone()
+		st.Placed++
+		if n := idNum(r.Dep.ID); n > st.NextID {
+			st.NextID = n
+		}
+	case EvReject:
+		st.Rejections++
+	case EvStatus:
+		if d, ok := st.Deployments[r.ID]; ok {
+			d.Status = r.Status
+		}
+	case EvMigrate:
+		if r.Dep == nil {
+			return
+		}
+		st.Deployments[r.Dep.ID] = r.Dep.Clone()
+		st.Migrations++
+		if n := idNum(r.Dep.ID); n > st.NextID {
+			st.NextID = n
+		}
+	case EvMigrateFailed:
+		if d, ok := st.Deployments[r.ID]; ok {
+			d.Status = StatusFailed
+		}
+		st.FailedMigrations++
+	case EvKill:
+		delete(st.Deployments, r.ID)
+	case EvPlatformDown:
+		st.PlatformDown[r.Platform] = true
+		for _, d := range st.Deployments {
+			if d.Platform == r.Platform && d.Status == StatusActive {
+				d.Status = StatusDegraded
+			}
+		}
+	case EvPlatformUp:
+		delete(st.PlatformDown, r.Platform)
+		for _, d := range st.Deployments {
+			if d.Platform == r.Platform && d.Status == StatusDegraded {
+				d.Status = StatusActive
+			}
+		}
+	}
+}
+
+// ---- Frame encoding --------------------------------------------------
+
+const (
+	frameHeader = 8 // uint32 length + uint32 crc
+	// MaxRecordSize bounds one frame's payload; replay treats a
+	// larger claimed length as corruption.
+	MaxRecordSize = 16 << 20
+)
+
+// appendFrame encodes one record as a frame.
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// EncodeRecord renders one record as a journal frame (exported for
+// tests that craft journals byte by byte).
+func EncodeRecord(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxRecordSize {
+		return nil, fmt.Errorf("journal: record %d exceeds %d bytes", r.Seq, MaxRecordSize)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// DecodeAll replays journal bytes: it returns every valid record up
+// to (not including) the first torn or corrupt frame, plus the byte
+// length of that valid prefix. afterSeq skips records already covered
+// by a snapshot. DecodeAll never fails: corruption truncates.
+func DecodeAll(data []byte, afterSeq uint64) (recs []Record, valid int64) {
+	off := 0
+	prev := afterSeq
+	for {
+		if len(data)-off < frameHeader {
+			return recs, int64(off) // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > MaxRecordSize || len(data)-off-frameHeader < int(n) {
+			return recs, int64(off) // absurd length or torn payload
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, int64(off) // bit rot
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return recs, int64(off)
+		}
+		if len(recs) > 0 || afterSeq > 0 {
+			// Sequence numbers must strictly increase; a replayed
+			// record at or below the snapshot's Seq is skippable
+			// (crash between snapshot write and journal truncate).
+			if r.Seq <= prev {
+				if r.Seq <= afterSeq && len(recs) == 0 {
+					off += frameHeader + int(n)
+					continue // pre-snapshot record, still valid prefix
+				}
+				return recs, int64(off)
+			}
+		}
+		prev = r.Seq
+		recs = append(recs, r)
+		off += frameHeader + int(n)
+	}
+}
+
+// ReplayFile reads a journal file tolerantly: valid records plus the
+// byte length of the valid prefix. A missing file is an empty journal.
+func ReplayFile(path string, afterSeq uint64) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, valid := DecodeAll(data, afterSeq)
+	return recs, valid, nil
+}
+
+// writeFrame appends one frame to w.
+func writeFrame(w io.Writer, r Record) error {
+	frame, err := EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}

@@ -1,0 +1,242 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func dep(id, platform string, addr uint32, status string) *DeploymentRecord {
+	return &DeploymentRecord{
+		ID: id, ModuleName: "m-" + id, Platform: platform, Addr: addr,
+		Status: status, Config: "in :: FromNetfront();",
+	}
+}
+
+func mustAppend(t *testing.T, s *Store, r Record) {
+	t.Helper()
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-2", "Platform2", 43, StatusActive), NextID: 2})
+	mustAppend(t, s, Record{Type: EvKill, ID: "pm-2"})
+	mustAppend(t, s, Record{Type: EvReject, ID: "evil", Reason: "security"})
+	want := s.State()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.State()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("replayed state differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got.Placed != 2 || got.Rejections != 1 {
+		t.Errorf("counters: placed=%d rejections=%d", got.Placed, got.Rejections)
+	}
+	if _, alive := got.Deployments["pm-2"]; alive {
+		t.Error("killed pm-2 resurrected")
+	}
+	if got.NextID != 2 {
+		t.Errorf("NextID = %d, want 2", got.NextID)
+	}
+	// The store must keep accepting appends after a replay.
+	mustAppend(t, s2, Record{Type: EvAdmit, Dep: dep("pm-3", "Platform1", 44, StatusActive), NextID: 3})
+	if s2.Seq() != want.Seq+1 {
+		t.Errorf("seq after replayed append = %d, want %d", s2.Seq(), want.Seq+1)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-2", "Platform2", 43, StatusActive), NextID: 2})
+	want := s.State()
+	s.Close()
+
+	// A crash mid-append: half a frame of a kill record.
+	jpath := filepath.Join(dir, JournalFile)
+	full, err := EncodeRecord(Record{Seq: 3, Type: EvKill, ID: "pm-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery from torn tail failed: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.State(); !reflect.DeepEqual(want, got) {
+		t.Errorf("torn record not dropped:\nwant %+v\ngot  %+v", want, got)
+	}
+	// The torn bytes must be physically gone so appends don't land
+	// after garbage.
+	data, _ := os.ReadFile(jpath)
+	if recs, valid := DecodeAll(data, 0); len(recs) != 2 || valid != int64(len(data)) {
+		t.Errorf("journal still carries invalid bytes: %d records, %d/%d valid", len(recs), valid, len(data))
+	}
+}
+
+func TestBitFlipTruncatesAtCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	afterFirst := s.State()
+	mustAppend(t, s, Record{Type: EvKill, ID: "pm-1"})
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-2", "Platform2", 43, StatusActive), NextID: 2})
+	s.Close()
+
+	jpath := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the second frame's payload: everything from
+	// the corruption on is dropped, so the kill and the later admit
+	// both vanish — the journal never "skips over" damage.
+	first, _ := EncodeRecord(Record{Seq: 1, Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	pos := len(first) + 12
+	data[pos] ^= 0x40
+	if err := os.WriteFile(jpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery from bit flip failed: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.State(); !reflect.DeepEqual(afterFirst, got) {
+		t.Errorf("state after corruption:\nwant %+v\ngot  %+v", afterFirst, got)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		id := "pm-" + string(rune('0'+i%10))
+		mustAppend(t, s, Record{Type: EvAdmit, Dep: dep(id, "Platform1", uint32(40+i), StatusActive), NextID: i})
+	}
+	want := s.State()
+	s.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatalf("no snapshot written after compaction threshold: %v", err)
+	}
+	// The journal holds only the records since the last snapshot.
+	data, _ := os.ReadFile(filepath.Join(dir, JournalFile))
+	if recs, _ := DecodeAll(data, 0); len(recs) >= 10 {
+		t.Errorf("journal not compacted: %d records on disk", len(recs))
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.State(); !reflect.DeepEqual(want, got) {
+		t.Errorf("snapshot+journal replay differs:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	// Simulate the compaction crash window: snapshot at Seq N on
+	// disk, journal still holding records ≤ N. Replay must skip them.
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	mustAppend(t, s, Record{Type: EvKill, ID: "pm-1"})
+	want := s.State()
+	if err := writeSnapshotOnly(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // journal NOT truncated: records 1..2 remain on disk
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.State()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("double-applied pre-snapshot records:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got.Placed != 1 {
+		t.Errorf("Placed = %d (pre-snapshot admit replayed twice)", got.Placed)
+	}
+}
+
+// writeSnapshotOnly writes the snapshot without truncating the
+// journal, reproducing a crash inside Compact.
+func writeSnapshotOnly(s *Store) error {
+	data, err := json.Marshal(s.state)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, SnapshotFile), data, 0o644)
+}
+
+func TestPlatformDownUpFolding(t *testing.T) {
+	st := NewState()
+	st.Apply(Record{Seq: 1, Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	st.Apply(Record{Seq: 2, Type: EvAdmit, Dep: dep("pm-2", "Platform2", 43, StatusActive), NextID: 2})
+	st.Apply(Record{Seq: 3, Type: EvPlatformDown, Platform: "Platform1"})
+	if st.Deployments["pm-1"].Status != StatusDegraded {
+		t.Errorf("pm-1 status = %s, want degraded", st.Deployments["pm-1"].Status)
+	}
+	if st.Deployments["pm-2"].Status != StatusActive {
+		t.Errorf("pm-2 status = %s, want active", st.Deployments["pm-2"].Status)
+	}
+	if !st.PlatformDown["Platform1"] {
+		t.Error("Platform1 not marked down")
+	}
+	st.Apply(Record{Seq: 4, Type: EvPlatformUp, Platform: "Platform1"})
+	if st.Deployments["pm-1"].Status != StatusActive {
+		t.Errorf("pm-1 status after recovery = %s", st.Deployments["pm-1"].Status)
+	}
+	if len(st.PlatformDown) != 0 {
+		t.Error("PlatformDown not cleared")
+	}
+}
+
+func TestOpenRejectsMissingDir(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"), Options{}); err == nil {
+		t.Error("Open of a missing directory succeeded")
+	}
+}

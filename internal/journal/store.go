@@ -1,0 +1,213 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SyncPolicy selects journal durability.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: a crash loses
+	// nothing the caller was told succeeded.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves flushing to the OS: faster, a crash may lose
+	// the last few records (replay still recovers a clean prefix).
+	SyncNone
+)
+
+// ParseSyncPolicy maps flag values to policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown fsync policy %q (want always or none)", s)
+	}
+}
+
+// Options shape a store.
+type Options struct {
+	// Sync is the journal fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// CompactEvery triggers a snapshot + journal truncation after
+	// this many appended records (0 = 256; negative = never).
+	CompactEvery int
+}
+
+// File names inside a state directory.
+const (
+	JournalFile  = "journal.log"
+	SnapshotFile = "snapshot.json"
+)
+
+// Store is a journal plus its compacted snapshot. It keeps the folded
+// State in memory: every Append both writes the frame and applies the
+// record, so Snapshot is always self-contained.
+type Store struct {
+	dir       string
+	opts      Options
+	f         *os.File
+	state     *State
+	sinceSnap int
+}
+
+// Open loads (or initializes) a store in dir. The directory must
+// exist. A torn or corrupt journal tail is truncated at the last
+// valid record; a corrupt snapshot is an error (it was written
+// atomically, so corruption means real damage, not a crash artifact).
+func Open(dir string, opts Options) (*Store, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: state dir: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("journal: state dir %s is not a directory", dir)
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 256
+	}
+	s := &Store{dir: dir, opts: opts, state: NewState()}
+
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if data, rerr := os.ReadFile(snapPath); rerr == nil {
+		if err := json.Unmarshal(data, s.state); err != nil {
+			return nil, fmt.Errorf("journal: corrupt snapshot %s: %v", snapPath, err)
+		}
+		if s.state.Deployments == nil {
+			s.state.Deployments = make(map[string]*DeploymentRecord)
+		}
+		if s.state.PlatformDown == nil {
+			s.state.PlatformDown = make(map[string]bool)
+		}
+	} else if !os.IsNotExist(rerr) {
+		return nil, fmt.Errorf("journal: %w", rerr)
+	}
+
+	jpath := filepath.Join(dir, JournalFile)
+	recs, valid, err := ReplayFile(jpath, s.state.Seq)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		s.state.Apply(r)
+	}
+	s.sinceSnap = len(recs)
+
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Drop the torn tail so new frames append after the last valid
+	// record, not after garbage.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// Dir returns the state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Seq returns the last applied sequence number.
+func (s *Store) Seq() uint64 { return s.state.Seq }
+
+// State returns a deep copy of the folded state.
+func (s *Store) State() *State { return s.state.Clone() }
+
+// Append assigns the next sequence number, writes the frame (fsync
+// per policy), folds the record into the state and compacts when the
+// journal has grown past CompactEvery records. It implements the
+// controller's Journal interface.
+func (s *Store) Append(r Record) error {
+	if s.f == nil {
+		return fmt.Errorf("journal: store is closed")
+	}
+	r.Seq = s.state.Seq + 1
+	if err := writeFrame(s.f, r); err != nil {
+		return err
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.state.Apply(r)
+	s.sinceSnap++
+	if s.opts.CompactEvery > 0 && s.sinceSnap >= s.opts.CompactEvery {
+		return s.Compact()
+	}
+	return nil
+}
+
+// Compact writes the folded state as a snapshot (atomic: temp file +
+// rename) and truncates the journal. A crash between the two leaves a
+// snapshot at Seq N plus journal records ≤ N, which replay skips.
+func (s *Store) Compact() error {
+	if s.f == nil {
+		return fmt.Errorf("journal: store is closed")
+	}
+	data, err := json.MarshalIndent(s.state, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, SnapshotFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, SnapshotFile)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return err
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.sinceSnap = 0
+	return nil
+}
+
+// Close releases the journal file handle. The store must not be used
+// afterwards (a crashed controller's store is closed, then a fresh
+// Open replays the directory).
+func (s *Store) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

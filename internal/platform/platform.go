@@ -241,6 +241,13 @@ func (p *Platform) ResidentVMs() int { return len(p.vms) }
 // RegisteredModules returns the number of registered module specs.
 func (p *Platform) RegisteredModules() int { return len(p.specs) }
 
+// HasModule reports whether a module spec is registered at addr — the
+// controller's restart-recovery inventory probe.
+func (p *Platform) HasModule(addr uint32) bool {
+	_, ok := p.specs[addr]
+	return ok
+}
+
 // Deliver is the back-end switch datapath: a packet arriving for a
 // module address is steered to its VM, booting or resuming it first
 // if needed (the switch controller of §5). out is invoked, in virtual

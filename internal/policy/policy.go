@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/in-net/innet/internal/flowspec"
 	"github.com/in-net/innet/internal/packet"
@@ -270,6 +271,13 @@ type CheckEnv struct {
 	ClientNet packet.Prefix
 	// MaxHops bounds reachability runs (0 = default).
 	MaxHops int
+	// MaxSteps bounds the total symbolic steps one Check may spend
+	// across all of its reachability runs (0 = symexec's per-run
+	// default). Exhaustion surfaces as a symexec.ErrBudget error.
+	MaxSteps int
+	// Deadline aborts checking once the wall clock passes it (zero =
+	// no deadline).
+	Deadline time.Time
 }
 
 // HopReport records the verdict for one hop.
@@ -335,13 +343,25 @@ func (r *Requirement) Check(env *CheckEnv) (*CheckResult, error) {
 			return nil, perr
 		}
 		for _, st := range states {
+			// The step budget is shared across the whole check: each
+			// run gets what the previous ones left over.
+			budget := 0
+			if env.MaxSteps > 0 {
+				budget = env.MaxSteps - res.Steps
+				if budget <= 0 {
+					return nil, fmt.Errorf("policy: requirement %q: %d steps spent: %w", r, res.Steps, symexec.ErrBudget)
+				}
+			}
 			run, rerr := env.Net.Run(symexec.Injection{
 				Node: injNode, State: st, MaxHops: env.MaxHops,
+				MaxSteps: budget, Deadline: env.Deadline,
 			})
+			if run != nil {
+				res.Steps += run.Steps
+			}
 			if rerr != nil {
 				return nil, rerr
 			}
-			res.Steps += run.Steps
 			for _, got := range run.AtNode[node] {
 				if port >= 0 {
 					if last, ok := got.LastHop(); !ok || last.Port != port {

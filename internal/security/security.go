@@ -19,6 +19,7 @@ package security
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/in-net/innet/internal/click"
 	"github.com/in-net/innet/internal/packet"
@@ -129,6 +130,11 @@ type Input struct {
 	// fact, operators must choose between flexibility of client
 	// processing and security."
 	BanConnectionlessReplies bool
+	// MaxSteps / Deadline bound the symbolic exploration (see
+	// symexec.Injection); exhaustion surfaces as a symexec.ErrBudget
+	// error so the controller can reject instead of hang.
+	MaxSteps int
+	Deadline time.Time
 }
 
 // FlowFinding reports one egress flow's analysis.
@@ -205,7 +211,10 @@ func Check(in Input) (*Report, error) {
 		if !init.Constrain(symexec.FieldDstIP, symexec.Single(uint64(in.Addr))) {
 			return nil, fmt.Errorf("security: module address constraint unsatisfiable")
 		}
-		res, err := net.Run(symexec.Injection{Node: entry, State: init})
+		res, err := net.Run(symexec.Injection{
+			Node: entry, State: init,
+			MaxSteps: in.MaxSteps, Deadline: in.Deadline,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,24 @@
 package symexec
 
 import (
+	"errors"
 	"fmt"
+	"time"
 )
+
+// ErrBudget is wrapped by Run when exploration exhausts its step or
+// wall-clock budget; callers detect it with errors.Is and turn it
+// into an admission rejection rather than hanging on a pathological
+// configuration.
+var ErrBudget = errors.New("symexec: exploration budget exceeded")
+
+// DefaultMaxSteps bounds total model executions per Run when the
+// injection does not set its own budget.
+const DefaultMaxSteps = 1 << 20
+
+// deadlineCheckEvery is how many steps pass between wall-clock
+// deadline checks (time.Now per step would dominate small runs).
+const deadlineCheckEvery = 256
 
 // Transition is one outcome of symbolically executing a model: the
 // state continues out of the given output port. A model returning no
@@ -143,6 +159,16 @@ type Injection struct {
 	// MaxStates bounds the total number of in-flight flows to guard
 	// against pathological branching (default 65536).
 	MaxStates int
+	// MaxSteps bounds total model executions across the whole run
+	// (default DefaultMaxSteps). Exceeding it aborts with ErrBudget —
+	// unlike MaxHops/MaxStates, which merely truncate — because a
+	// config that needs this many steps is hostile or broken, and an
+	// admission verdict computed from a partial exploration would be
+	// unsound.
+	MaxSteps int
+	// Deadline aborts exploration (with ErrBudget) once the wall
+	// clock passes it; the zero value means no deadline.
+	Deadline time.Time
 }
 
 type workItem struct {
@@ -169,6 +195,10 @@ func (n *Network) Run(inj Injection) (*Result, error) {
 	if maxStates <= 0 {
 		maxStates = 65536
 	}
+	maxSteps := inj.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
 	res := &Result{
 		AtNode:  make(map[string][]*State),
 		Dropped: make(map[string]int),
@@ -188,6 +218,12 @@ func (n *Network) Run(inj Injection) (*Result, error) {
 		res.AtNode[it.node] = append(res.AtNode[it.node], it.s.Clone())
 		outs := n.models[it.node].Sym(it.port, it.s)
 		res.Steps++
+		if res.Steps > maxSteps {
+			return res, fmt.Errorf("symexec: %d model executions (last at %s): %w", res.Steps, it.node, ErrBudget)
+		}
+		if !inj.Deadline.IsZero() && res.Steps%deadlineCheckEvery == 0 && time.Now().After(inj.Deadline) {
+			return res, fmt.Errorf("symexec: deadline passed after %d model executions (last at %s): %w", res.Steps, it.node, ErrBudget)
+		}
 		if len(outs) == 0 {
 			res.Dropped[it.node]++
 			continue
