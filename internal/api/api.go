@@ -59,6 +59,11 @@ type HealthResponse struct {
 	Platforms map[string]bool `json:"platforms"`
 	// Deployments counts deployments by lifecycle state.
 	Deployments map[string]int `json:"deployments"`
+	// Errors lists persistent control-plane faults: a best-effort
+	// journal append that failed, or a deploy-timeout rollback whose
+	// kill failed (the 503'd deployment is still live). Non-empty
+	// forces Status "degraded".
+	Errors []string `json:"errors,omitempty"`
 }
 
 // QueryRequest is the POST /v1/query body: reach statements to check

@@ -2,6 +2,7 @@ package api
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"github.com/in-net/innet/internal/controller"
 	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -265,5 +267,72 @@ func TestDeployTimeoutMapsTo503AndRollsBack(t *testing.T) {
 	}
 	if ctl.Placed != 1 {
 		t.Errorf("Placed = %d, want 1 (worker did place before rollback)", ctl.Placed)
+	}
+}
+
+// killFailJournal admits fine but refuses kill appends, simulating a
+// journal disk that filled up after admission: the write-ahead kill
+// cannot be made durable, so Kill fails.
+type killFailJournal struct{}
+
+func (killFailJournal) Append(r journal.Record) error {
+	if r.Type == journal.EvKill {
+		return errors.New("disk full")
+	}
+	return nil
+}
+
+func TestDeployTimeoutRollbackFailureSurfacesInHealth(t *testing.T) {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.AttachJournal(killFailJournal{})
+	srv := NewServer(ctl)
+	srv.SetDeployTimeout(10 * time.Millisecond)
+	release := make(chan struct{})
+	rolledBack := make(chan struct{})
+	srv.testSlowDeploy = func() { <-release }
+	srv.testRollbackDone = func() { close(rolledBack) }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retries = 0
+
+	if _, err := c.Deploy(DeployRequest{Tenant: "slow", ModuleName: "m", Config: batcher, Trust: "client"}); err == nil {
+		t.Fatal("slow deploy did not time out")
+	}
+	close(release)
+	select {
+	case <-rolledBack:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rollback never ran")
+	}
+
+	// The kill's write-ahead append failed, so the late placement is
+	// still live — a zombie the 503 promised was rolled back. It must
+	// at least be observable: health degrades and reports the fault.
+	if live := len(ctl.Deployments()); live != 1 {
+		t.Fatalf("deployments = %d, want 1 (kill cannot be journaled)", live)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Errorf("health status = %q, want degraded", h.Status)
+	}
+	found := false
+	for _, e := range h.Errors {
+		if strings.Contains(e, "rollback failed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("health errors = %v, want a deploy-timeout rollback failure", h.Errors)
 	}
 }

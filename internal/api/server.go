@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/in-net/innet/internal/controller"
@@ -39,6 +41,12 @@ type Server struct {
 	// timed-out worker's outcome has been discarded.
 	testSlowDeploy   func()
 	testRollbackDone func()
+
+	// mu guards rollbackErr: the first deploy-timeout rollback whose
+	// Kill failed, leaving a zombie deployment the client was told was
+	// rolled back. Surfaced by GET /v1/health.
+	mu          sync.Mutex
+	rollbackErr error
 }
 
 // NewServer wraps a controller.
@@ -188,7 +196,7 @@ func (s *Server) deployBounded(req controller.Request) (*controller.Deployment, 
 		go func() {
 			res := <-ch
 			if res.err == nil && res.dep != nil {
-				_ = s.ctl.Kill(res.dep.ID)
+				s.rollbackLatePlacement(res.dep.ID)
 			}
 			if s.testRollbackDone != nil {
 				s.testRollbackDone()
@@ -196,6 +204,31 @@ func (s *Server) deployBounded(req controller.Request) (*controller.Deployment, 
 		}()
 		return nil, fmt.Errorf("deploy exceeded %v: %w", timeout, errDeployTimeout)
 	}
+}
+
+// rollbackLatePlacement kills a deployment that was placed after its
+// client already received the 503 promising rollback. Kill is strict
+// write-ahead journaled, so it can fail (e.g. journal disk full); in
+// that case the zombie deployment must not stay live silently — the
+// failure is retried, logged, and surfaced through GET /v1/health.
+func (s *Server) rollbackLatePlacement(id string) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, ok := s.ctl.Get(id); !ok {
+			return // already gone
+		}
+		if err := s.ctl.Kill(id); err == nil {
+			return
+		} else {
+			lastErr = err
+		}
+	}
+	log.Printf("api: deploy-timeout rollback: kill %s failed: %v", id, lastErr)
+	s.mu.Lock()
+	if s.rollbackErr == nil {
+		s.rollbackErr = fmt.Errorf("deploy-timeout rollback failed, deployment %s is still live: %v", id, lastErr)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) moduleByID(w http.ResponseWriter, r *http.Request) {
@@ -260,6 +293,17 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		if st != controller.StatusActive {
 			resp.Status = "degraded"
 		}
+	}
+	if err := s.ctl.JournalErr(); err != nil {
+		resp.Errors = append(resp.Errors, "journal: "+err.Error())
+	}
+	s.mu.Lock()
+	if s.rollbackErr != nil {
+		resp.Errors = append(resp.Errors, s.rollbackErr.Error())
+	}
+	s.mu.Unlock()
+	if len(resp.Errors) > 0 {
+		resp.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

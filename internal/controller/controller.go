@@ -506,33 +506,16 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
 		MaxSteps: steps, Deadline: deadline,
 	}
-	for _, r := range reqs {
-		res, err := r.Check(env)
-		if err != nil {
-			timings.Check += time.Since(checkStart)
-			if errors.Is(err, symexec.ErrBudget) {
-				// Budget exhaustion aborts the whole deployment: the
-				// config would burn the same budget on every platform.
-				return nil, "", budgetRejection(err)
-			}
-			return nil, fmt.Sprintf("platform %s: requirement %q: %v", platformName, r, err), nil
-		}
-		if !res.Satisfied {
-			timings.Check += time.Since(checkStart)
-			return nil, fmt.Sprintf("platform %s: requirement %q: %s", platformName, r, res.Reason), nil
-		}
-	}
-	for _, r := range c.operatorPolicy {
-		res, err := r.Check(env)
-		if err != nil {
-			return nil, "", budgetRejection(err)
-		}
-		if !res.Satisfied {
-			timings.Check += time.Since(checkStart)
-			return nil, fmt.Sprintf("platform %s: operator policy %q violated: %s", platformName, r, res.Reason), nil
-		}
-	}
+	reason, cerr := c.checkPlacementLocked(platformName, reqs, env)
 	timings.Check += time.Since(checkStart)
+	if cerr != nil {
+		// Budget exhaustion aborts the whole deployment: the config
+		// would burn the same budget on every platform.
+		return nil, "", budgetRejection(cerr)
+	}
+	if reason != "" {
+		return nil, reason, nil
+	}
 
 	c.nextID++
 	dep := &Deployment{
@@ -548,6 +531,43 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		module:     hosted,
 	}
 	return dep, "", nil
+}
+
+// checkPlacementLocked verifies the client requirements and operator
+// policy against env, a compiled network snapshot that includes the
+// tentative placement on platformName. It is shared by tryPlatform
+// and recoverPlaceLocked so every re-placement path — Deploy,
+// Failover, RetryFailed and restart recovery — enforces the same
+// placement-dependent checks. A non-empty reason means the placement
+// does not fit on this platform (the caller moves to the next one);
+// an error means the symbolic-execution budget is exhausted, which no
+// platform can cure.
+func (c *Controller) checkPlacementLocked(platformName string, reqs []*policy.Requirement, env *policy.CheckEnv) (string, error) {
+	for _, r := range reqs {
+		res, err := r.Check(env)
+		if err != nil {
+			if errors.Is(err, symexec.ErrBudget) {
+				return "", err
+			}
+			return fmt.Sprintf("platform %s: requirement %q: %v", platformName, r, err), nil
+		}
+		if !res.Satisfied {
+			return fmt.Sprintf("platform %s: requirement %q: %s", platformName, r, res.Reason), nil
+		}
+	}
+	for _, r := range c.operatorPolicy {
+		res, err := r.Check(env)
+		if err != nil {
+			if errors.Is(err, symexec.ErrBudget) {
+				return "", err
+			}
+			return fmt.Sprintf("platform %s: operator policy %q: %v", platformName, r, err), nil
+		}
+		if !res.Satisfied {
+			return fmt.Sprintf("platform %s: operator policy %q violated: %s", platformName, r, res.Reason), nil
+		}
+	}
+	return "", nil
 }
 
 // MarkPlatformDown records a platform outage: placement skips the

@@ -3,9 +3,10 @@
 // migrate, kill, platform health) through the Journal interface, and
 // Restore rebuilds a controller from the folded journal state —
 // re-attaching to platforms that still report the module and
-// re-running only the placement step (never the full
-// symbolic-execution admission pipeline, which the journal already
-// paid for) for deployments whose platform vanished.
+// re-running the placement step (platform choice plus the
+// placement-dependent requirement and policy checks, but never the
+// security symbolic execution, which the journal already paid for)
+// for deployments whose platform vanished.
 package controller
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/policy"
 	"github.com/in-net/innet/internal/security"
 	"github.com/in-net/innet/internal/topology"
 )
@@ -157,13 +159,17 @@ func deploymentFromRecord(rec *journal.DeploymentRecord) (*Deployment, error) {
 	return d, nil
 }
 
-// recoverPlaceLocked re-runs ONLY the placement step for a journaled
+// recoverPlaceLocked re-runs the placement step for a journaled
 // deployment whose platform vanished: pick a healthy platform with a
 // free address, substitute $MODULE_IP, re-apply the admission-time
-// sandbox decision and build the config. The expensive verification
-// (security analysis, operator policy, tenant requirements) is NOT
-// re-run — the journal records that admission already passed, and the
-// sandbox verdict travels with the record.
+// sandbox decision and build the config. The placement-dependent
+// checks — client requirements and operator policy, which tryPlatform
+// verifies per platform against the tentative topology — ARE re-run,
+// so recovery cannot land a module where the static checks would have
+// refused it. Only the security symbolic execution is skipped: its
+// verdict does not depend on where the module is placed, and the
+// journal records it already passed (the sandbox decision travels
+// with the record).
 func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deployment, error) {
 	req := requestFromRecord(rec)
 	src, isVM, err := resolveConfig(req)
@@ -178,12 +184,23 @@ func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deploym
 		}
 		whitelist = append(whitelist, ip)
 	}
+	var reqs []*policy.Requirement
+	if strings.TrimSpace(req.Requirements) != "" {
+		reqs, err = policy.ParseAll(req.Requirements)
+		if err != nil {
+			return nil, fmt.Errorf("controller: recover %s: bad requirements: %v", rec.ID, err)
+		}
+	}
+	steps, deadline := c.opts.admissionBudget()
+	var lastReason string
 	for _, pl := range c.topo.Platforms() {
 		if c.platformDown[pl] {
+			lastReason = fmt.Sprintf("platform %s is down", pl)
 			continue
 		}
 		addr, ok := c.allocAddrLocked(pl)
 		if !ok {
+			lastReason = fmt.Sprintf("platform %s address pool exhausted", pl)
 			continue
 		}
 		deploySrc := strings.ReplaceAll(src, "$MODULE_IP", packet.IPString(addr))
@@ -200,6 +217,26 @@ func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deploym
 		if berr != nil {
 			return nil, fmt.Errorf("controller: recover %s: %v", rec.ID, berr)
 		}
+		hosted := topology.HostedModule{
+			ID: rec.ModuleName, Platform: pl, Addr: addr, Router: router,
+		}
+		net, nm, cerr := c.topo.Compile(c.hostedLocked(&hosted))
+		if cerr != nil {
+			lastReason = fmt.Sprintf("platform %s: %v", pl, cerr)
+			continue
+		}
+		env := &policy.CheckEnv{
+			Net: net, Map: nm, ClientNet: c.topo.ClientNet,
+			MaxSteps: steps, Deadline: deadline,
+		}
+		reason, cherr := c.checkPlacementLocked(pl, reqs, env)
+		if cherr != nil {
+			return nil, fmt.Errorf("controller: recover %s: %v", rec.ID, budgetRejection(cherr))
+		}
+		if reason != "" {
+			lastReason = reason
+			continue
+		}
 		d := &Deployment{
 			ID:         rec.ID,
 			Tenant:     rec.Tenant,
@@ -210,14 +247,15 @@ func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deploym
 			Security:   recoveredReport(rec.Verdict),
 			Config:     deploySrc,
 			req:        req,
-			module: topology.HostedModule{
-				ID: rec.ModuleName, Platform: pl, Addr: addr, Router: router,
-			},
+			module:     hosted,
 		}
 		d.setStatus(StatusActive)
 		return d, nil
 	}
-	return nil, &RejectionError{Reason: "no platform available for recovery placement"}
+	if lastReason == "" {
+		lastReason = "no platform available for recovery placement"
+	}
+	return nil, &RejectionError{Reason: lastReason}
 }
 
 // Inventory answers, during recovery, whether a platform still

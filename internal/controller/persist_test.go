@@ -184,6 +184,39 @@ func TestRestoreReplacesVanishedPlatform(t *testing.T) {
 	}
 }
 
+func TestRecoveryReplacementHonorsRequirements(t *testing.T) {
+	c, _, dir := journaledController(t)
+	d, err := c.Deploy(batcherRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.5: the Batcher's reach requirement only holds on Platform3 —
+	// Platforms 1 and 2 are not reachable from the outside.
+	if d.Platform != "Platform3" {
+		t.Fatalf("batcher placed on %s, want Platform3", d.Platform)
+	}
+
+	// The module vanished from its platform. Recovery iterates the
+	// platforms in order, so without re-running the placement-dependent
+	// checks it would land the Batcher on Platform1, where its own
+	// requirements (and thus the admission decision the client paid
+	// for) do not hold.
+	rc, rep, _ := restoreFrom(t, dir, staticInventory{})
+	if len(rep.Replaced) != 1 || rep.Replaced[0] != d.ID {
+		t.Fatalf("recovery report: %+v", rep)
+	}
+	rd, ok := rc.Get(d.ID)
+	if !ok {
+		t.Fatal("batcher lost")
+	}
+	if rd.Platform != "Platform3" {
+		t.Errorf("recovery re-placed the batcher on %s, where its requirements do not hold; want Platform3", rd.Platform)
+	}
+	if rd.Status() != StatusActive {
+		t.Errorf("status = %s, want active", rd.Status())
+	}
+}
+
 func TestRestoreKeepsFailedFailed(t *testing.T) {
 	c, _, dir := journaledController(t)
 	d, err := c.Deploy(Request{Tenant: "a", ModuleName: "m1", Config: mirrorConfig, Trust: security.ThirdParty})

@@ -37,7 +37,7 @@ func validJournal(t interface{ Fatal(...any) }) []byte {
 func FuzzJournalReplay(f *testing.F) {
 	base := validJournal(f)
 	f.Add(base)
-	f.Add(base[:len(base)-3])          // torn final record
+	f.Add(base[:len(base)-3])            // torn final record
 	f.Add(append([]byte{}, base[5:]...)) // decapitated
 	flipped := append([]byte{}, base...)
 	flipped[len(flipped)/2] ^= 0x10

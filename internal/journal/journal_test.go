@@ -2,6 +2,7 @@ package journal
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -233,6 +234,73 @@ func TestPlatformDownUpFolding(t *testing.T) {
 	if len(st.PlatformDown) != 0 {
 		t.Error("PlatformDown not cleared")
 	}
+}
+
+func TestAppendRollsBackTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+
+	// Inject a torn write: half the frame lands, then the disk fills.
+	s.testWrite = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		return n, errors.New("disk full")
+	}
+	if err := s.Append(Record{Type: EvAdmit, Dep: dep("pm-2", "Platform2", 43, StatusActive), NextID: 2}); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	s.testWrite = nil
+
+	// The store must roll the file back to the last good frame, so
+	// this strict write-ahead kill lands at a clean boundary — not
+	// after garbage that replay would truncate away along with it.
+	mustAppend(t, s, Record{Type: EvKill, ID: "pm-1"})
+	want := s.State()
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.State()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("state after torn write differs:\nwant %+v\ngot  %+v", want, got)
+	}
+	if _, alive := got.Deployments["pm-1"]; alive {
+		t.Error("kill appended after a torn write was lost on replay")
+	}
+}
+
+func TestAppendWedgesWhenRollbackFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	// Swap in a read-only handle: the append's write fails AND the
+	// rollback truncate fails, so the store must wedge.
+	rw := s.f
+	ro, err := os.Open(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.f = ro
+	if err := s.Append(Record{Type: EvKill, ID: "pm-1"}); err == nil {
+		t.Fatal("append on a read-only journal succeeded")
+	}
+	ro.Close()
+	s.f = rw
+	// Even with the good handle back, a wedged store refuses appends:
+	// the file may end in garbage it cannot account for.
+	if err := s.Append(Record{Type: EvKill, ID: "pm-1"}); err == nil {
+		t.Fatal("wedged store accepted an append")
+	}
+	s.Close()
 }
 
 func TestOpenRejectsMissingDir(t *testing.T) {

@@ -55,6 +55,18 @@ type Store struct {
 	f         *os.File
 	state     *State
 	sinceSnap int
+	// goodOff is the file offset just past the last fully written
+	// frame. A failed append rolls the file back here so later frames
+	// never land after torn bytes (replay truncates at the first torn
+	// frame and would silently drop everything behind it).
+	goodOff int64
+	// wedged is set when that rollback itself failed: the file may end
+	// in garbage, so the store refuses further appends rather than
+	// write records a restart could never replay.
+	wedged error
+	// testWrite, when set, replaces the journal write — tests use it
+	// to inject partial (torn) writes.
+	testWrite func(f *os.File, b []byte) (int, error)
 }
 
 // Open loads (or initializes) a store in dir. The directory must
@@ -114,6 +126,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.f = f
+	s.goodOff = valid
 	return s, nil
 }
 
@@ -134,15 +147,33 @@ func (s *Store) Append(r Record) error {
 	if s.f == nil {
 		return fmt.Errorf("journal: store is closed")
 	}
+	if s.wedged != nil {
+		return fmt.Errorf("journal: store failed: %w", s.wedged)
+	}
 	r.Seq = s.state.Seq + 1
-	if err := writeFrame(s.f, r); err != nil {
+	frame, err := EncodeRecord(r)
+	if err != nil {
 		return err
 	}
+	if _, werr := s.write(frame); werr != nil {
+		// A partial write leaves torn bytes at the offset; roll the
+		// file back to the last good frame boundary so a later append
+		// (or a stale-Seq duplicate of this one) never lands after
+		// garbage, where replay would silently drop it.
+		s.rollback(werr)
+		return werr
+	}
 	if s.opts.Sync == SyncAlways {
-		if err := s.f.Sync(); err != nil {
-			return err
+		if serr := s.f.Sync(); serr != nil {
+			// The frame may or may not be on disk; either way the file
+			// cursor moved past it while state.Seq did not, so the next
+			// append would write a duplicate Seq that replay rejects.
+			// Roll back to the good boundary before reporting failure.
+			s.rollback(serr)
+			return serr
 		}
 	}
+	s.goodOff += int64(len(frame))
 	s.state.Apply(r)
 	s.sinceSnap++
 	if s.opts.CompactEvery > 0 && s.sinceSnap >= s.opts.CompactEvery {
@@ -151,12 +182,56 @@ func (s *Store) Append(r Record) error {
 	return nil
 }
 
+// write appends raw bytes at the journal cursor. testWrite, when set,
+// lets tests simulate a torn write (part of the buffer lands on disk,
+// then an error).
+func (s *Store) write(b []byte) (int, error) {
+	if s.testWrite != nil {
+		return s.testWrite(s.f, b)
+	}
+	return s.f.Write(b)
+}
+
+// rollback restores the journal file to the last good frame boundary
+// after a failed append. If the truncate or seek itself fails the
+// store wedges — it refuses further appends, because anything written
+// past the leftover garbage would be unrecoverable on replay.
+func (s *Store) rollback(cause error) {
+	if err := s.f.Truncate(s.goodOff); err != nil {
+		s.wedged = fmt.Errorf("append failed (%v) and truncate to last good offset %d failed (%v)", cause, s.goodOff, err)
+		return
+	}
+	if _, err := s.f.Seek(s.goodOff, 0); err != nil {
+		s.wedged = fmt.Errorf("append failed (%v) and seek to last good offset %d failed (%v)", cause, s.goodOff, err)
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
 // Compact writes the folded state as a snapshot (atomic: temp file +
-// rename) and truncates the journal. A crash between the two leaves a
-// snapshot at Seq N plus journal records ≤ N, which replay skips.
+// fsync + rename + directory fsync) and truncates the journal. A
+// crash between the two leaves a snapshot at Seq N plus journal
+// records ≤ N, which replay skips; the directory fsync orders the
+// rename before the truncation, so a crash can never pair the
+// truncated journal with the pre-rename snapshot.
 func (s *Store) Compact() error {
 	if s.f == nil {
 		return fmt.Errorf("journal: store is closed")
+	}
+	if s.wedged != nil {
+		return fmt.Errorf("journal: store failed: %w", s.wedged)
 	}
 	data, err := json.MarshalIndent(s.state, "", " ")
 	if err != nil {
@@ -185,6 +260,15 @@ func (s *Store) Compact() error {
 		os.Remove(tmpName)
 		return err
 	}
+	if s.opts.Sync == SyncAlways {
+		// The rename's directory entry must be durable before the
+		// journal shrinks: otherwise a crash could surface the old (or
+		// no) snapshot next to an already-truncated journal, losing the
+		// compacted state.
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
 	if err := s.f.Truncate(0); err != nil {
 		return err
 	}
@@ -196,6 +280,7 @@ func (s *Store) Compact() error {
 			return err
 		}
 	}
+	s.goodOff = 0
 	s.sinceSnap = 0
 	return nil
 }
