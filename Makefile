@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz fmt vet clean golden chaos
+.PHONY: all build test race cover bench bench-fast experiments examples fuzz fmt vet clean golden chaos
 
 all: build test
 
@@ -23,6 +23,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# The fast-path measurements (admission cache, sharded dispatch,
+# batched dataplane); writes the JSON report described in
+# docs/FORMATS.md §8.
+bench-fast:
+	$(GO) run ./cmd/innet-bench -quick -only fastpath -json BENCH_pr3.json
+
 # The paper's evaluation as printed tables (quick variant: seconds).
 experiments:
 	$(GO) run ./cmd/innet-bench -quick
@@ -41,6 +47,7 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/clicklang/
 	$(GO) test -fuzz=FuzzSplitArgs -fuzztime=15s ./internal/clicklang/
+	$(GO) test -fuzz=FuzzCanonicalConfig -fuzztime=30s ./internal/clicklang/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/flowspec/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/policy/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/topology/

@@ -19,11 +19,15 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink the heavyweight sweeps")
-		only  = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "shrink the heavyweight sweeps")
+		only    = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https, fastpath")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		batch   = flag.Int("batch", 0, "dataplane batch size for fastpath (0 = default)")
+		jsonOut = flag.String("json", "", "also write the fastpath results to this file (BENCH_pr3.json)")
 	)
 	flag.Parse()
+
+	var fastpath *bench.FastPathResult
 
 	runners := map[string]func() *bench.Table{
 		"fig5":        func() *bench.Table { return bench.Fig5(*quick) },
@@ -46,12 +50,35 @@ func main() {
 		"ablation-a":  bench.AblationConsolidation,
 		"ablation-b":  bench.AblationSuspendResume,
 		"ablation-c":  func() *bench.Table { return bench.AblationSandbox(*quick) },
+		"fastpath": func() *bench.Table {
+			fastpath = bench.FastPathMeasure(*quick, *batch)
+			return bench.FastPathTable(fastpath)
+		},
 	}
 	order := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"mawi", "mawi-replay", "controller", "https",
-		"ablation-a", "ablation-b", "ablation-c",
+		"ablation-a", "ablation-b", "ablation-c", "fastpath",
+	}
+
+	writeJSON := func() {
+		if *jsonOut == "" {
+			return
+		}
+		if fastpath == nil {
+			fastpath = bench.FastPathMeasure(*quick, *batch)
+		}
+		data, err := fastpath.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 
 	if *list {
@@ -65,9 +92,11 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(r().String())
+		writeJSON()
 		return
 	}
 	for _, id := range order {
 		fmt.Println(runners[id]().String())
 	}
+	writeJSON()
 }

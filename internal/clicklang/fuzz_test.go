@@ -54,3 +54,45 @@ func FuzzSplitArgs(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCanonicalConfig asserts the properties the controller's
+// admission cache builds on: canonicalization never panics on
+// parser-accepted input, is idempotent (Canonical(Canonical(x)) ==
+// Canonical(x) — semantically equal sources share one cache key), and
+// its output always re-parses to the same canonical form.
+func FuzzCanonicalConfig(f *testing.F) {
+	seeds := []string{
+		"",
+		"a :: Discard();",
+		"FromNetfront() -> Discard();",
+		"FromNetfront() -> IPFilter(allow udp port 1500) -> ToNetfront();",
+		"a :: IPFilter(allow udp, deny all); b :: FromNetfront(); b -> a;",
+		"x[1] -> [2]y;",
+		"a :: B(c(d,e), \"f,g\");",
+		"/* comment */ a :: Discard(); // end",
+		"name :: Class(args) -> other :: Class2() -> third;",
+		"a::b();a->a;",
+		// Whitespace/comment variants of the same graph must
+		// canonicalize identically.
+		"  a :: Discard() ;  ",
+		"a /*x*/ :: Discard();",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c1, err := Canonical(src)
+		if err != nil {
+			// Not parser-accepted: nothing to guarantee beyond "no
+			// panic", which reaching this line already proves.
+			return
+		}
+		c2, err := Canonical(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalize: %v\noriginal: %q\ncanonical: %q", err, src, c1)
+		}
+		if c1 != c2 {
+			t.Fatalf("canonicalization is not idempotent:\noriginal: %q\nfirst:  %q\nsecond: %q", src, c1, c2)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Admission-cache wiring: content-addressed memoization of the
+// controller's symbolic-execution verdicts (security checks and
+// placement-dependent requirement/policy checks) in an LRU keyed on
+// the canonicalized inputs and tagged with a topology epoch.
+//
+// Key discipline — the cache must never change an admission decision:
+//
+//   - Security-check entries are keyed on the canonicalized deployed
+//     source (after $MODULE_IP substitution), the module name (element
+//     node names embed it), the assigned address, the trust class, the
+//     whitelist, the transparency flag, the operator's amplification
+//     policy and the step budget: every input security.Check reads.
+//     They carry symexec.AnyEpoch — a standalone module's analysis
+//     does not depend on what else is deployed.
+//   - Placement-check entries additionally depend on the compiled
+//     network snapshot, so they are tagged with the topology epoch: a
+//     content hash of the hosted-module set (platform, address,
+//     deployed source per live deployment) plus the down-platform set.
+//     The epoch is recomputed lazily after mutations; a lookup against
+//     a stale epoch deletes the entry (lazy invalidation). Because the
+//     epoch is content-derived, deploy→kill→re-deploy returns to the
+//     prior epoch and warm entries hit again.
+//
+// Cache state is never journaled and never persisted: admit/reject
+// records are byte-identical whether the verdict came from the cache
+// or from a cold run (the differential and chaos-regression tests
+// assert this), and a restored controller simply starts cold.
+package controller
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/in-net/innet/internal/clicklang"
+	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/symexec"
+)
+
+// DefaultAdmissionCache is the LRU capacity when Options.AdmissionCache
+// is zero.
+const DefaultAdmissionCache = 512
+
+// hashKey renders a cache key as the SHA-256 of its length-delimited
+// parts (content addressing; no part can collide into another).
+func hashKey(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalOrRaw canonicalizes a Click source for key purposes,
+// falling back to the raw text when it does not parse (the subsequent
+// cold check will reject it with a parse error; keying on raw bytes
+// still caches deterministically).
+func canonicalOrRaw(src string) string {
+	c, err := clicklang.Canonical(src)
+	if err != nil {
+		return "raw\x00" + src
+	}
+	return c
+}
+
+// securityKey content-addresses one security.Check invocation.
+func securityKey(in security.Input, src string, banConnectionless bool) string {
+	wl := make([]string, len(in.Whitelist))
+	for i, ip := range in.Whitelist {
+		wl[i] = fmt.Sprintf("%d", ip)
+	}
+	sort.Strings(wl)
+	return hashKey(
+		"sec",
+		canonicalOrRaw(src),
+		in.ModuleID,
+		fmt.Sprintf("%d", in.Addr),
+		fmt.Sprintf("%d", in.Trust),
+		strings.Join(wl, ","),
+		fmt.Sprintf("%t", in.Transparent),
+		fmt.Sprintf("%t", banConnectionless),
+		fmt.Sprintf("%d", in.MaxSteps),
+	)
+}
+
+// placementKey content-addresses one checkPlacementLocked invocation
+// (epoch-tagged by the caller via cacheGet/cachePut).
+func placementKey(platformName string, addr uint32, deploySrc, requirements string, steps int) string {
+	return hashKey(
+		"place",
+		platformName,
+		fmt.Sprintf("%d", addr),
+		canonicalOrRaw(deploySrc),
+		requirements,
+		fmt.Sprintf("%d", steps),
+	)
+}
+
+// queryKey content-addresses one Query invocation (epoch-tagged).
+func queryKey(requirements string, steps int) string {
+	return hashKey("query", requirements, fmt.Sprintf("%d", steps))
+}
+
+// cloneReport deep-copies a security report so cached state can never
+// be aliased by callers.
+func cloneReport(rep *security.Report) *security.Report {
+	if rep == nil {
+		return nil
+	}
+	c := *rep
+	c.Reasons = append([]string(nil), rep.Reasons...)
+	c.Findings = append([]security.FlowFinding(nil), rep.Findings...)
+	return &c
+}
+
+// epochLocked returns the topology epoch, recomputing the content
+// hash only when the deployment set or platform health changed since
+// the last call.
+func (c *Controller) epochLocked() string {
+	if !c.epochDirty && c.epoch != "" {
+		return c.epoch
+	}
+	ids := make([]string, 0, len(c.deployments))
+	for id := range c.deployments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		d := c.deployments[id]
+		if d.Status() == StatusFailed {
+			continue // failed modules are off the network (hostedLocked)
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d:%s\n", d.ModuleName, d.Platform, d.Addr, len(d.Config), d.Config)
+	}
+	downs := make([]string, 0, len(c.platformDown))
+	for name, down := range c.platformDown {
+		if down {
+			downs = append(downs, name)
+		}
+	}
+	sort.Strings(downs)
+	fmt.Fprintf(h, "down:%s", strings.Join(downs, ","))
+	c.epoch = hex.EncodeToString(h.Sum(nil))
+	c.epochDirty = false
+	return c.epoch
+}
+
+// bumpEpochLocked marks the topology epoch stale. Call after every
+// mutation of the deployment set or platform health.
+func (c *Controller) bumpEpochLocked() { c.epochDirty = true }
+
+// CacheStats snapshots the admission cache counters (zero stats when
+// caching is disabled).
+func (c *Controller) CacheStats() symexec.CacheStats {
+	return c.cache.Stats()
+}
+
+// checkedSecurity runs the security check through the cache. Budget
+// errors are never cached; verdicts (including rejections, with their
+// reasons) are, so a repeated identical request settles without
+// re-running the symbolic execution.
+func (c *Controller) checkedSecurity(in security.Input, src string) (*security.Report, error) {
+	if c.cache == nil {
+		return security.Check(in)
+	}
+	key := securityKey(in, src, in.BanConnectionlessReplies)
+	if v, ok := c.cache.Get(key, symexec.AnyEpoch); ok {
+		return cloneReport(v.(*security.Report)), nil
+	}
+	rep, err := security.Check(in)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.Put(key, symexec.AnyEpoch, cloneReport(rep))
+	return rep, nil
+}
+
+// cachedQuery consults the epoch-tagged cache for a full Query result.
+func (c *Controller) cachedQuery(key, epoch string) (*QueryResult, bool) {
+	if c.cache == nil {
+		return nil, false
+	}
+	v, ok := c.cache.Get(key, epoch)
+	if !ok {
+		return nil, false
+	}
+	r := *(v.(*QueryResult))
+	return &r, true
+}
+
+func (c *Controller) putQuery(key, epoch string, r *QueryResult) {
+	if c.cache == nil {
+		return
+	}
+	cp := *r
+	cp.Timings = Timings{} // cached verdicts cost nothing; don't replay stale timings
+	c.cache.Put(key, epoch, &cp)
+}

@@ -233,6 +233,10 @@ type Options struct {
 	// AdmissionTimeout bounds one placement attempt's wall-clock
 	// time (0 = DefaultAdmissionTimeout, negative = unlimited).
 	AdmissionTimeout time.Duration
+	// AdmissionCache bounds the admission verdict cache (entries; 0 =
+	// DefaultAdmissionCache, negative = caching disabled). See
+	// cache.go for the key discipline.
+	AdmissionCache int
 }
 
 // admissionBudget resolves the options into a per-check step budget
@@ -272,6 +276,12 @@ type Controller struct {
 	// append that failed.
 	journal    Journal
 	journalErr error
+	// cache memoizes symbolic-execution verdicts (nil = disabled);
+	// epoch content-addresses the deployment set + platform health
+	// for placement-dependent entries, recomputed when epochDirty.
+	cache      *symexec.Cache
+	epoch      string
+	epochDirty bool
 
 	// Placed, Rejections count controller decisions.
 	Placed     int
@@ -289,11 +299,17 @@ func New(topo *topology.Topology, operatorPolicy string) (*Controller, error) {
 
 // NewWithOptions builds a controller with operator policy knobs.
 func NewWithOptions(topo *topology.Topology, operatorPolicy string, opts Options) (*Controller, error) {
+	cacheSize := opts.AdmissionCache
+	if cacheSize == 0 {
+		cacheSize = DefaultAdmissionCache
+	}
 	c := &Controller{
 		opts:         opts,
 		topo:         topo,
 		deployments:  make(map[string]*Deployment),
 		platformDown: make(map[string]bool),
+		cache:        symexec.NewCache(cacheSize), // nil (disabled) when cacheSize < 0
+		epochDirty:   true,
 	}
 	if strings.TrimSpace(operatorPolicy) != "" {
 		reqs, err := policy.ParseAll(operatorPolicy)
@@ -355,6 +371,7 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 		return nil, fmt.Errorf("controller: journal admit: %v", jerr)
 	}
 	c.deployments[dep.ID] = dep
+	c.bumpEpochLocked()
 	c.Placed++
 	return dep, nil
 }
@@ -447,7 +464,7 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 			return nil, "", &RejectionError{Reason: fmt.Sprintf("bad configuration: %v", err)}
 		}
 	}
-	rep, err := security.Check(security.Input{
+	rep, err := c.checkedSecurity(security.Input{
 		ModuleID:                 req.ModuleName,
 		Module:                   mod,
 		Addr:                     addr,
@@ -457,7 +474,7 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		BanConnectionlessReplies: c.opts.BanConnectionlessReplies,
 		MaxSteps:                 steps,
 		Deadline:                 deadline,
-	})
+	}, src)
 	if err != nil {
 		return nil, "", budgetRejection(err)
 	}
@@ -506,7 +523,8 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
 		MaxSteps: steps, Deadline: deadline,
 	}
-	reason, cerr := c.checkPlacementLocked(platformName, reqs, env)
+	pkey := placementKey(platformName, addr, deploySrc, req.Requirements, steps)
+	reason, cerr := c.checkPlacementLocked(platformName, reqs, env, pkey)
 	timings.Check += time.Since(checkStart)
 	if cerr != nil {
 		// Budget exhaustion aborts the whole deployment: the config
@@ -542,7 +560,31 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 // does not fit on this platform (the caller moves to the next one);
 // an error means the symbolic-execution budget is exhausted, which no
 // platform can cure.
-func (c *Controller) checkPlacementLocked(platformName string, reqs []*policy.Requirement, env *policy.CheckEnv) (string, error) {
+//
+// key, when non-empty, memoizes the outcome in the epoch-tagged
+// admission cache: the reason string (including "": fits) is a pure
+// function of the compiled snapshot and the requirement texts, so a
+// repeat of the same tentative placement at the same topology epoch
+// skips the symbolic execution entirely. Budget errors are never
+// cached.
+func (c *Controller) checkPlacementLocked(platformName string, reqs []*policy.Requirement, env *policy.CheckEnv, key string) (string, error) {
+	if c.cache != nil && key != "" {
+		if v, ok := c.cache.Get(key, c.epochLocked()); ok {
+			return v.(string), nil
+		}
+	}
+	reason, err := c.runPlacementChecks(platformName, reqs, env)
+	if err != nil {
+		return reason, err
+	}
+	if c.cache != nil && key != "" {
+		c.cache.Put(key, c.epochLocked(), reason)
+	}
+	return reason, nil
+}
+
+// runPlacementChecks is the uncached core of checkPlacementLocked.
+func (c *Controller) runPlacementChecks(platformName string, reqs []*policy.Requirement, env *policy.CheckEnv) (string, error) {
 	for _, r := range reqs {
 		res, err := r.Check(env)
 		if err != nil {
@@ -578,6 +620,7 @@ func (c *Controller) MarkPlatformDown(name string) []*Deployment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.platformDown[name] = true
+	c.bumpEpochLocked()
 	// One platform-down record covers the whole sweep: replay folds
 	// the same active→degraded transition.
 	c.journalBestEffortLocked(journal.Record{Type: journal.EvPlatformDown, Platform: name})
@@ -598,6 +641,7 @@ func (c *Controller) MarkPlatformUp(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.platformDown, name)
+	c.bumpEpochLocked()
 	c.journalBestEffortLocked(journal.Record{Type: journal.EvPlatformUp, Platform: name})
 	for _, d := range c.deployments {
 		if d.Platform == name && d.Status() == StatusDegraded {
@@ -648,10 +692,12 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 		// Remove the stale copy so the tentative snapshots compiled by
 		// placeLocked do not include the unreachable module.
 		delete(c.deployments, id)
+		c.bumpEpochLocked()
 		nd, err := c.placeLocked(d.req)
 		if err != nil {
 			c.deployments[id] = d
 			d.setStatus(StatusFailed)
+			c.bumpEpochLocked()
 			c.FailedMigrations++
 			c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrateFailed, ID: id, Reason: err.Error()})
 			failed = append(failed, d)
@@ -659,6 +705,7 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 		}
 		nd.ID = id
 		c.deployments[id] = nd
+		c.bumpEpochLocked()
 		c.Migrations++
 		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
 		migrated = append(migrated, Migration{From: d, To: nd})
@@ -683,13 +730,16 @@ func (c *Controller) RetryFailed() []*Deployment {
 	for _, id := range ids {
 		d := c.deployments[id]
 		delete(c.deployments, id)
+		c.bumpEpochLocked()
 		nd, err := c.placeLocked(d.req)
 		if err != nil {
 			c.deployments[id] = d
+			c.bumpEpochLocked()
 			continue
 		}
 		nd.ID = id
 		c.deployments[id] = nd
+		c.bumpEpochLocked()
 		c.Migrations++
 		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
 		recovered = append(recovered, nd)
@@ -721,9 +771,19 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 	// §4.3's observation that "it is fairly easy to parallelize the
 	// controller by simply having multiple machines answer the
 	// queries" holds within one process too.
+	steps, deadline := c.opts.admissionBudget()
+	key := queryKey(requirements, steps)
 	c.mu.Lock()
 	hosted := c.hostedLocked(nil)
+	epoch := c.epochLocked()
 	c.mu.Unlock()
+	// A cached verdict for this requirement text at this topology
+	// epoch answers the probe without compiling or exploring anything
+	// — the §8 reachability probe becomes a hash lookup under steady
+	// traffic.
+	if res, ok := c.cachedQuery(key, epoch); ok {
+		return res, nil
+	}
 	out := &QueryResult{Satisfied: true}
 	compileStart := time.Now()
 	net, nm, err := c.topo.Compile(hosted)
@@ -731,7 +791,6 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 		return nil, err
 	}
 	out.Timings.Compile = time.Since(compileStart)
-	steps, deadline := c.opts.admissionBudget()
 	env := &policy.CheckEnv{
 		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
 		MaxSteps: steps, Deadline: deadline,
@@ -749,6 +808,7 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 		}
 	}
 	out.Timings.Check = time.Since(checkStart)
+	c.putQuery(key, epoch, out)
 	return out, nil
 }
 
@@ -766,6 +826,7 @@ func (c *Controller) Kill(id string) error {
 		return fmt.Errorf("controller: journal kill: %v", jerr)
 	}
 	delete(c.deployments, id)
+	c.bumpEpochLocked()
 	return nil
 }
 

@@ -229,7 +229,8 @@ func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deploym
 			Net: net, Map: nm, ClientNet: c.topo.ClientNet,
 			MaxSteps: steps, Deadline: deadline,
 		}
-		reason, cherr := c.checkPlacementLocked(pl, reqs, env)
+		pkey := placementKey(pl, addr, deploySrc, req.Requirements, steps)
+		reason, cherr := c.checkPlacementLocked(pl, reqs, env, pkey)
 		if cherr != nil {
 			return nil, fmt.Errorf("controller: recover %s: %v", rec.ID, budgetRejection(cherr))
 		}
@@ -321,6 +322,7 @@ func Restore(topo *topology.Topology, operatorPolicy string, opts Options, st *j
 				return nil, nil, derr
 			}
 			c.deployments[id] = d
+			c.bumpEpochLocked()
 			report.Failed = append(report.Failed, id)
 			continue
 		}
@@ -333,6 +335,7 @@ func Restore(topo *topology.Topology, operatorPolicy string, opts Options, st *j
 			return nil, nil, derr
 		}
 		c.deployments[id] = d
+		c.bumpEpochLocked()
 		report.Reattached = append(report.Reattached, id)
 	}
 	// Pass 2: placement-only recovery for vanished platforms.
@@ -347,12 +350,14 @@ func Restore(topo *topology.Topology, operatorPolicy string, opts Options, st *j
 			}
 			d2.setStatus(StatusFailed)
 			c.deployments[id] = d2
+			c.bumpEpochLocked()
 			c.FailedMigrations++
 			c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrateFailed, ID: id, Reason: perr.Error()})
 			report.Failed = append(report.Failed, id)
 			continue
 		}
 		c.deployments[id] = d
+		c.bumpEpochLocked()
 		c.Migrations++
 		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(d)})
 		report.Replaced = append(report.Replaced, id)

@@ -1,0 +1,85 @@
+// Batched measurement path: instead of injecting one template packet
+// at a time from the measuring goroutine, a producer goroutine fills
+// batches of pooled packets and hands them to the runner over a
+// channel — the Go rendition of ClickOS's netfront burst ring. The
+// channel handoff and the scheduler wakeups are per-BATCH, so their
+// cost is amortized by the batch size; packets come from a
+// packet.SyncPool so the steady state allocates nothing.
+package dataplane
+
+import (
+	"time"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+// DefaultBatchSize is the burst size used when callers pass 0 (the
+// netfront ring burst of the paper's dataplane).
+const DefaultBatchSize = 32
+
+// MeasureBatched pushes n copies of the template through the router
+// in batches of batchSize (0 = DefaultBatchSize), produced on a
+// separate goroutine from a shared packet pool. batchSize 1
+// degenerates to a per-packet handoff — the "before" configuration
+// the batching is measured against.
+func (r *Runner) MeasureBatched(template *packet.Packet, n, batchSize int) Result {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	pool := packet.NewSyncPool(cap(template.Payload))
+
+	run := func(total int) {
+		batches := make(chan []*packet.Packet, 4)
+		go func() {
+			sent := 0
+			for sent < total {
+				sz := batchSize
+				if left := total - sent; sz > left {
+					sz = left
+				}
+				b := make([]*packet.Packet, sz)
+				for i := range b {
+					pk := pool.Get()
+					pk.CopyFrom(template)
+					b[i] = pk
+				}
+				batches <- b
+				sent += sz
+			}
+			close(batches)
+		}()
+		for b := range batches {
+			for _, pk := range b {
+				r.now += 1000
+				r.router.Inject(r.ctx, 0, pk)
+				pool.Put(pk)
+			}
+		}
+	}
+
+	// Warm up code paths, the pool and the channel.
+	run(1000)
+	r.tx = 0
+	start := time.Now()
+	run(n)
+	elapsed := time.Since(start)
+	res := Result{Packets: n, Elapsed: elapsed, Transmitted: r.tx}
+	if elapsed > 0 {
+		res.PPS = float64(n) / elapsed.Seconds()
+		res.NsPerPacket = float64(elapsed.Nanoseconds()) / float64(n)
+	}
+	return res
+}
+
+// MeasureBatchedBest runs MeasureBatched trials times and keeps the
+// fastest run, like MeasureBest.
+func (r *Runner) MeasureBatchedBest(template *packet.Packet, n, batchSize, trials int) Result {
+	var best Result
+	for i := 0; i < trials; i++ {
+		res := r.MeasureBatched(template, n, batchSize)
+		if i == 0 || res.PPS > best.PPS {
+			best = res
+		}
+	}
+	return best
+}

@@ -25,11 +25,12 @@ type Cluster struct {
 	Sim *netsim.Sim
 	Ctl *controller.Controller
 
-	// topo / policy / stateDir let CrashController rebuild the
+	// topo / policy / opts / stateDir let CrashController rebuild the
 	// controller from scratch; store is the open journal (nil when the
 	// cluster runs without persistence).
 	topo     *topology.Topology
 	policy   string
+	opts     controller.Options
 	stateDir string
 	store    *journal.Store
 	// Recoveries counts completed controller crash-recover cycles.
@@ -66,7 +67,15 @@ func NewCluster(seed int64, topo *topology.Topology, operatorPolicy string) (*Cl
 // persistence — CrashController then records an error and does
 // nothing.
 func NewClusterWithState(seed int64, topo *topology.Topology, operatorPolicy, stateDir string) (*Cluster, error) {
-	ctl, err := controller.New(topo, operatorPolicy)
+	return NewClusterWithOptions(seed, topo, operatorPolicy, stateDir, controller.Options{})
+}
+
+// NewClusterWithOptions is NewClusterWithState with explicit controller
+// options — the options survive controller crashes, so a cluster built
+// with (say) the admission cache disabled restores a controller with
+// the cache disabled too.
+func NewClusterWithOptions(seed int64, topo *topology.Topology, operatorPolicy, stateDir string, opts controller.Options) (*Cluster, error) {
+	ctl, err := controller.NewWithOptions(topo, operatorPolicy, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -75,6 +84,7 @@ func NewClusterWithState(seed int64, topo *topology.Topology, operatorPolicy, st
 		Ctl:       ctl,
 		topo:      topo,
 		policy:    operatorPolicy,
+		opts:      opts,
 		stateDir:  stateDir,
 		platforms: make(map[string]*platform.Platform),
 		switches:  make(map[string]*vswitch.Switch),
@@ -93,7 +103,7 @@ func NewClusterWithState(seed int64, topo *topology.Topology, operatorPolicy, st
 	}
 	for _, name := range topo.Platforms() {
 		p := platform.New(c.Sim, platform.DefaultModel(), 16*1024)
-		sw := vswitch.New()
+		sw := vswitch.NewSharded(vswitch.DefaultShards)
 		sw.ToModule = func(module uint32, pk *packet.Packet) {
 			p.Deliver(pk, c.recv)
 		}
@@ -266,7 +276,7 @@ func (c *Cluster) CrashController() {
 		c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: reopen journal: %v", err))
 		return
 	}
-	ctl, rep, err := controller.Restore(c.topo, c.policy, controller.Options{}, store.State(), clusterInventory{c}, store)
+	ctl, rep, err := controller.Restore(c.topo, c.policy, c.opts, store.State(), clusterInventory{c}, store)
 	if err != nil {
 		store.Close()
 		c.Errs = append(c.Errs, fmt.Sprintf("controller-crash: restore: %v", err))
@@ -335,7 +345,7 @@ func (c *Cluster) DroppedTotal() uint64 {
 	n := c.LostOnLink
 	for _, name := range c.platformNames() {
 		n += c.platforms[name].DroppedTotal()
-		n += c.switches[name].Misses + c.switches[name].DroppedDown
+		n += c.switches[name].Misses() + c.switches[name].DroppedDown()
 	}
 	return n
 }
@@ -367,7 +377,7 @@ func (c *Cluster) Summary() string {
 			p.Checkpoints, p.Restores,
 			p.DroppedBufferFull, p.DroppedTimeout, p.DroppedDown, p.DroppedInFlight,
 			p.DroppedNoMemory, p.DroppedNoModule,
-			sw.Misses, sw.DroppedDown, sw.Redispatched)
+			sw.Misses(), sw.DroppedDown(), sw.Redispatched())
 	}
 	deps := c.Ctl.Deployments()
 	sort.Slice(deps, func(i, j int) bool { return deps[i].ID < deps[j].ID })

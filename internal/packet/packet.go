@@ -252,3 +252,16 @@ func (p Prefix) Range() (lo, hi uint32) {
 func (p Prefix) String() string {
 	return fmt.Sprintf("%s/%d", IPString(p.Addr), p.Bits)
 }
+
+// CopyFrom overwrites p with src's headers and payload, reusing p's
+// payload buffer and keeping p's pool membership — the batched
+// dataplane's allocation-free template stamp.
+func (p *Packet) CopyFrom(src *Packet) {
+	payload := append(p.Payload[:0], src.Payload...)
+	wire := p.wire[:0]
+	pooled := p.pooled
+	*p = *src
+	p.Payload = payload
+	p.wire = wire
+	p.pooled = pooled
+}

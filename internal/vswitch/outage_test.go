@@ -27,8 +27,8 @@ func TestDownBuffersAndRedispatchesInOrder(t *testing.T) {
 	if s.Buffered() != 0 {
 		t.Errorf("buffered = %d after recovery", s.Buffered())
 	}
-	if s.Redispatched != 3 {
-		t.Errorf("redispatched = %d", s.Redispatched)
+	if s.Redispatched() != 3 {
+		t.Errorf("redispatched = %d", s.Redispatched())
 	}
 	// Arrival order preserved.
 	want := []uint16{1000, 1001, 1002}
@@ -53,8 +53,8 @@ func TestDownBufferBounded(t *testing.T) {
 	if s.Buffered() != 2 {
 		t.Errorf("buffered = %d, want 2", s.Buffered())
 	}
-	if s.DroppedDown != 3 {
-		t.Errorf("DroppedDown = %d, want 3", s.DroppedDown)
+	if s.DroppedDown() != 3 {
+		t.Errorf("DroppedDown = %d, want 3", s.DroppedDown())
 	}
 }
 
@@ -68,8 +68,8 @@ func TestSetDownIdempotent(t *testing.T) {
 	s.Process(udpPkt("10.0.0.1", 53))
 	s.SetDown(false)
 	s.SetDown(false) // second recovery must not replay again
-	if n != 1 || s.Redispatched != 1 {
-		t.Errorf("delivered=%d redispatched=%d", n, s.Redispatched)
+	if n != 1 || s.Redispatched() != 1 {
+		t.Errorf("delivered=%d redispatched=%d", n, s.Redispatched())
 	}
 	if s.IsDown() {
 		t.Error("still down")

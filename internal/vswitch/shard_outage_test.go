@@ -1,0 +1,87 @@
+package vswitch
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+// Per-shard outage accounting: with the buffer and drop counters split
+// across shards, every packet sent during an outage must be accounted
+// exactly once — buffered or dropped, never both, never twice — and
+// the per-shard stats must sum to the aggregate counters.
+func TestShardOutageAccounting(t *testing.T) {
+	s := NewSharded(4)
+	s.BufferLimit = 8
+	s.Install(Rule{Match: Match{}, Action: ActOutput, Port: 1})
+	delivered := 0
+	s.Output = func(int, *packet.Packet) { delivered++ }
+
+	s.SetDown(true)
+	const sent = 40
+	for i := 0; i < sent; i++ {
+		// Distinct flows spread across shards.
+		s.Process(udpPkt("10.0.0.1", uint16(2000+i)))
+	}
+
+	if s.Buffered() != s.BufferLimit {
+		t.Errorf("Buffered = %d, want %d", s.Buffered(), s.BufferLimit)
+	}
+	if got := s.DroppedDown(); got != sent-uint64(s.BufferLimit) {
+		t.Errorf("DroppedDown = %d, want %d", got, sent-s.BufferLimit)
+	}
+	per := s.PerShard()
+	if len(per) != 4 {
+		t.Fatalf("PerShard len = %d", len(per))
+	}
+	var sumBuf int
+	var sumDrop uint64
+	for _, st := range per {
+		sumBuf += st.Buffered
+		sumDrop += st.DroppedDown
+	}
+	if sumBuf != s.Buffered() {
+		t.Errorf("per-shard buffered sums to %d, aggregate %d", sumBuf, s.Buffered())
+	}
+	if sumDrop != s.DroppedDown() {
+		t.Errorf("per-shard drops sum to %d, aggregate %d", sumDrop, s.DroppedDown())
+	}
+	if uint64(sumBuf)+sumDrop != sent {
+		t.Errorf("buffered %d + dropped %d != sent %d", sumBuf, sumDrop, sent)
+	}
+
+	s.SetDown(false)
+	if delivered != s.BufferLimit {
+		t.Errorf("delivered %d after recovery, want %d", delivered, s.BufferLimit)
+	}
+	if got := s.Redispatched(); got != uint64(s.BufferLimit) {
+		t.Errorf("Redispatched = %d, want %d", got, s.BufferLimit)
+	}
+	var sumRe uint64
+	for _, st := range s.PerShard() {
+		sumRe += st.Redispatched
+		if st.Buffered != 0 {
+			t.Errorf("shard still buffering %d after recovery", st.Buffered)
+		}
+	}
+	if sumRe != s.Redispatched() {
+		t.Errorf("per-shard redispatched sums to %d, aggregate %d", sumRe, s.Redispatched())
+	}
+	if s.Buffered() != 0 {
+		t.Errorf("Buffered = %d after recovery", s.Buffered())
+	}
+
+	// A second outage keeps accounting exact — counters accumulate,
+	// nothing is re-counted from the first round.
+	s.SetDown(true)
+	for i := 0; i < 4; i++ {
+		s.Process(udpPkt("10.0.0.1", uint16(3000+i)))
+	}
+	s.SetDown(false)
+	if got := s.Redispatched(); got != uint64(s.BufferLimit)+4 {
+		t.Errorf("Redispatched after second outage = %d, want %d", got, s.BufferLimit+4)
+	}
+	if got := s.DroppedDown(); got != sent-uint64(s.BufferLimit) {
+		t.Errorf("DroppedDown changed across outages: %d", got)
+	}
+}

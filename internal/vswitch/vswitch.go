@@ -4,11 +4,24 @@
 // reaches its processing module, plus the switch controller that
 // detects new flows (a TCP SYN or a first UDP packet) — the trigger
 // for on-the-fly VM instantiation.
+//
+// Dispatch is sharded: per-flow state (the flow cache, the new-flow
+// set, the outage buffer and its drop counters) is split across N
+// shards by a hash of the five-tuple, so concurrent senders contend
+// only when their flows land on the same shard. The rule table itself
+// is shared under a read-write lock — table changes are rare, packet
+// dispatch is constant. Packets of one flow always hash to the same
+// shard and each shard dispatches serially, so per-flow ordering is
+// exactly that of the old single-lock switch (the package's property
+// tests assert this equivalence).
 package vswitch
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/in-net/innet/internal/packet"
 )
@@ -87,17 +100,46 @@ type Rule struct {
 	Module uint32
 	// Port is the output port for ActOutput.
 	Port int
-	// Hits counts matched packets.
-	Hits uint64
+	// hits counts matched packets (accessed atomically: shards
+	// dispatch concurrently; a plain word keeps Rule copyable for the
+	// Install(Rule{...}) literal API).
+	hits uint64
+}
+
+// Hits returns the number of packets this rule matched.
+func (r *Rule) Hits() uint64 { return atomic.LoadUint64(&r.hits) }
+
+// shard owns the per-flow dispatch state for one slice of the flow
+// space. Its fields are guarded by mu, which is only ever acquired
+// while holding the switch's table lock (read or write).
+type shard struct {
+	mu        sync.Mutex
+	flowCache map[packet.FiveTuple]*Rule
+	seen      map[packet.FiveTuple]bool
+	// buffer parks packets while the platform is down; replayed in
+	// arrival order per shard on recovery.
+	buffer []*packet.Packet
+	// Per-shard counters; aggregated by the Switch accessors.
+	misses, newFlows, droppedDown, redispatched uint64
 }
 
 // Switch is the software switch.
 type Switch struct {
-	rules []*Rule
-	// flowCache memoizes per-five-tuple decisions, cleared whenever
-	// the rule table changes.
-	flowCache map[packet.FiveTuple]*Rule
-	seen      map[packet.FiveTuple]bool
+	// mu guards the rule table and the down flag. Dispatch takes it
+	// shared; Install/Remove/SetDown take it exclusive.
+	mu     sync.RWMutex
+	rules  []*Rule
+	down   bool
+	shards []*shard
+	// shardShift extracts the top log2(len(shards)) bits of the
+	// mixed flow hash (shard counts are powers of two; 64 when there
+	// is a single shard, which shifts everything out to index 0).
+	shardShift uint
+
+	// buffered is the total outage-buffer occupancy across shards
+	// (BufferLimit bounds the total, not each shard, so sharding
+	// never changes how many packets an outage can park).
+	buffered atomic.Int64
 
 	// OnNewFlow, if set, fires for each new flow (first UDP packet or
 	// TCP SYN) before the action applies — the §5 switch controller
@@ -108,38 +150,70 @@ type Switch struct {
 	// Output delivers ActOutput packets.
 	Output func(port int, p *packet.Packet)
 
-	// Misses counts packets matching no rule (dropped).
-	Misses uint64
-	// NewFlows counts detected flow starts.
-	NewFlows uint64
-
-	// down buffers traffic while the attached platform is in an
-	// outage; SetDown(false) re-dispatches the buffer through the
-	// table so packets survive a recovery instead of vanishing.
-	down   bool
-	buffer []*packet.Packet
-	// BufferLimit bounds the outage buffer (default 512; overflow is
-	// counted in DroppedDown).
+	// BufferLimit bounds the outage buffer across all shards (default
+	// 512; overflow is counted in DroppedDown).
 	BufferLimit int
-	// DroppedDown counts packets dropped because the outage buffer
-	// overflowed.
-	DroppedDown uint64
-	// Redispatched counts buffered packets replayed after a recovery.
-	Redispatched uint64
 }
 
-// New returns an empty switch.
-func New() *Switch {
-	return &Switch{
-		flowCache: make(map[packet.FiveTuple]*Rule),
-		seen:      make(map[packet.FiveTuple]bool),
+// New returns an empty single-shard switch: dispatch behaves exactly
+// like the historical single-lock implementation (global arrival
+// order preserved across flows, one outage buffer).
+func New() *Switch { return NewSharded(1) }
+
+// DefaultShards is the shard count platforms use for the concurrent
+// fast path.
+const DefaultShards = 4
+
+// NewSharded returns an empty switch whose per-flow dispatch state is
+// split across n shards (n < 1 is treated as 1; other counts round up
+// to a power of two so shard selection is a multiply and a shift).
+// Per-flow ordering is preserved for any n; cross-flow arrival order
+// is only defined per shard.
+func NewSharded(n int) *Switch {
+	if n < 1 {
+		n = 1
 	}
+	for n&(n-1) != 0 {
+		n++
+	}
+	s := &Switch{shards: make([]*shard, n), shardShift: uint(64 - bits.Len(uint(n-1)))}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			flowCache: make(map[packet.FiveTuple]*Rule),
+			seen:      make(map[packet.FiveTuple]bool),
+		}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Switch) Shards() int { return len(s.shards) }
+
+// shardIndex hashes a five-tuple onto a shard slot (a Fibonacci
+// multiplicative hash over the packed tuple — a handful of ALU ops,
+// cheap enough to pay on every packet). The index is the TOP
+// log2(shards) bits of the product: multiplication only carries
+// upward, so the top bits are the ones every input bit influences.
+// Every packet of a flow lands on the same shard.
+func (s *Switch) shardIndex(t packet.FiveTuple) int {
+	h := uint64(t.SrcIP)<<32 | uint64(t.DstIP)
+	h ^= uint64(t.SrcPort)<<48 | uint64(t.DstPort)<<32 | uint64(t.Protocol)
+	return int(h * 0x9e3779b97f4a7c15 >> s.shardShift)
+}
+
+func (s *Switch) shardFor(t packet.FiveTuple) *shard {
+	return s.shards[s.shardIndex(t)]
 }
 
 // Install adds a rule and reorders the table (priority desc, then
-// specificity desc).
+// specificity desc). Every shard's flow cache is cleared.
 func (s *Switch) Install(r Rule) *Rule {
-	rule := &r
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rule := &Rule{
+		Priority: r.Priority, Match: r.Match, Action: r.Action,
+		Module: r.Module, Port: r.Port,
+	}
 	s.rules = append(s.rules, rule)
 	sort.SliceStable(s.rules, func(i, j int) bool {
 		if s.rules[i].Priority != s.rules[j].Priority {
@@ -147,29 +221,48 @@ func (s *Switch) Install(r Rule) *Rule {
 		}
 		return s.rules[i].Match.specificity() > s.rules[j].Match.specificity()
 	})
-	s.flowCache = make(map[packet.FiveTuple]*Rule)
+	s.clearFlowCachesLocked()
 	return rule
 }
 
 // Remove deletes a rule.
 func (s *Switch) Remove(rule *Rule) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i, r := range s.rules {
 		if r == rule {
 			s.rules = append(s.rules[:i], s.rules[i+1:]...)
-			s.flowCache = make(map[packet.FiveTuple]*Rule)
+			s.clearFlowCachesLocked()
 			return nil
 		}
 	}
 	return fmt.Errorf("vswitch: rule not installed")
 }
 
+// clearFlowCachesLocked resets every shard's flow cache (table
+// changed). Caller holds the table lock exclusively, so no shard is
+// mid-dispatch.
+func (s *Switch) clearFlowCachesLocked() {
+	for _, sh := range s.shards {
+		sh.flowCache = make(map[packet.FiveTuple]*Rule)
+	}
+}
+
 // Rules returns the current table size.
-func (s *Switch) Rules() int { return len(s.rules) }
+func (s *Switch) Rules() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rules)
+}
 
 // SetDown marks the switch's platform as failed (true) or recovered
-// (false). While down, Process buffers up to BufferLimit packets;
-// recovery replays them through the table in arrival order.
+// (false). While down, Process buffers up to BufferLimit packets
+// (total, across shards); recovery replays each shard's buffer in
+// arrival order — so per-flow order survives the outage — before any
+// concurrently arriving packet dispatches.
 func (s *Switch) SetDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.down == down {
 		return
 	}
@@ -177,49 +270,60 @@ func (s *Switch) SetDown(down bool) {
 	if down {
 		return
 	}
-	buf := s.buffer
-	s.buffer = nil
-	for _, p := range buf {
-		s.Redispatched++
-		s.Process(p)
+	// Replay under the exclusive table lock: packets racing SetDown
+	// wait on the read lock, so everything buffered during the outage
+	// dispatches before anything that arrives after recovery.
+	for _, sh := range s.shards {
+		buf := sh.buffer
+		sh.buffer = nil
+		s.buffered.Add(int64(-len(buf)))
+		for _, p := range buf {
+			sh.redispatched++
+			s.dispatch(sh, p)
+		}
 	}
 }
 
 // IsDown reports whether the switch is buffering for a failed
 // platform.
-func (s *Switch) IsDown() bool { return s.down }
+func (s *Switch) IsDown() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down
+}
 
-// Buffered returns the number of packets parked in the outage buffer.
-func (s *Switch) Buffered() int { return len(s.buffer) }
+// Buffered returns the number of packets parked in the outage buffers.
+func (s *Switch) Buffered() int { return int(s.buffered.Load()) }
 
-// Process runs one packet through the table.
+// Process runs one packet through the table. Safe for concurrent use;
+// packets of the same flow are dispatched in call order provided their
+// Process calls are themselves ordered (same sender goroutine).
 func (s *Switch) Process(p *packet.Packet) {
-	if s.down {
-		limit := s.BufferLimit
-		if limit <= 0 {
-			limit = 512
-		}
-		if len(s.buffer) >= limit {
-			s.DroppedDown++
-			return
-		}
-		s.buffer = append(s.buffer, p)
-		return
-	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh := s.shardFor(p.Tuple())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.processOnShardLocked(sh, p)
+}
+
+// dispatch matches and applies one packet on a shard. The caller
+// holds the table lock (shared or exclusive) and the shard lock.
+func (s *Switch) dispatch(sh *shard, p *packet.Packet) {
 	t := p.Tuple()
-	if !s.seen[t] {
+	if !sh.seen[t] {
 		isNew := p.Protocol == packet.ProtoUDP ||
 			(p.Protocol == packet.ProtoTCP && p.TCPFlags&packet.TCPSyn != 0 && p.TCPFlags&packet.TCPAck == 0) ||
 			p.Protocol == packet.ProtoICMP
 		if isNew {
-			s.seen[t] = true
-			s.NewFlows++
+			sh.seen[t] = true
+			sh.newFlows++
 			if s.OnNewFlow != nil {
 				s.OnNewFlow(p)
 			}
 		}
 	}
-	rule := s.flowCache[t]
+	rule := sh.flowCache[t]
 	if rule == nil {
 		for _, r := range s.rules {
 			if r.Match.Covers(p) {
@@ -228,12 +332,12 @@ func (s *Switch) Process(p *packet.Packet) {
 			}
 		}
 		if rule == nil {
-			s.Misses++
+			sh.misses++
 			return
 		}
-		s.flowCache[t] = rule
+		sh.flowCache[t] = rule
 	}
-	rule.Hits++
+	atomic.AddUint64(&rule.hits, 1)
 	switch rule.Action {
 	case ActDrop:
 	case ActToModule:
@@ -250,6 +354,119 @@ func (s *Switch) Process(p *packet.Packet) {
 // ExpireFlow forgets a five-tuple (connection teardown), so a later
 // packet counts as a new flow again.
 func (s *Switch) ExpireFlow(t packet.FiveTuple) {
-	delete(s.seen, t)
-	delete(s.flowCache, t)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh := s.shardFor(t)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.seen, t)
+	delete(sh.flowCache, t)
 }
+
+// sumShards aggregates one per-shard counter under the table lock.
+func (s *Switch) sumShards(f func(*shard) uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += f(sh)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Misses counts packets matching no rule (dropped), across shards.
+func (s *Switch) Misses() uint64 { return s.sumShards(func(sh *shard) uint64 { return sh.misses }) }
+
+// NewFlows counts detected flow starts, across shards.
+func (s *Switch) NewFlows() uint64 { return s.sumShards(func(sh *shard) uint64 { return sh.newFlows }) }
+
+// DroppedDown counts packets dropped because the outage buffer
+// overflowed, across shards.
+func (s *Switch) DroppedDown() uint64 {
+	return s.sumShards(func(sh *shard) uint64 { return sh.droppedDown })
+}
+
+// Redispatched counts buffered packets replayed after a recovery,
+// across shards.
+func (s *Switch) Redispatched() uint64 {
+	return s.sumShards(func(sh *shard) uint64 { return sh.redispatched })
+}
+
+// ShardStats reports one shard's accounting (for the per-shard
+// counter-audit tests and operator introspection).
+type ShardStats struct {
+	Misses, NewFlows, DroppedDown, Redispatched uint64
+	Buffered                                    int
+}
+
+// PerShard snapshots every shard's stats in shard order.
+func (s *Switch) PerShard() []ShardStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = ShardStats{
+			Misses: sh.misses, NewFlows: sh.newFlows,
+			DroppedDown: sh.droppedDown, Redispatched: sh.redispatched,
+			Buffered: len(sh.buffer),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ProcessBatch runs a burst of packets through the table under one
+// table-lock acquisition, holding each shard lock across runs of
+// consecutive same-shard packets instead of re-taking it per packet.
+// Packets dispatch in batch order, so the ordering guarantees are
+// those of calling Process sequentially — the batch only amortizes
+// lock traffic (it allocates nothing).
+func (s *Switch) ProcessBatch(pkts []*packet.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var held *shard
+	for _, p := range pkts {
+		sh := s.shardFor(p.Tuple())
+		if sh != held {
+			if held != nil {
+				held.mu.Unlock()
+			}
+			sh.mu.Lock()
+			held = sh
+		}
+		s.processOnShardLocked(sh, p)
+	}
+	if held != nil {
+		held.mu.Unlock()
+	}
+}
+
+// processOnShardLocked is Process's body after the locks are held:
+// outage buffering or dispatch.
+func (s *Switch) processOnShardLocked(sh *shard, p *packet.Packet) {
+	if s.down {
+		limit := s.BufferLimit
+		if limit <= 0 {
+			limit = 512
+		}
+		if n := s.buffered.Add(1); n > int64(limit) {
+			s.buffered.Add(-1)
+			sh.droppedDown++
+			return
+		}
+		sh.buffer = append(sh.buffer, p)
+		return
+	}
+	s.dispatch(sh, p)
+}
+
+// ShardOf reports which shard a five-tuple dispatches on (stable for
+// the life of the switch) — introspection for tests, benchmarks and
+// RSS-style flow steering.
+func (s *Switch) ShardOf(t packet.FiveTuple) int { return s.shardIndex(t) }

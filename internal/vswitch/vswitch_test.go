@@ -66,8 +66,8 @@ func TestPrioritiesAndSpecificity(t *testing.T) {
 func TestMissCounted(t *testing.T) {
 	s := New()
 	s.Process(udpPkt("1.2.3.4", 5))
-	if s.Misses != 1 {
-		t.Errorf("misses = %d", s.Misses)
+	if s.Misses() != 1 {
+		t.Errorf("misses = %d", s.Misses())
 	}
 }
 
@@ -108,8 +108,8 @@ func TestNewFlowDetection(t *testing.T) {
 	if len(newFlows) != 2 {
 		t.Errorf("plain ACK detected as a new flow")
 	}
-	if s.NewFlows != 2 {
-		t.Errorf("NewFlows = %d", s.NewFlows)
+	if s.NewFlows() != 2 {
+		t.Errorf("NewFlows = %d", s.NewFlows())
 	}
 }
 
@@ -144,7 +144,7 @@ func TestRemoveRule(t *testing.T) {
 		t.Error("double remove accepted")
 	}
 	s.Process(udpPkt("1.1.1.1", 5))
-	if s.Misses != 1 {
+	if s.Misses() != 1 {
 		t.Error("removed rule still matches")
 	}
 }
@@ -169,8 +169,8 @@ func TestRuleHits(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		s.Process(udpPkt("1.1.1.1", uint16(i)))
 	}
-	if r.Hits != 3 {
-		t.Errorf("hits = %d", r.Hits)
+	if r.Hits() != 3 {
+		t.Errorf("hits = %d", r.Hits())
 	}
 }
 
