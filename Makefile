@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fast experiments examples fuzz fmt vet clean golden chaos
+.PHONY: all build test race cover bench bench-fast bench-telemetry smoke-telemetry experiments examples fuzz fmt vet clean golden chaos
 
 all: build test
 
@@ -28,6 +28,18 @@ bench:
 # docs/FORMATS.md §8.
 bench-fast:
 	$(GO) run ./cmd/innet-bench -quick -only fastpath -json BENCH_pr3.json
+
+# The telemetry overhead pair (dispatch and admission throughput,
+# registry dark vs attached + continuously scraped); writes the JSON
+# report described in docs/FORMATS.md §8.
+bench-telemetry:
+	$(GO) run ./cmd/innet-bench -quick -only telemetry -telemetry-json BENCH_telemetry.json
+
+# Boot a real innetd, deploy a module, drive packets, and assert the
+# observability endpoints serve every required metric family and a
+# complete admission trace.
+smoke-telemetry:
+	./scripts/smoke_telemetry.sh
 
 # The paper's evaluation as printed tables (quick variant: seconds).
 experiments:

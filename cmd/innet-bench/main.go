@@ -20,14 +20,16 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "shrink the heavyweight sweeps")
-		only    = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https, fastpath")
+		only    = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https, fastpath, telemetry")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		batch   = flag.Int("batch", 0, "dataplane batch size for fastpath (0 = default)")
 		jsonOut = flag.String("json", "", "also write the fastpath results to this file (BENCH_pr3.json)")
+		telOut  = flag.String("telemetry-json", "", "also write the telemetry overhead results to this file")
 	)
 	flag.Parse()
 
 	var fastpath *bench.FastPathResult
+	var tel *bench.TelemetryResult
 
 	runners := map[string]func() *bench.Table{
 		"fig5":        func() *bench.Table { return bench.Fig5(*quick) },
@@ -54,31 +56,43 @@ func main() {
 			fastpath = bench.FastPathMeasure(*quick, *batch)
 			return bench.FastPathTable(fastpath)
 		},
+		"telemetry": func() *bench.Table {
+			tel = bench.TelemetryMeasure(*quick)
+			return bench.TelemetryTable(tel)
+		},
 	}
 	order := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"mawi", "mawi-replay", "controller", "https",
-		"ablation-a", "ablation-b", "ablation-c", "fastpath",
+		"ablation-a", "ablation-b", "ablation-c", "fastpath", "telemetry",
 	}
 
-	writeJSON := func() {
-		if *jsonOut == "" {
-			return
+	writeFile := func(path string, data []byte, err error) {
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
 		}
-		if fastpath == nil {
-			fastpath = bench.FastPathMeasure(*quick, *batch)
-		}
-		data, err := fastpath.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	writeJSON := func() {
+		if *jsonOut != "" {
+			if fastpath == nil {
+				fastpath = bench.FastPathMeasure(*quick, *batch)
+			}
+			data, err := fastpath.JSON()
+			writeFile(*jsonOut, data, err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		if *telOut != "" {
+			if tel == nil {
+				tel = bench.TelemetryMeasure(*quick)
+			}
+			data, err := tel.JSON()
+			writeFile(*telOut, data, err)
+		}
 	}
 
 	if *list {

@@ -55,6 +55,10 @@ func main() {
 		err = inject(client, args[1:])
 	case "health":
 		err = health(client)
+	case "stats":
+		err = stats(client, args[1:])
+	case "trace":
+		err = trace(client, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "innetctl: unknown command %q\n", args[0])
 		usage()
@@ -81,6 +85,10 @@ commands:
   inject -dst IP [-src IP] [-proto udp|tcp|icmp] [-sport N] [-dport N]
          [-payload S] [-count N]      (innetd -simulate mode)
   health
+  stats [-raw]                        (operator metrics; -raw dumps the
+                                       full Prometheus exposition)
+  trace <module-id-or-name> | trace -n K
+                                      (admission traces, stage by stage)
 `)
 }
 
@@ -215,6 +223,89 @@ func health(c *api.Client) error {
 	sort.Strings(states)
 	for _, st := range states {
 		fmt.Printf("deployments %s: %d\n", st, h.Deployments[st])
+	}
+	return nil
+}
+
+// stats prints the controller's operator metrics. By default the
+// Prometheus exposition is condensed to one line per series (headers
+// and histogram buckets dropped); -raw dumps it verbatim for piping
+// into other tooling.
+func stats(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	raw := fs.Bool("raw", false, "print the full Prometheus text exposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(text)
+		return nil
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "_bucket{") {
+			continue // histogram summary lives in _sum/_count
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// trace prints admission traces stage by stage. With an argument it
+// shows the traces whose module name or deployment ID matches; with
+// -n K it shows the K most recent.
+func trace(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 0, "show the N most recent traces instead of filtering by module")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := ""
+	if fs.NArg() > 0 {
+		want = fs.Arg(0)
+	}
+	if want == "" && *n <= 0 {
+		return fmt.Errorf("trace wants a module id/name, or -n K for the K most recent")
+	}
+	fetch := 0 // 0 = whole ring; we filter client-side
+	if want == "" {
+		fetch = *n
+	}
+	traces, err := c.Traces(fetch)
+	if err != nil {
+		return err
+	}
+	shown := 0
+	for _, tr := range traces {
+		if want != "" && tr.ID != want && tr.Ref != want {
+			continue
+		}
+		shown++
+		ref := ""
+		if tr.Ref != "" {
+			ref = " -> " + tr.Ref
+		}
+		fmt.Printf("%s %s%s: %s in %v (at %s)\n",
+			tr.Kind, tr.ID, ref, tr.Verdict, tr.Total, tr.Start.Format(time.RFC3339))
+		for _, st := range tr.Stages {
+			detail := ""
+			if st.Detail != "" {
+				detail = "  (" + st.Detail + ")"
+			}
+			fmt.Printf("  %-18s %12v%s\n", st.Name, st.Duration, detail)
+		}
+	}
+	if shown == 0 {
+		if want != "" {
+			return fmt.Errorf("no trace for %q in the server's ring (deploys before the last %d admissions have aged out)", want, len(traces))
+		}
+		fmt.Println("no traces recorded yet")
 	}
 	return nil
 }

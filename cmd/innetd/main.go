@@ -8,6 +8,8 @@
 //	GET    /v1/modules/{id} inspect one deployment
 //	DELETE /v1/modules/{id} kill a deployment
 //	GET    /v1/classes      list available Click element classes
+//	GET    /v1/metrics      Prometheus text metrics (disable with -no-telemetry)
+//	GET    /v1/traces       recent admission traces as JSON
 //
 // With -state-dir the controller is crash-safe: every deployment
 // lifecycle transition is written ahead to a checksummed journal
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +39,7 @@ import (
 	"github.com/in-net/innet/internal/controller"
 	_ "github.com/in-net/innet/internal/elements"
 	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/telemetry"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -61,6 +65,12 @@ func run() int {
 			"journal durability: always (fsync each record) | none (leave flushing to the OS)")
 		snapshotEvery = flag.Int("snapshot-every", 256,
 			"compact the journal into a snapshot every N records (negative disables compaction)")
+		noTelemetry = flag.Bool("no-telemetry", false,
+			"disable the metrics registry and admission trace ring (GET /v1/metrics and /v1/traces answer 501)")
+		traceRing = flag.Int("trace-ring", telemetry.DefaultTraceRing,
+			"admission traces retained in memory for GET /v1/traces")
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables the debug listener")
 	)
 	flag.Parse()
 
@@ -117,6 +127,18 @@ func run() int {
 		log.Printf("innetd: %v", err2)
 		return 1
 	}
+	// Telemetry is on by default: a nil registry/tracer compiles to
+	// no-ops everywhere, so -no-telemetry costs exactly that.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if !*noTelemetry {
+		reg = telemetry.New()
+		tracer = telemetry.NewTracer(*traceRing)
+		ctl.AttachTelemetry(reg, tracer)
+		if store != nil {
+			store.RegisterMetrics(reg)
+		}
+	}
 	var sim *api.Simulator
 	if *simulate {
 		sim = api.NewSimulator(topo.Platforms())
@@ -132,9 +154,22 @@ func run() int {
 				return 1
 			}
 		}
+		sim.RegisterMetrics(reg)
 	}
 	handler := api.NewServerWithSimulator(ctl, sim)
+	handler.AttachTelemetry(reg, tracer)
 	log.Printf("innetd: topology %q with platforms %v", *topoName, topo.Platforms())
+
+	if *debugAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux; keep them off
+		// the API listener so operators can firewall them separately.
+		go func() {
+			log.Printf("innetd: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("innetd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *listen,

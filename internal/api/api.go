@@ -13,6 +13,8 @@ import (
 	"math/rand"
 	"net/http"
 	"time"
+
+	"github.com/in-net/innet/internal/telemetry"
 )
 
 // DeployRequest is the POST /v1/modules body.
@@ -64,6 +66,26 @@ type HealthResponse struct {
 	// kill failed (the 503'd deployment is still live). Non-empty
 	// forces Status "degraded".
 	Errors []string `json:"errors,omitempty"`
+	// Drops totals dropped packets per simulated platform (simulate
+	// mode only).
+	Drops map[string]uint64 `json:"drops,omitempty"`
+	// Cache snapshots the admission-cache counters (all zero when
+	// caching is disabled).
+	Cache *CacheInfo `json:"cache,omitempty"`
+}
+
+// CacheInfo is the admission-cache slice of GET /v1/health.
+type CacheInfo struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+}
+
+// TracesResponse is the GET /v1/traces body.
+type TracesResponse struct {
+	Traces []telemetry.Trace `json:"traces"`
 }
 
 // QueryRequest is the POST /v1/query body: reach statements to check
@@ -253,6 +275,34 @@ func (c *Client) Health() (*HealthResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Metrics fetches the Prometheus text exposition from /v1/metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.do(http.MethodGet, "/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Traces fetches the n most recent admission traces (0 = the whole
+// ring; negative uses the server default).
+func (c *Client) Traces(n int) ([]telemetry.Trace, error) {
+	path := "/v1/traces"
+	if n >= 0 {
+		path = fmt.Sprintf("%s?n=%d", path, n)
+	}
+	var out TracesResponse
+	if err := c.call(http.MethodGet, path, nil, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
 }
 
 func decodeError(resp *http.Response) error {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"github.com/in-net/innet/internal/controller"
 	"github.com/in-net/innet/internal/packet"
 	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/telemetry"
 
 	"github.com/in-net/innet/internal/click"
 )
@@ -47,6 +49,13 @@ type Server struct {
 	// rolled back. Surfaced by GET /v1/health.
 	mu          sync.Mutex
 	rollbackErr error
+
+	// reg/tracer back GET /v1/metrics and GET /v1/traces and drive the
+	// per-endpoint request instrumentation; nil leaves those endpoints
+	// answering 501 and the middleware a single nil check. Set by
+	// AttachTelemetry before serving.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
 }
 
 // NewServer wraps a controller.
@@ -65,10 +74,22 @@ func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server 
 	s.mux.HandleFunc("/v1/query", s.query)
 	s.mux.HandleFunc("/v1/inject", s.inject)
 	s.mux.HandleFunc("/v1/health", s.health)
+	s.mux.HandleFunc("/v1/metrics", s.metrics)
+	s.mux.HandleFunc("/v1/traces", s.traces)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// AttachTelemetry wires a metrics registry and trace ring into the
+// server: GET /v1/metrics serves the registry's Prometheus text, GET
+// /v1/traces the ring's recent admission traces, and every endpoint
+// gains request counters and latency histograms. Either argument may
+// be nil. Call before serving requests.
+func (s *Server) AttachTelemetry(r *telemetry.Registry, tr *telemetry.Tracer) {
+	s.reg = r
+	s.tracer = tr
 }
 
 // SetDeployTimeout overrides the per-request admission deadline. Zero
@@ -77,9 +98,95 @@ func (s *Server) SetDeployTimeout(d time.Duration) {
 	s.deployTimeout = d
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With telemetry attached it also
+// records one request counter sample (endpoint, method, status) and
+// one latency sample (endpoint) per request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.reg == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	ep := normalizeEndpoint(r.URL.Path)
+	s.reg.Counter("innet_api_requests_total",
+		"API requests by endpoint, method and status code.",
+		"endpoint", ep, "method", r.Method, "code", strconv.Itoa(rec.code)).Inc()
+	s.reg.Histogram("innet_api_request_seconds",
+		"API request latency by endpoint.", nil,
+		"endpoint", ep).Observe(time.Since(start).Seconds())
+}
+
+// statusRecorder captures the response status for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// normalizeEndpoint collapses parameterized paths so the endpoint
+// label stays low-cardinality no matter what clients request.
+func normalizeEndpoint(path string) string {
+	if strings.HasPrefix(path, "/v1/modules/") {
+		return "/v1/modules/{id}"
+	}
+	switch path {
+	case "/v1/modules", "/v1/classes", "/v1/query", "/v1/inject",
+		"/v1/health", "/v1/metrics", "/v1/traces", "/healthz":
+		return path
+	}
+	return "other"
+}
+
+// PrometheusContentType is the exposition content type served by
+// GET /v1/metrics (Prometheus text format v0.0.4).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.reg == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("telemetry is not enabled on this server"))
+		return
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// DefaultTraceFetch is how many traces GET /v1/traces returns when
+// the n query parameter is absent.
+const DefaultTraceFetch = 32
+
+func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.tracer == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("tracing is not enabled on this server"))
+		return
+	}
+	n := DefaultTraceFetch
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q (want a non-negative integer; 0 = all)", q))
+			return
+		}
+		n = v
+	}
+	out := s.tracer.Recent(n)
+	if out == nil {
+		out = []telemetry.Trace{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: out})
 }
 
 // decodeBody reads a size-capped JSON body into v, writing the error
@@ -293,6 +400,17 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		if st != controller.StatusActive {
 			resp.Status = "degraded"
 		}
+	}
+	cs := s.ctl.CacheStats()
+	resp.Cache = &CacheInfo{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Evictions:     cs.Evictions,
+		Invalidations: cs.Invalidations,
+		Entries:       cs.Entries,
+	}
+	if s.sim != nil {
+		resp.Drops = s.sim.Drops()
 	}
 	if err := s.ctl.JournalErr(); err != nil {
 		resp.Errors = append(resp.Errors, "journal: "+err.Error())

@@ -9,18 +9,27 @@ import (
 	"github.com/in-net/innet/internal/netsim"
 	"github.com/in-net/innet/internal/packet"
 	"github.com/in-net/innet/internal/platform"
+	"github.com/in-net/innet/internal/telemetry"
+	"github.com/in-net/innet/internal/vswitch"
 )
 
 // Simulator hosts an in-process dataplane emulation behind innetd's
-// -simulate mode: one simulated platform per topology platform, with
-// every successful deployment registered on its host. Clients can
+// -simulate mode: one simulated platform per topology platform, each
+// fronted by a virtual switch (§5: the vswitch redirects flows to the
+// processing modules), with every successful deployment registered on
+// its host and a flow rule installed for its address. Clients can
 // then POST /v1/inject test packets and watch their modules process
 // them — boot-on-first-packet latency included.
 type Simulator struct {
 	mu        sync.Mutex
 	sim       *netsim.Sim
 	platforms map[string]*platform.Platform
-	byAddr    map[uint32]string // module addr -> platform name
+	switches  map[string]*vswitch.Switch
+	rules     map[uint32]*vswitch.Rule // module addr -> installed rule
+	byAddr    map[uint32]string        // module addr -> platform name
+	// emit collects module output during one Inject; the vswitch
+	// ToModule closures read it, so it is only set under mu.
+	emit func(iface int, out *packet.Packet)
 }
 
 // NewSimulator builds platforms for the given topology platform
@@ -29,15 +38,28 @@ func NewSimulator(platformNames []string) *Simulator {
 	s := &Simulator{
 		sim:       netsim.New(1),
 		platforms: make(map[string]*platform.Platform),
+		switches:  make(map[string]*vswitch.Switch),
+		rules:     make(map[uint32]*vswitch.Rule),
 		byAddr:    make(map[uint32]string),
 	}
 	for _, name := range platformNames {
-		s.platforms[name] = platform.New(s.sim, platform.DefaultModel(), 16*1024)
+		p := platform.New(s.sim, platform.DefaultModel(), 16*1024)
+		s.platforms[name] = p
+		sw := vswitch.New()
+		sw.ToModule = func(_ uint32, pk *packet.Packet) {
+			p.Deliver(pk, func(iface int, out *packet.Packet) {
+				if s.emit != nil {
+					s.emit(iface, out)
+				}
+			})
+		}
+		s.switches[name] = sw
 	}
 	return s
 }
 
-// Register installs a deployment on its hosting platform.
+// Register installs a deployment on its hosting platform and a
+// dispatch rule for its address on the platform's vswitch.
 func (s *Simulator) Register(dep *controller.Deployment) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -49,17 +71,55 @@ func (s *Simulator) Register(dep *controller.Deployment) error {
 		return err
 	}
 	s.byAddr[dep.Addr] = dep.Platform
+	s.rules[dep.Addr] = s.switches[dep.Platform].Install(vswitch.Rule{
+		Priority: 10,
+		Match:    vswitch.Match{DstIP: dep.Addr},
+		Action:   vswitch.ActToModule,
+		Module:   dep.Addr,
+	})
 	return nil
 }
 
-// Unregister removes a deployment.
+// Unregister removes a deployment and its vswitch rule.
 func (s *Simulator) Unregister(dep *controller.Deployment) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if p, ok := s.platforms[dep.Platform]; ok {
 		p.Unregister(dep.Addr)
 	}
+	if r, ok := s.rules[dep.Addr]; ok {
+		_ = s.switches[dep.Platform].Remove(r)
+		delete(s.rules, dep.Addr)
+	}
 	delete(s.byAddr, dep.Addr)
+}
+
+// RegisterMetrics folds every simulated platform's lifecycle/drop
+// counters and every vswitch's dispatch counters into the registry.
+// Platform callbacks read under s.mu (the platforms are driven under
+// it); vswitch callbacks are wait-free atomics.
+func (s *Simulator) RegisterMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, p := range s.platforms {
+		p.RegisterMetrics(r, name, &s.mu)
+		s.switches[name].RegisterMetrics(r, "platform", name)
+	}
+}
+
+// Drops reports each platform's total dropped-packet count (the sum
+// of its Dropped* counters), for /v1/health.
+func (s *Simulator) Drops() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.platforms))
+	for name, p := range s.platforms {
+		out[name] = p.DroppedTotal()
+	}
+	return out
 }
 
 // InjectRequest is the POST /v1/inject body: a test packet aimed at a
@@ -139,8 +199,25 @@ func (s *Simulator) Inject(req InjectRequest) (*InjectResponse, error) {
 	resp := &InjectResponse{Platform: platName, Sent: count}
 	booted := p.VMFor(dst) == nil
 	start := s.sim.Now()
+	// Injected packets enter through the platform's vswitch — the same
+	// flow-rule dispatch a real deployment sees — and the ToModule
+	// closure delivers into the platform. emit collects what the
+	// module sends back out.
+	s.emit = func(iface int, out *packet.Packet) {
+		resp.Emitted = append(resp.Emitted, EmittedPacket{
+			Src:       packet.IPString(out.SrcIP),
+			Dst:       packet.IPString(out.DstIP),
+			Proto:     out.Protocol.String(),
+			SrcPort:   out.SrcPort,
+			DstPort:   out.DstPort,
+			Payload:   string(out.Payload),
+			LatencyMS: float64(s.sim.Now()-start) / 1e6,
+		})
+	}
+	defer func() { s.emit = nil }()
+	sw := s.switches[platName]
 	for i := 0; i < count; i++ {
-		pk := &packet.Packet{
+		sw.Process(&packet.Packet{
 			Protocol: proto,
 			SrcIP:    src,
 			DstIP:    dst,
@@ -148,17 +225,6 @@ func (s *Simulator) Inject(req InjectRequest) (*InjectResponse, error) {
 			DstPort:  req.DstPort,
 			TTL:      64,
 			Payload:  []byte(req.Payload),
-		}
-		p.Deliver(pk, func(iface int, out *packet.Packet) {
-			resp.Emitted = append(resp.Emitted, EmittedPacket{
-				Src:       packet.IPString(out.SrcIP),
-				Dst:       packet.IPString(out.DstIP),
-				Proto:     out.Protocol.String(),
-				SrcPort:   out.SrcPort,
-				DstPort:   out.DstPort,
-				Payload:   string(out.Payload),
-				LatencyMS: float64(s.sim.Now()-start) / 1e6,
-			})
 		})
 	}
 	// Drain the virtual clock (bounded: batchers may hold packets).

@@ -1,0 +1,216 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/telemetry"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// newTelemetryServer builds the full observable stack: controller
+// with journal, simulator, registry, tracer, all attached.
+func newTelemetryServer(t *testing.T) (*httptest.Server, *Client, *telemetry.Registry) {
+	t.Helper()
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := journal.Open(t.TempDir(), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ctl.AttachJournal(st)
+
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(telemetry.DefaultTraceRing)
+	ctl.AttachTelemetry(reg, tr)
+	st.RegisterMetrics(reg)
+	sim := NewSimulator(topo.Platforms())
+	sim.RegisterMetrics(reg)
+
+	srv := NewServerWithSimulator(ctl, sim)
+	srv.AttachTelemetry(reg, tr)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL), reg
+}
+
+// TestMetricsEndpoint drives a deploy + traffic through the stack and
+// asserts the exposition covers every required subsystem family.
+func TestMetricsEndpoint(t *testing.T) {
+	_, c, _ := newTelemetryServer(t)
+	dep, err := c.Deploy(DeployRequest{
+		Tenant: "erin", ModuleName: "dns", Stock: "geo-dns", Trust: "third-party",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(InjectRequest{Dst: dep.Addr, DstPort: 53, Count: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"innet_admission_stage_seconds",
+		"innet_admission_verdicts_total",
+		"innet_admission_seconds",
+		"innet_controller_placed_total",
+		"innet_vswitch_dispatched_total",
+		"innet_vswitch_misses_total",
+		"innet_platform_boots_total",
+		"innet_platform_dropped_total",
+		"innet_journal_appends_total",
+		"innet_journal_fsyncs_total",
+		"innet_api_requests_total",
+		"innet_api_request_seconds",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition missing family %s", family)
+		}
+	}
+	// The injected packets went through the vswitch and booted a VM.
+	if !strings.Contains(text, `innet_vswitch_dispatched_total{platform="`+dep.Platform+`"} 5`) {
+		t.Errorf("vswitch dispatch not counted for %s:\n%s", dep.Platform, grepLines(text, "innet_vswitch_dispatched"))
+	}
+	if !strings.Contains(text, `innet_platform_boots_total{platform="`+dep.Platform+`"} 1`) {
+		t.Errorf("platform boot not counted:\n%s", grepLines(text, "innet_platform_boots"))
+	}
+	if !strings.Contains(text, `innet_journal_appends_total 1`) {
+		t.Errorf("journal append not counted:\n%s", grepLines(text, "innet_journal_appends"))
+	}
+}
+
+func grepLines(text, substr string) string {
+	var out []string
+	for _, ln := range strings.Split(text, "\n") {
+		if strings.Contains(ln, substr) {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestTracesEndpoint asserts a freshly deployed module's admission
+// trace is served with every stage and its duration.
+func TestTracesEndpoint(t *testing.T) {
+	_, c, _ := newTelemetryServer(t)
+	if _, err := c.Deploy(DeployRequest{
+		Tenant: "erin", ModuleName: "dns", Stock: "geo-dns", Trust: "third-party",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.Traces(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Kind != "deploy" || tr.ID != "dns" || tr.Verdict != "admitted" {
+		t.Errorf("trace = %+v", tr)
+	}
+	seen := map[string]bool{}
+	for _, st := range tr.Stages {
+		seen[st.Name] = true
+	}
+	for _, want := range controller.AdmissionStages {
+		if !seen[want] {
+			t.Errorf("trace missing stage %q", want)
+		}
+	}
+}
+
+// TestTracesEndpointBadN pins the n parameter validation.
+func TestTracesEndpointBadN(t *testing.T) {
+	ts, _, _ := newTelemetryServer(t)
+	resp, err := http.Get(ts.URL + "/v1/traces?n=zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTelemetryEndpointsOffByDefault pins that a server without
+// AttachTelemetry answers 501 on both endpoints.
+func TestTelemetryEndpointsOffByDefault(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/v1/metrics", "/v1/traces"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Errorf("%s status = %d, want 501", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthCarriesDropsAndCache is the satellite-2 shape test: the
+// raw /v1/health JSON must carry per-platform drop totals and the
+// admission-cache counters.
+func TestHealthCarriesDropsAndCache(t *testing.T) {
+	ts, c, _ := newTelemetryServer(t)
+	if _, err := c.Deploy(DeployRequest{
+		Tenant: "erin", ModuleName: "dns", Stock: "geo-dns", Trust: "third-party",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+
+	var drops map[string]uint64
+	if err := json.Unmarshal(raw["drops"], &drops); err != nil {
+		t.Fatalf("health has no well-formed drops field: %v (raw: %s)", err, raw["drops"])
+	}
+	if len(drops) != 3 {
+		t.Errorf("drops = %v, want one entry per platform", drops)
+	}
+	var cache map[string]json.RawMessage
+	if err := json.Unmarshal(raw["cache"], &cache); err != nil {
+		t.Fatalf("health has no well-formed cache field: %v", err)
+	}
+	for _, key := range []string{"hits", "misses", "evictions", "invalidations", "entries"} {
+		if _, ok := cache[key]; !ok {
+			t.Errorf("health cache missing %q: %s", key, raw["cache"])
+		}
+	}
+
+	// Typed client sees the same data.
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache == nil || h.Cache.Misses == 0 {
+		t.Errorf("cache stats = %+v, want recorded misses from the deploy", h.Cache)
+	}
+	if h.Drops == nil {
+		t.Error("typed health response lost the drops map")
+	}
+}

@@ -22,9 +22,16 @@ import (
 	"github.com/in-net/innet/internal/vswitch"
 )
 
+// BenchFormat is the schema identifier every innet-bench JSON report
+// carries in its "format" field, so downstream tooling can detect
+// incompatible report layouts (see docs/FORMATS.md §8).
+const BenchFormat = "innet-bench/1"
+
 // FastPathResult is the machine-readable form of the fast-path
 // benchmark (serialized to BENCH_pr3.json by innet-bench -json).
 type FastPathResult struct {
+	Format string `json:"format"`
+
 	// Admission: deploy+kill cycles of an identical module, cold
 	// (cache disabled) vs warm (cache enabled, steady state).
 	AdmissionColdOpsPerSec float64 `json:"admission_cold_ops_per_sec"`
@@ -210,6 +217,7 @@ func FastPathMeasure(quick bool, batch int) *FastPathResult {
 	}
 
 	r := &FastPathResult{
+		Format:             BenchFormat,
 		BatchSize:          batch,
 		DispatchGoroutines: 4,
 		DispatchShards:     vswitch.DefaultShards,

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/in-net/innet/internal/clicklang"
 	"github.com/in-net/innet/internal/security"
@@ -165,18 +166,46 @@ func (c *Controller) CacheStats() symexec.CacheStats {
 // re-running the symbolic execution.
 func (c *Controller) checkedSecurity(in security.Input, src string) (*security.Report, error) {
 	if c.cache == nil {
-		return security.Check(in)
+		start := time.Now()
+		rep, err := security.Check(in)
+		c.stageLocked(StageSecurity, start, securityDetail(rep, err))
+		return rep, err
 	}
 	key := securityKey(in, src, in.BanConnectionlessReplies)
+	lstart := time.Now()
 	if v, ok := c.cache.Get(key, symexec.AnyEpoch); ok {
+		c.stageLocked(StageCacheLookup, lstart, "security: hit")
 		return cloneReport(v.(*security.Report)), nil
 	}
+	c.stageLocked(StageCacheLookup, lstart, "security: miss")
+	start := time.Now()
 	rep, err := security.Check(in)
+	c.stageLocked(StageSecurity, start, securityDetail(rep, err))
 	if err != nil {
 		return nil, err
 	}
 	c.cache.Put(key, symexec.AnyEpoch, cloneReport(rep))
 	return rep, nil
+}
+
+// securityDetail renders a security-check outcome for a trace stage.
+func securityDetail(rep *security.Report, err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "verdict " + rep.Verdict.String()
+}
+
+// policyDetail renders a placement-check outcome for a trace stage.
+func policyDetail(platformName, reason string, err error) string {
+	switch {
+	case err != nil:
+		return "budget exhausted"
+	case reason == "":
+		return "ok: " + platformName
+	default:
+		return reason
+	}
 }
 
 // cachedQuery consults the epoch-tagged cache for a full Query result.

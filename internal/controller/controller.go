@@ -24,6 +24,7 @@ import (
 	"github.com/in-net/innet/internal/policy"
 	"github.com/in-net/innet/internal/security"
 	"github.com/in-net/innet/internal/symexec"
+	"github.com/in-net/innet/internal/telemetry"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -282,6 +283,12 @@ type Controller struct {
 	cache      *symexec.Cache
 	epoch      string
 	epochDirty bool
+	// tracer/tel are the attached telemetry sinks (nil = dark); span
+	// is the open admission span — admissions are serialized under mu,
+	// so at most one span is live at a time (see telemetry.go).
+	tracer *telemetry.Tracer
+	tel    *admissionTelemetry
+	span   *telemetry.Span
 
 	// Placed, Rejections count controller decisions.
 	Placed     int
@@ -350,29 +357,52 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	start := time.Now()
+	c.beginSpanLocked("deploy", req.ModuleName)
+	defer func() {
+		if c.tel != nil {
+			c.tel.total.Observe(time.Since(start).Seconds())
+		}
+	}()
+
 	if req.ModuleName == "" {
+		c.verdictLocked(false)
+		c.endSpanLocked("rejected")
 		return nil, &RejectionError{Reason: "missing module name"}
 	}
 	for _, d := range c.deployments {
 		if d.Tenant == req.Tenant && d.ModuleName == req.ModuleName {
+			c.verdictLocked(false)
+			c.endSpanLocked("rejected")
 			return nil, &RejectionError{Reason: fmt.Sprintf("module %q already deployed", req.ModuleName)}
 		}
 	}
 	dep, err := c.placeLocked(req)
 	if err != nil {
 		c.Rejections++
+		jstart := time.Now()
 		c.journalBestEffortLocked(journal.Record{
 			Type: journal.EvReject, ID: req.ModuleName, Reason: err.Error(),
 		})
+		c.stageLocked(StageJournalAppend, jstart, "reject record")
+		c.verdictLocked(false)
+		c.endSpanLocked("rejected")
 		return nil, err
 	}
+	c.span.SetRef(dep.ID)
 	// Write-ahead: the admission is durable before it is visible.
-	if jerr := c.appendLocked(journal.Record{Type: journal.EvAdmit, Dep: depRecord(dep)}); jerr != nil {
+	jstart := time.Now()
+	jerr := c.appendLocked(journal.Record{Type: journal.EvAdmit, Dep: depRecord(dep)})
+	c.stageLocked(StageJournalAppend, jstart, "admit record")
+	if jerr != nil {
+		c.endSpanLocked("error")
 		return nil, fmt.Errorf("controller: journal admit: %v", jerr)
 	}
 	c.deployments[dep.ID] = dep
 	c.bumpEpochLocked()
 	c.Placed++
+	c.verdictLocked(true)
+	c.endSpanLocked("admitted")
 	return dep, nil
 }
 
@@ -381,6 +411,7 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 // without inserting it into the deployment set. It is the shared core
 // of Deploy and Failover.
 func (c *Controller) placeLocked(req Request) (*Deployment, error) {
+	canonStart := time.Now()
 	src, isVM, err := resolveConfig(req)
 	if err != nil {
 		return nil, err
@@ -400,6 +431,7 @@ func (c *Controller) placeLocked(req Request) (*Deployment, error) {
 			return nil, &RejectionError{Reason: fmt.Sprintf("bad requirements: %v", err)}
 		}
 	}
+	c.stageLocked(StageCanonicalize, canonStart, "")
 
 	var timings Timings
 	// Iterate over the platforms (§4.3: "it iterates through all its
@@ -516,6 +548,7 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		return nil, fmt.Sprintf("platform %s: %v", platformName, err), nil
 	}
 	timings.Compile += time.Since(compileStart)
+	c.stageLocked(StagePlacement, compileStart, "platform "+platformName)
 
 	// Client requirements and operator policy must all hold.
 	checkStart = time.Now()
@@ -569,11 +602,16 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 // cached.
 func (c *Controller) checkPlacementLocked(platformName string, reqs []*policy.Requirement, env *policy.CheckEnv, key string) (string, error) {
 	if c.cache != nil && key != "" {
+		lstart := time.Now()
 		if v, ok := c.cache.Get(key, c.epochLocked()); ok {
+			c.stageLocked(StageCacheLookup, lstart, "placement: hit")
 			return v.(string), nil
 		}
+		c.stageLocked(StageCacheLookup, lstart, "placement: miss")
 	}
+	pstart := time.Now()
 	reason, err := c.runPlacementChecks(platformName, reqs, env)
+	c.stageLocked(StagePolicyCheck, pstart, policyDetail(platformName, reason, err))
 	if err != nil {
 		return reason, err
 	}
@@ -689,6 +727,7 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 	for _, id := range ids {
 		d := c.deployments[id]
 		d.setStatus(StatusMigrating)
+		c.beginSpanLocked("failover", id)
 		// Remove the stale copy so the tentative snapshots compiled by
 		// placeLocked do not include the unreachable module.
 		delete(c.deployments, id)
@@ -700,6 +739,7 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 			c.bumpEpochLocked()
 			c.FailedMigrations++
 			c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrateFailed, ID: id, Reason: err.Error()})
+			c.endSpanLocked("migration-failed")
 			failed = append(failed, d)
 			continue
 		}
@@ -708,6 +748,8 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 		c.bumpEpochLocked()
 		c.Migrations++
 		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
+		c.span.SetRef(nd.Platform)
+		c.endSpanLocked("migrated")
 		migrated = append(migrated, Migration{From: d, To: nd})
 	}
 	return migrated, failed
@@ -731,10 +773,12 @@ func (c *Controller) RetryFailed() []*Deployment {
 		d := c.deployments[id]
 		delete(c.deployments, id)
 		c.bumpEpochLocked()
+		c.beginSpanLocked("retry", id)
 		nd, err := c.placeLocked(d.req)
 		if err != nil {
 			c.deployments[id] = d
 			c.bumpEpochLocked()
+			c.endSpanLocked("still-failed")
 			continue
 		}
 		nd.ID = id
@@ -742,6 +786,8 @@ func (c *Controller) RetryFailed() []*Deployment {
 		c.bumpEpochLocked()
 		c.Migrations++
 		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
+		c.span.SetRef(nd.Platform)
+		c.endSpanLocked("recovered")
 		recovered = append(recovered, nd)
 	}
 	return recovered

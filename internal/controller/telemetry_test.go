@@ -1,0 +1,111 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/in-net/innet/internal/telemetry"
+)
+
+// TestDeployTraceCoversEveryStage pins the acceptance criterion that
+// a freshly deployed module's trace shows every admission stage with
+// a duration, and that the per-stage histograms and verdict counters
+// land in the registry.
+func TestDeployTraceCoversEveryStage(t *testing.T) {
+	c := newController(t)
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(16)
+	c.AttachTelemetry(reg, tr)
+
+	dep, err := c.Deploy(batcherRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traces := tr.Recent(1)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	trace := traces[0]
+	if trace.Kind != "deploy" || trace.ID != "Batcher" {
+		t.Errorf("trace = %s/%s, want deploy/Batcher", trace.Kind, trace.ID)
+	}
+	if trace.Verdict != "admitted" {
+		t.Errorf("verdict = %q, want admitted", trace.Verdict)
+	}
+	if trace.Ref != dep.ID {
+		t.Errorf("ref = %q, want %q", trace.Ref, dep.ID)
+	}
+	seen := map[string]bool{}
+	for _, st := range trace.Stages {
+		seen[st.Name] = true
+		if st.Duration < 0 {
+			t.Errorf("stage %s has negative duration", st.Name)
+		}
+	}
+	for _, want := range AdmissionStages {
+		if !seen[want] {
+			t.Errorf("trace missing stage %q (stages: %+v)", want, trace.Stages)
+		}
+	}
+	if trace.Total <= 0 {
+		t.Errorf("total = %v, want > 0", trace.Total)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`innet_admission_stage_seconds_count{stage="security-symexec"}`,
+		`innet_admission_stage_seconds_count{stage="policy-check"}`,
+		`innet_admission_stage_seconds_count{stage="placement"}`,
+		`innet_admission_stage_seconds_count{stage="journal-append"}`,
+		`innet_admission_verdicts_total{verdict="admitted"} 1`,
+		`innet_controller_placed_total 1`,
+		`innet_controller_deployments 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRejectionCountsVerdict pins that refusals land in the rejected
+// verdict counter and commit a rejected trace.
+func TestRejectionCountsVerdict(t *testing.T) {
+	c := newController(t)
+	reg := telemetry.New()
+	tr := telemetry.NewTracer(16)
+	c.AttachTelemetry(reg, tr)
+
+	req := batcherRequest()
+	req.Config = "not click at all ("
+	if _, err := c.Deploy(req); err == nil {
+		t.Fatal("expected rejection")
+	}
+	traces := tr.Recent(1)
+	if len(traces) != 1 || traces[0].Verdict != "rejected" {
+		t.Fatalf("traces = %+v, want one rejected", traces)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `innet_admission_verdicts_total{verdict="rejected"} 1`) {
+		t.Error("rejected verdict not counted")
+	}
+}
+
+// TestDetachedTelemetryIsHarmless pins that a controller with no
+// telemetry attached still runs the instrumented pipeline unchanged.
+func TestDetachedTelemetryIsHarmless(t *testing.T) {
+	c := newController(t)
+	if _, err := c.Deploy(batcherRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tracer() != nil {
+		t.Error("tracer should be nil when never attached")
+	}
+}

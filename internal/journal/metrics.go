@@ -1,0 +1,55 @@
+package journal
+
+import (
+	"github.com/in-net/innet/internal/telemetry"
+)
+
+// Metrics is a point-in-time snapshot of the store's op counters.
+// Safe to call from any goroutine.
+type Metrics struct {
+	Appends      uint64 `json:"appends"`
+	AppendErrors uint64 `json:"append_errors"`
+	Fsyncs       uint64 `json:"fsyncs"`
+	Compactions  uint64 `json:"compactions"`
+	Rollbacks    uint64 `json:"rollbacks"`
+	Seq          uint64 `json:"seq"`
+}
+
+// Metrics snapshots the journal op counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		Appends:      s.ops.appends.Load(),
+		AppendErrors: s.ops.appendErrors.Load(),
+		Fsyncs:       s.ops.fsyncs.Load(),
+		Compactions:  s.ops.compactions.Load(),
+		Rollbacks:    s.ops.rollbacks.Load(),
+		Seq:          s.seq.Load(),
+	}
+}
+
+// RegisterMetrics folds the journal op counters into a telemetry
+// registry under the innet_journal_* families. The callbacks read
+// atomics, so scraping never contends with an in-flight append.
+func (s *Store) RegisterMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("innet_journal_appends_total",
+		"Records durably appended to the write-ahead journal.",
+		func() float64 { return float64(s.ops.appends.Load()) })
+	r.CounterFunc("innet_journal_append_errors_total",
+		"Appends that failed (write or fsync error) and were rolled back.",
+		func() float64 { return float64(s.ops.appendErrors.Load()) })
+	r.CounterFunc("innet_journal_fsyncs_total",
+		"fsync calls issued against the journal file.",
+		func() float64 { return float64(s.ops.fsyncs.Load()) })
+	r.CounterFunc("innet_journal_compactions_total",
+		"Snapshot-and-truncate compactions completed.",
+		func() float64 { return float64(s.ops.compactions.Load()) })
+	r.CounterFunc("innet_journal_rollbacks_total",
+		"File rollbacks to the last good frame after a failed append.",
+		func() float64 { return float64(s.ops.rollbacks.Load()) })
+	r.GaugeFunc("innet_journal_seq",
+		"Last applied journal sequence number.",
+		func() float64 { return float64(s.seq.Load()) })
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // SyncPolicy selects journal durability.
@@ -67,6 +68,20 @@ type Store struct {
 	// testWrite, when set, replaces the journal write — tests use it
 	// to inject partial (torn) writes.
 	testWrite func(f *os.File, b []byte) (int, error)
+
+	// ops counts journal activity. The store itself is single-threaded
+	// (the controller serializes appends under its mutex), but a
+	// telemetry scrape reads these from another goroutine, so they are
+	// atomics rather than plain fields.
+	ops struct {
+		appends      atomic.Uint64
+		appendErrors atomic.Uint64
+		fsyncs       atomic.Uint64
+		compactions  atomic.Uint64
+		rollbacks    atomic.Uint64
+	}
+	// seq mirrors state.Seq for lock-free scraping.
+	seq atomic.Uint64
 }
 
 // Open loads (or initializes) a store in dir. The directory must
@@ -127,6 +142,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.f = f
 	s.goodOff = valid
+	s.seq.Store(s.state.Seq)
 	return s, nil
 }
 
@@ -160,6 +176,7 @@ func (s *Store) Append(r Record) error {
 		// file back to the last good frame boundary so a later append
 		// (or a stale-Seq duplicate of this one) never lands after
 		// garbage, where replay would silently drop it.
+		s.ops.appendErrors.Add(1)
 		s.rollback(werr)
 		return werr
 	}
@@ -169,12 +186,16 @@ func (s *Store) Append(r Record) error {
 			// cursor moved past it while state.Seq did not, so the next
 			// append would write a duplicate Seq that replay rejects.
 			// Roll back to the good boundary before reporting failure.
+			s.ops.appendErrors.Add(1)
 			s.rollback(serr)
 			return serr
 		}
+		s.ops.fsyncs.Add(1)
 	}
 	s.goodOff += int64(len(frame))
 	s.state.Apply(r)
+	s.ops.appends.Add(1)
+	s.seq.Store(r.Seq)
 	s.sinceSnap++
 	if s.opts.CompactEvery > 0 && s.sinceSnap >= s.opts.CompactEvery {
 		return s.Compact()
@@ -197,6 +218,7 @@ func (s *Store) write(b []byte) (int, error) {
 // store wedges — it refuses further appends, because anything written
 // past the leftover garbage would be unrecoverable on replay.
 func (s *Store) rollback(cause error) {
+	s.ops.rollbacks.Add(1)
 	if err := s.f.Truncate(s.goodOff); err != nil {
 		s.wedged = fmt.Errorf("append failed (%v) and truncate to last good offset %d failed (%v)", cause, s.goodOff, err)
 		return
@@ -279,9 +301,11 @@ func (s *Store) Compact() error {
 		if err := s.f.Sync(); err != nil {
 			return err
 		}
+		s.ops.fsyncs.Add(1)
 	}
 	s.goodOff = 0
 	s.sinceSnap = 0
+	s.ops.compactions.Add(1)
 	return nil
 }
 

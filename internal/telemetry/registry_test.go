@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the exposition output byte for byte:
+// families sorted by name, series sorted by label set, label values
+// escaped, histogram buckets cumulative and capped by +Inf.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	// Registration order is deliberately scrambled relative to the
+	// expected (sorted) output.
+	r.Counter("innet_z_total", "last family", "shard", "1").Add(3)
+	r.Counter("innet_z_total", "last family", "shard", "0").Add(2)
+	r.Gauge("innet_m_gauge", "a middle gauge").Set(2.5)
+	r.Counter("innet_a_total", "first family").Add(7)
+	r.CounterFunc("innet_f_total", "callback counter", func() float64 { return 42 })
+	r.Counter("innet_esc_total", `weird "help" with \slash`,
+		"path", "a\\b\"c\nd").Inc()
+
+	h := r.Histogram("innet_h_seconds", "a histogram", []float64{0.1, 1, 10})
+	h.Observe(0.05) // bucket 0.1
+	h.Observe(0.5)  // bucket 1
+	h.Observe(0.7)  // bucket 1
+	h.Observe(5)    // bucket 10
+	h.Observe(100)  // above all bounds: only +Inf
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP innet_a_total first family
+# TYPE innet_a_total counter
+innet_a_total 7
+# HELP innet_esc_total weird "help" with \\slash
+# TYPE innet_esc_total counter
+innet_esc_total{path="a\\b\"c\nd"} 1
+# HELP innet_f_total callback counter
+# TYPE innet_f_total counter
+innet_f_total 42
+# HELP innet_h_seconds a histogram
+# TYPE innet_h_seconds histogram
+innet_h_seconds_bucket{le="0.1"} 1
+innet_h_seconds_bucket{le="1"} 3
+innet_h_seconds_bucket{le="10"} 4
+innet_h_seconds_bucket{le="+Inf"} 5
+innet_h_seconds_sum 106.25
+innet_h_seconds_count 5
+# HELP innet_m_gauge a middle gauge
+# TYPE innet_m_gauge gauge
+innet_m_gauge 2.5
+# HELP innet_z_total last family
+# TYPE innet_z_total counter
+innet_z_total{shard="0"} 2
+innet_z_total{shard="1"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramCumulativity checks the invariant a scraper relies on:
+// every bucket count is <= the next one, and the +Inf bucket equals
+// _count.
+func TestHistogramCumulativity(t *testing.T) {
+	r := New()
+	h := r.Histogram("x_seconds", "x", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 250.0) // 0 .. 4
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	var inf, count int64
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "x_seconds_bucket"):
+			var v int64
+			if _, err := parseSample(line, &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not cumulative: %q after %d", line, prev)
+			}
+			prev = v
+			inf = v
+		case strings.HasPrefix(line, "x_seconds_count"):
+			if _, err := parseSample(line, &count); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if inf != count || count != 1000 {
+		t.Errorf("+Inf bucket %d, _count %d, want both 1000", inf, count)
+	}
+}
+
+func parseSample(line string, v *int64) (string, error) {
+	i := strings.LastIndexByte(line, ' ')
+	name := line[:i]
+	var err error
+	*v, err = parseInt(line[i+1:])
+	return name, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, io.ErrUnexpectedEOF
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, nil
+}
+
+// TestDisabledRegistryIsNoOp asserts the disabled path end to end: a
+// nil registry hands out nil handles, every handle method is a true
+// no-op (no panic, no allocation of state), and exposition writes
+// nothing.
+func TestDisabledRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "a")
+	if c != nil {
+		t.Fatalf("nil registry returned non-nil counter")
+	}
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("g", "g")
+	if g != nil {
+		t.Fatalf("nil registry returned non-nil gauge")
+	}
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %v", g.Value())
+	}
+	h := r.Histogram("h_seconds", "h", nil)
+	if h != nil {
+		t.Fatalf("nil registry returned non-nil histogram")
+	}
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Errorf("nil histogram count = %d", h.Count())
+	}
+	r.CounterFunc("cf", "cf", func() float64 { t.Error("callback registered on nil registry"); return 0 })
+	r.GaugeFunc("gf", "gf", func() float64 { t.Error("callback registered on nil registry"); return 0 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry wrote %q", b.String())
+	}
+}
+
+// TestRegistryReuse asserts that re-requesting the same name+labels
+// returns the same underlying instrument.
+func TestRegistryReuse(t *testing.T) {
+	r := New()
+	a := r.Counter("c_total", "c", "k", "v")
+	b := r.Counter("c_total", "c", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter did not share state")
+	}
+}
+
+// TestConcurrentScrape hammers counters and histograms from several
+// goroutines while scraping — run under -race, this is the proof that
+// a scrape never needs the writers to pause.
+func TestConcurrentScrape(t *testing.T) {
+	r := New()
+	c := r.Counter("hot_total", "hot")
+	h := r.Histogram("hot_seconds", "hot", nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.001)
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is one timed step inside a trace — for admission, one
+// pipeline stage (canonicalize, cache lookup, security symexec,
+// policy check, placement, journal append).
+type Stage struct {
+	// Name identifies the stage.
+	Name string `json:"name"`
+	// Duration is the stage's wall-clock cost.
+	Duration time.Duration `json:"duration_ns"`
+	// Detail is optional context (the platform tried, hit/miss, the
+	// rejection reason).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is one completed span: an operation (deploy, failover, query)
+// with its stages and final verdict.
+type Trace struct {
+	// Kind is the operation: "deploy", "failover", "retry", ...
+	Kind string `json:"kind"`
+	// ID is the subject — for admissions, the module name.
+	ID string `json:"id"`
+	// Ref is a secondary identifier assigned mid-flight (the
+	// deployment ID once placement succeeds).
+	Ref string `json:"ref,omitempty"`
+	// Verdict is the outcome: "admitted", "rejected: <reason>", ...
+	Verdict string `json:"verdict"`
+	// Start is the wall-clock begin time.
+	Start time.Time `json:"start"`
+	// Total is the end-to-end duration.
+	Total time.Duration `json:"total_ns"`
+	// Stages lists the timed steps in execution order.
+	Stages []Stage `json:"stages"`
+}
+
+// Tracer keeps the most recent completed traces in a bounded ring
+// buffer. A nil *Tracer hands out nil spans; every method no-ops on a
+// nil receiver, so traced code needs no enabled/disabled branch.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	full bool
+}
+
+// DefaultTraceRing is the ring capacity NewTracer uses for n <= 0.
+const DefaultTraceRing = 256
+
+// NewTracer returns a tracer retaining the last n traces.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]Trace, n)}
+}
+
+// Span is an in-flight trace. Not safe for concurrent use — one
+// goroutine owns a span from Begin to End.
+type Span struct {
+	t  *Tracer
+	tr Trace
+}
+
+// Begin opens a span. Returns nil on a nil tracer.
+func (t *Tracer) Begin(kind, id string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, tr: Trace{Kind: kind, ID: id, Start: time.Now()}}
+}
+
+// Stage appends one timed stage.
+func (s *Span) Stage(name string, d time.Duration, detail string) {
+	if s == nil {
+		return
+	}
+	s.tr.Stages = append(s.tr.Stages, Stage{Name: name, Duration: d, Detail: detail})
+}
+
+// SetRef records the secondary identifier (e.g. the deployment ID).
+func (s *Span) SetRef(ref string) {
+	if s == nil {
+		return
+	}
+	s.tr.Ref = ref
+}
+
+// End completes the span with a verdict and commits it to the ring.
+func (s *Span) End(verdict string) {
+	if s == nil {
+		return
+	}
+	s.tr.Verdict = verdict
+	s.tr.Total = time.Since(s.tr.Start)
+	t := s.t
+	t.mu.Lock()
+	t.ring[t.next] = s.tr
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n completed traces, newest first (n <= 0 means
+// all retained). Returns nil on a nil tracer.
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		tr := t.ring[idx]
+		// Deep-copy stages so callers can't alias ring memory that a
+		// later End will overwrite.
+		tr.Stages = append([]Stage(nil), tr.Stages...)
+		out = append(out, tr)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		s := tr.Begin("deploy", string(rune('a'+i)))
+		s.Stage("check", time.Millisecond, "")
+		s.End("admitted")
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("ring retained %d traces, want 3", len(got))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if got[i].ID != want {
+			t.Errorf("trace[%d].ID = %q, want %q", i, got[i].ID, want)
+		}
+	}
+	if got[0].Verdict != "admitted" || len(got[0].Stages) != 1 {
+		t.Errorf("trace = %+v", got[0])
+	}
+	if n := len(tr.Recent(2)); n != 2 {
+		t.Errorf("Recent(2) returned %d", n)
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	s := tr.Begin("deploy", "only")
+	s.SetRef("pm-1")
+	s.End("admitted")
+	got := tr.Recent(0)
+	if len(got) != 1 || got[0].ID != "only" || got[0].Ref != "pm-1" {
+		t.Fatalf("Recent = %+v", got)
+	}
+	if got[0].Total < 0 {
+		t.Errorf("negative total %v", got[0].Total)
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Begin("deploy", "x")
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	s.Stage("a", time.Second, "")
+	s.SetRef("r")
+	s.End("admitted")
+	if got := tr.Recent(10); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+}

@@ -110,8 +110,14 @@ type Rule struct {
 func (r *Rule) Hits() uint64 { return atomic.LoadUint64(&r.hits) }
 
 // shard owns the per-flow dispatch state for one slice of the flow
-// space. Its fields are guarded by mu, which is only ever acquired
-// while holding the switch's table lock (read or write).
+// space. The maps and the buffer are guarded by mu, which is only
+// ever acquired while holding the switch's table lock (read or
+// write). The counters are atomics: they are written under the shard
+// lock but read lock-free by the stats accessors (PerShard, Misses,
+// DroppedDown, ...), so a telemetry scrape never blocks dispatch.
+// (Audit note: the previous mutex-guarded counter reads were not racy
+// — every writer held sh.mu — but a snapshot serialized against every
+// shard's dispatch; see TestStatsRaceWithDispatch.)
 type shard struct {
 	mu        sync.Mutex
 	flowCache map[packet.FiveTuple]*Rule
@@ -120,7 +126,10 @@ type shard struct {
 	// arrival order per shard on recovery.
 	buffer []*packet.Packet
 	// Per-shard counters; aggregated by the Switch accessors.
-	misses, newFlows, droppedDown, redispatched uint64
+	// dispatched counts packets that reached a rule action (the
+	// switch's throughput counter); buffered mirrors len(buffer).
+	misses, newFlows, droppedDown, redispatched, dispatched atomic.Uint64
+	buffered                                                atomic.Int64
 }
 
 // Switch is the software switch.
@@ -276,9 +285,10 @@ func (s *Switch) SetDown(down bool) {
 	for _, sh := range s.shards {
 		buf := sh.buffer
 		sh.buffer = nil
+		sh.buffered.Store(0)
 		s.buffered.Add(int64(-len(buf)))
 		for _, p := range buf {
-			sh.redispatched++
+			sh.redispatched.Add(1)
 			s.dispatch(sh, p)
 		}
 	}
@@ -317,7 +327,7 @@ func (s *Switch) dispatch(sh *shard, p *packet.Packet) {
 			p.Protocol == packet.ProtoICMP
 		if isNew {
 			sh.seen[t] = true
-			sh.newFlows++
+			sh.newFlows.Add(1)
 			if s.OnNewFlow != nil {
 				s.OnNewFlow(p)
 			}
@@ -332,11 +342,12 @@ func (s *Switch) dispatch(sh *shard, p *packet.Packet) {
 			}
 		}
 		if rule == nil {
-			sh.misses++
+			sh.misses.Add(1)
 			return
 		}
 		sh.flowCache[t] = rule
 	}
+	sh.dispatched.Add(1)
 	atomic.AddUint64(&rule.hits, 1)
 	switch rule.Action {
 	case ActDrop:
@@ -363,57 +374,67 @@ func (s *Switch) ExpireFlow(t packet.FiveTuple) {
 	delete(sh.flowCache, t)
 }
 
-// sumShards aggregates one per-shard counter under the table lock.
+// sumShards aggregates one per-shard counter. The shards slice is
+// immutable after construction and the counters are atomics, so the
+// sum is wait-free: a metrics scrape never serializes against
+// dispatch (it may observe a burst mid-flight, which is fine for
+// monotonic counters).
 func (s *Switch) sumShards(f func(*shard) uint64) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var n uint64
 	for _, sh := range s.shards {
-		sh.mu.Lock()
 		n += f(sh)
-		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Misses counts packets matching no rule (dropped), across shards.
-func (s *Switch) Misses() uint64 { return s.sumShards(func(sh *shard) uint64 { return sh.misses }) }
+func (s *Switch) Misses() uint64 {
+	return s.sumShards(func(sh *shard) uint64 { return sh.misses.Load() })
+}
 
 // NewFlows counts detected flow starts, across shards.
-func (s *Switch) NewFlows() uint64 { return s.sumShards(func(sh *shard) uint64 { return sh.newFlows }) }
+func (s *Switch) NewFlows() uint64 {
+	return s.sumShards(func(sh *shard) uint64 { return sh.newFlows.Load() })
+}
 
 // DroppedDown counts packets dropped because the outage buffer
 // overflowed, across shards.
 func (s *Switch) DroppedDown() uint64 {
-	return s.sumShards(func(sh *shard) uint64 { return sh.droppedDown })
+	return s.sumShards(func(sh *shard) uint64 { return sh.droppedDown.Load() })
 }
 
 // Redispatched counts buffered packets replayed after a recovery,
 // across shards.
 func (s *Switch) Redispatched() uint64 {
-	return s.sumShards(func(sh *shard) uint64 { return sh.redispatched })
+	return s.sumShards(func(sh *shard) uint64 { return sh.redispatched.Load() })
+}
+
+// Dispatched counts packets that matched a rule and had its action
+// applied, across shards — the switch's throughput counter.
+func (s *Switch) Dispatched() uint64 {
+	return s.sumShards(func(sh *shard) uint64 { return sh.dispatched.Load() })
 }
 
 // ShardStats reports one shard's accounting (for the per-shard
 // counter-audit tests and operator introspection).
 type ShardStats struct {
-	Misses, NewFlows, DroppedDown, Redispatched uint64
-	Buffered                                    int
+	Misses, NewFlows, DroppedDown, Redispatched, Dispatched uint64
+	Buffered                                                int
 }
 
-// PerShard snapshots every shard's stats in shard order.
+// PerShard snapshots every shard's stats in shard order. The snapshot
+// is wait-free: counters are atomics and the buffer occupancy is
+// mirrored in an atomic, so PerShard is safe to call concurrently
+// with ProcessBatch and never blocks a dispatching shard.
 func (s *Switch) PerShard() []ShardStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]ShardStats, len(s.shards))
 	for i, sh := range s.shards {
-		sh.mu.Lock()
 		out[i] = ShardStats{
-			Misses: sh.misses, NewFlows: sh.newFlows,
-			DroppedDown: sh.droppedDown, Redispatched: sh.redispatched,
-			Buffered: len(sh.buffer),
+			Misses: sh.misses.Load(), NewFlows: sh.newFlows.Load(),
+			DroppedDown: sh.droppedDown.Load(), Redispatched: sh.redispatched.Load(),
+			Dispatched: sh.dispatched.Load(),
+			Buffered:   int(sh.buffered.Load()),
 		}
-		sh.mu.Unlock()
 	}
 	return out
 }
@@ -457,10 +478,11 @@ func (s *Switch) processOnShardLocked(sh *shard, p *packet.Packet) {
 		}
 		if n := s.buffered.Add(1); n > int64(limit) {
 			s.buffered.Add(-1)
-			sh.droppedDown++
+			sh.droppedDown.Add(1)
 			return
 		}
 		sh.buffer = append(sh.buffer, p)
+		sh.buffered.Add(1)
 		return
 	}
 	s.dispatch(sh, p)
