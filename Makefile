@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fast bench-telemetry smoke-telemetry experiments examples fuzz fmt vet clean golden chaos
+.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication smoke-telemetry experiments examples fuzz fmt vet clean golden chaos chaos-replication
 
 all: build test
 
@@ -34,6 +34,11 @@ bench-fast:
 # report described in docs/FORMATS.md §8.
 bench-telemetry:
 	$(GO) run ./cmd/innet-bench -quick -only telemetry -telemetry-json BENCH_telemetry.json
+
+# Failover time (leader kill -> first successful admission on the
+# promoted standby); writes BENCH_replication.json (innet-bench/1).
+bench-replication:
+	$(GO) run ./cmd/innet-bench -quick -only replication -replication-json BENCH_replication.json
 
 # Boot a real innetd, deploy a module, drive packets, and assert the
 # observability endpoints serve every required metric family and a
@@ -69,6 +74,12 @@ fuzz:
 # multi-seed sweep (the sweep is skipped under `go test -short`).
 chaos:
 	$(GO) test ./internal/faults/ -run 'TestChaos' -count=1 -v
+
+# The replication chaos suite under the race detector: leader kills,
+# leader<->standby partitions and stream lag over real loopback TCP,
+# with differential convergence checks against unfaulted runs.
+chaos-replication:
+	$(GO) test -race ./internal/faults/ ./internal/replication/ -run 'TestRepl|TestPromotion|TestDeployIdempotent' -count=1 -v
 
 # Refresh the golden experiment tables after an intentional
 # calibration change.

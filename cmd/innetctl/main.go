@@ -204,6 +204,20 @@ func health(c *api.Client) error {
 		return err
 	}
 	fmt.Printf("status: %s\n", h.Status)
+	if r := h.Replication; r != nil {
+		line := fmt.Sprintf("replication: %s term=%d seq=%d lag=%d peers=%d",
+			r.Role, r.Term, r.Seq, r.LagRecords, r.Peers)
+		if r.Fenced {
+			line += " FENCED"
+		}
+		if r.LeaderURL != "" {
+			line += " leader=" + r.LeaderURL
+		}
+		fmt.Println(line)
+	}
+	for _, e := range h.Errors {
+		fmt.Printf("error: %s\n", e)
+	}
 	names := make([]string, 0, len(h.Platforms))
 	for name := range h.Platforms {
 		names = append(names, name)

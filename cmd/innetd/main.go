@@ -16,6 +16,14 @@
 // (compacted into snapshots), and a restarted daemon recovers its
 // deployment state from the directory before serving.
 //
+// With -role leader|standby two daemons form a replicated pair: the
+// leader streams journal frames to the standby (-peer) over a minimal
+// TCP protocol (-repl-listen) and strict transitions wait for the
+// standby's acknowledgement. A standby with -failover-after promotes
+// itself when the leader goes silent; the deposed leader fences
+// read-only and redirects clients to the -advertise URL of its
+// successor. See docs/FORMATS.md §10 and DESIGN.md.
+//
 // Example:
 //
 //	innetd -listen :8640 -state-dir /var/lib/innetd \
@@ -32,6 +40,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +48,7 @@ import (
 	"github.com/in-net/innet/internal/controller"
 	_ "github.com/in-net/innet/internal/elements"
 	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/replication"
 	"github.com/in-net/innet/internal/telemetry"
 	"github.com/in-net/innet/internal/topology"
 )
@@ -71,6 +81,18 @@ func run() int {
 			"admission traces retained in memory for GET /v1/traces")
 		debugAddr = flag.String("debug-addr", "",
 			"serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables the debug listener")
+		role = flag.String("role", "single",
+			"replication role: single (unreplicated) | leader | standby; leader and standby require -state-dir")
+		peers = flag.String("peer", "",
+			"comma-separated replication addresses of the other replicas (leader ships journal frames to them)")
+		replListen = flag.String("repl-listen", "",
+			"replication listen address (default 127.0.0.1:8641 when -role is leader or standby; leaders listen too, so a successor can fence them)")
+		advertise = flag.String("advertise", "",
+			"client-facing API base URL announced to replication peers for failover redirects (default http://<-listen>)")
+		failoverAfter = flag.Duration("failover-after", 0,
+			"standby auto-promotion threshold: promote after this much leader silence (0 = manual promotion only)")
+		ackTimeout = flag.Duration("ack-timeout", 5*time.Second,
+			"how long the leader waits for standby acknowledgement of a strict record before fencing itself")
 	)
 	flag.Parse()
 
@@ -91,6 +113,16 @@ func run() int {
 		return 1
 	}
 	opts := controller.Options{BanConnectionlessReplies: *banUDP}
+
+	replRole, err := parseRole(*role)
+	if err != nil {
+		log.Printf("innetd: -role: %v", err)
+		return 1
+	}
+	if replRole != controller.RoleSingle && *stateDir == "" {
+		log.Printf("innetd: -role %s requires -state-dir (replication ships the write-ahead journal)", *role)
+		return 1
+	}
 
 	var store *journal.Store
 	if *stateDir != "" {
@@ -139,6 +171,48 @@ func run() int {
 			store.RegisterMetrics(reg)
 		}
 	}
+	var repl *replication.Node
+	if replRole != controller.RoleSingle {
+		listenRepl := *replListen
+		if listenRepl == "" {
+			listenRepl = "127.0.0.1:8641"
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *listen
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		repl, err = replication.NewNode(store, ctl, replication.Config{
+			Role:          replRole,
+			ListenAddr:    listenRepl,
+			Peers:         peerList,
+			AdvertiseURL:  adv,
+			AckTimeout:    *ackTimeout,
+			FailoverAfter: *failoverAfter,
+			Registry:      reg,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Printf("innetd: %v", err)
+			return 1
+		}
+		// The node replaces the bare store as the controller's journal
+		// sink: every strict transition now replicates synchronously.
+		ctl.AttachJournal(repl)
+		if err := repl.Start(); err != nil {
+			log.Printf("innetd: %v", err)
+			return 1
+		}
+		defer repl.Close()
+		log.Printf("innetd: replication %s on %s, peers %v, advertising %s",
+			*role, repl.Addr(), peerList, adv)
+	}
+
 	var sim *api.Simulator
 	if *simulate {
 		sim = api.NewSimulator(topo.Platforms())
@@ -158,6 +232,12 @@ func run() int {
 	}
 	handler := api.NewServerWithSimulator(ctl, sim)
 	handler.AttachTelemetry(reg, tracer)
+	if repl != nil {
+		handler.AttachReplication(repl)
+	}
+	if store != nil {
+		handler.AttachJournal(store)
+	}
 	log.Printf("innetd: topology %q with platforms %v", *topoName, topo.Platforms())
 
 	if *debugAddr != "" {
@@ -230,6 +310,19 @@ func checkStateDir(dir string) error {
 	probe.Close()
 	os.Remove(probe.Name())
 	return nil
+}
+
+func parseRole(s string) (controller.Role, error) {
+	switch s {
+	case "single", "":
+		return controller.RoleSingle, nil
+	case "leader":
+		return controller.RoleLeader, nil
+	case "standby":
+		return controller.RoleStandby, nil
+	default:
+		return controller.RoleSingle, fmt.Errorf("unknown role %q (use single, leader or standby)", s)
+	}
 }
 
 func loadTopology(name string) (*topology.Topology, error) {

@@ -12,6 +12,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"github.com/in-net/innet/internal/telemetry"
@@ -72,6 +75,29 @@ type HealthResponse struct {
 	// Cache snapshots the admission-cache counters (all zero when
 	// caching is disabled).
 	Cache *CacheInfo `json:"cache,omitempty"`
+	// Replication advertises this node's replication role — clients
+	// and peers use it to find the leader after a failover. Absent on
+	// an unreplicated (single) controller.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
+}
+
+// ReplicationInfo is the replication slice of GET /v1/health.
+type ReplicationInfo struct {
+	// Role is "leader", "standby" or "single".
+	Role string `json:"role"`
+	// Term is the current leadership term.
+	Term uint64 `json:"term"`
+	// Seq is this node's journal head.
+	Seq uint64 `json:"seq"`
+	// Fenced marks a deposed leader (read-only until restarted).
+	Fenced bool `json:"fenced,omitempty"`
+	// LeaderURL is the advertised API URL of the current leader, when
+	// this node is not it.
+	LeaderURL string `json:"leader_url,omitempty"`
+	// LagRecords is how many journal records this node trails by.
+	LagRecords uint64 `json:"lag_records"`
+	// Peers counts configured replication peers.
+	Peers int `json:"peers"`
 }
 
 // CacheInfo is the admission-cache slice of GET /v1/health.
@@ -108,8 +134,12 @@ type ErrorResponse struct {
 }
 
 // Client talks to an innetd instance. Transient failures — transport
-// errors and 502/503/504 responses — are retried with jittered
-// exponential backoff; controller refusals (4xx) are not.
+// errors and 5xx responses other than 501 — are retried with jittered
+// exponential backoff (the server's Retry-After, when present, takes
+// precedence over the computed backoff); controller refusals (4xx,
+// including 413) and 501 are terminal. A redirect from a deposed
+// leader re-aims the client at the advertised successor and is
+// retried there.
 type Client struct {
 	// BaseURL is e.g. "http://127.0.0.1:8640".
 	BaseURL string
@@ -123,26 +153,86 @@ type Client struct {
 	RetryBase time.Duration
 	// Sleep is stubbed by tests; nil means time.Sleep.
 	Sleep func(time.Duration)
+
+	// mu guards leader, the redirect-discovered base URL that
+	// overrides BaseURL until the next redirect.
+	mu     sync.Mutex
+	leader string
 }
 
-// NewClient builds a client with sane defaults.
+// NewClient builds a client with sane defaults. Redirects are handled
+// by the retry loop (not http.Client) so the leader discovered from a
+// 307 sticks for subsequent calls.
 func NewClient(baseURL string) *Client {
 	return &Client{
-		BaseURL:   baseURL,
-		HTTP:      &http.Client{Timeout: 30 * time.Second},
+		BaseURL: baseURL,
+		HTTP: &http.Client{
+			Timeout: 30 * time.Second,
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
 		Retries:   3,
 		RetryBase: 100 * time.Millisecond,
 	}
 }
 
+// base is the URL requests go to: the redirect-discovered leader when
+// one is known, BaseURL otherwise.
+func (c *Client) base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader != "" {
+		return c.leader
+	}
+	return c.BaseURL
+}
+
+// Leader returns the leader base URL learned from redirects ("" if
+// the client still talks to BaseURL).
+func (c *Client) Leader() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leader
+}
+
+func (c *Client) setLeader(u string) {
+	c.mu.Lock()
+	c.leader = u
+	c.mu.Unlock()
+}
+
 // retryable reports whether a response status indicates a transient
-// condition worth retrying.
+// condition worth retrying: any 5xx except 501 Not Implemented (the
+// server will never learn the method) — and never 4xx, in particular
+// 413 Payload Too Large (the payload will not shrink by resending).
 func retryable(status int) bool {
+	return status >= 500 && status != http.StatusNotImplemented
+}
+
+// redirected reports a response that re-points the client (a deposed
+// leader naming its successor).
+func redirected(status int) bool {
 	switch status {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusMovedPermanently, http.StatusFound,
+		http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
 		return true
 	}
 	return false
+}
+
+// retryAfter parses a Retry-After header (seconds form) into a delay;
+// ok is false when absent or unparseable.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // do issues one request, retrying transient failures. body may be nil;
@@ -162,7 +252,7 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequest(method, c.BaseURL+path, rd)
+		req, err := http.NewRequest(method, c.base()+path, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -170,10 +260,26 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := c.HTTP.Do(req)
+		// wait < 0 means retry immediately (redirect); otherwise the
+		// jittered backoff, overridden by an explicit Retry-After.
+		wait := time.Duration(0)
 		switch {
 		case err != nil:
 			lastErr = err
+		case redirected(resp.StatusCode):
+			loc := resp.Header.Get("Location")
+			resp.Body.Close()
+			if u, perr := url.Parse(loc); perr == nil && u.IsAbs() {
+				c.setLeader(u.Scheme + "://" + u.Host)
+				lastErr = fmt.Errorf("api: redirected to leader %s://%s (HTTP %d)", u.Scheme, u.Host, resp.StatusCode)
+				wait = -1
+			} else {
+				lastErr = fmt.Errorf("api: redirect without usable Location (HTTP %d)", resp.StatusCode)
+			}
 		case retryable(resp.StatusCode):
+			if d, ok := retryAfter(resp); ok {
+				wait = d
+			}
 			lastErr = decodeError(resp)
 			resp.Body.Close()
 		default:
@@ -186,9 +292,18 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 			}
 			return nil, fmt.Errorf("after %d attempt%s: %w", attempt+1, plural, lastErr)
 		}
-		// Jitter the delay by ±50% so retry storms decorrelate.
-		sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
-		backoff *= 2
+		switch {
+		case wait < 0:
+			// Redirect: the successor is up, go straight there.
+		case wait > 0:
+			// The server named its own delay; jitter ±25% so a herd of
+			// redirected clients does not re-arrive in lockstep.
+			sleep(wait*3/4 + time.Duration(rand.Int63n(int64(wait/2)+1)))
+		default:
+			// Jitter the delay by ±50% so retry storms decorrelate.
+			sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+			backoff *= 2
+		}
 	}
 }
 
@@ -216,10 +331,25 @@ func (c *Client) call(method, path string, in any, wantStatus int, out any) erro
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Deploy submits a deployment request.
+// Deploy submits a deployment request. 201 is a fresh admission; 200
+// means the server recognized the request as a retry of an admission
+// it already holds (idempotent replay after a failover) and returned
+// the existing deployment.
 func (c *Client) Deploy(req DeployRequest) (*DeployResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(http.MethodPost, "/v1/modules", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
 	var out DeployResponse
-	if err := c.call(http.MethodPost, "/v1/modules", req, http.StatusCreated, &out); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}
 	return &out, nil

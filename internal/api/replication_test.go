@@ -1,0 +1,367 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/replication"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// --- client retry-policy regressions (satellite: retry loop) -------
+
+// Any 5xx except 501 is transient; 4xx (including 413) and 501 are
+// terminal. Regression: the old loop only retried 502/503/504, so a
+// bare 500 from a controller mid-failover exhausted the client.
+func TestClientRetryStatusPolicy(t *testing.T) {
+	cases := []struct {
+		status int
+		retry  bool
+	}{
+		{http.StatusInternalServerError, true},    // 500
+		{http.StatusBadGateway, true},             // 502
+		{http.StatusServiceUnavailable, true},     // 503
+		{http.StatusInsufficientStorage, true},    // 507
+		{http.StatusNotImplemented, false},        // 501: server will never learn it
+		{http.StatusRequestEntityTooLarge, false}, // 413: resending cannot shrink it
+		{http.StatusUnprocessableEntity, false},   // 422
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprint(tc.status), func(t *testing.T) {
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				w.WriteHeader(tc.status)
+				w.Write([]byte(`{"error":"nope"}`))
+			}))
+			t.Cleanup(ts.Close)
+			c := NewClient(ts.URL)
+			c.Retries = 2
+			c.Sleep = func(time.Duration) {}
+			if _, err := c.Health(); err == nil {
+				t.Fatalf("HTTP %d reported success", tc.status)
+			}
+			want := int32(1)
+			if tc.retry {
+				want = 3 // 1 + 2 retries
+			}
+			if calls.Load() != want {
+				t.Errorf("HTTP %d: calls = %d, want %d", tc.status, calls.Load(), want)
+			}
+		})
+	}
+}
+
+// A Retry-After header names the server's own delay; the client obeys
+// it (with ±25% jitter) instead of its computed backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","platforms":{},"deployments":{}}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond // would be ~1ms if Retry-After were ignored
+	var slept []time.Duration
+	c.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	if _, err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	lo, hi := 1500*time.Millisecond, 2500*time.Millisecond
+	if slept[0] < lo || slept[0] > hi {
+		t.Errorf("slept %v; Retry-After: 2 should put the wait in [%v, %v]", slept[0], lo, hi)
+	}
+}
+
+// A 307 from a deposed leader re-aims the client at the Location host
+// for the retry AND for every subsequent call — the discovered leader
+// sticks.
+func TestClientFollowsLeaderRedirect(t *testing.T) {
+	var leaderCalls atomic.Int32
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		leaderCalls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","platforms":{},"deployments":{}}`))
+	}))
+	t.Cleanup(leader.Close)
+
+	var deposedCalls atomic.Int32
+	deposed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deposedCalls.Add(1)
+		w.Header().Set("Location", leader.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(deposed.Close)
+
+	c := NewClient(deposed.URL)
+	c.Sleep = func(d time.Duration) { t.Errorf("slept %v; redirects retry immediately", d) }
+	if _, err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if got := deposedCalls.Load(); got != 1 {
+		t.Errorf("deposed leader saw %d calls, want 1", got)
+	}
+	if c.Leader() != leader.URL {
+		t.Errorf("Leader() = %q, want %q", c.Leader(), leader.URL)
+	}
+	// Second call goes straight to the leader.
+	if _, err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if got := deposedCalls.Load(); got != 1 {
+		t.Errorf("deposed leader saw %d calls after leader discovery, want 1", got)
+	}
+	if got := leaderCalls.Load(); got != 2 {
+		t.Errorf("leader saw %d calls, want 2", got)
+	}
+}
+
+// --- server role-awareness ----------------------------------------
+
+// replNode builds a controller + journal store + replication node for
+// server tests.
+func replNode(t *testing.T, cfg replication.Config) (*controller.Controller, *journal.Store, *replication.Node) {
+	t.Helper()
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := journal.Open(t.TempDir(), journal.Options{
+		Sync: journal.SyncNone, CompactEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	if cfg.AckTimeout == 0 {
+		cfg.AckTimeout = 3 * time.Second
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 20 * time.Millisecond
+	}
+	if cfg.RedialEvery == 0 {
+		cfg.RedialEvery = 10 * time.Millisecond
+	}
+	cfg.Logf = t.Logf
+	node, err := replication.NewNode(store, ctl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	ctl.AttachJournal(node)
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return ctl, store, node
+}
+
+// A standby that has not heard from any leader refuses mutations with
+// 503 + Retry-After; reads still work and health advertises the role.
+func TestStandbyWithoutLeaderRefusesMutations(t *testing.T) {
+	ctl, _, node := replNode(t, replication.Config{
+		Role:       controller.RoleStandby,
+		ListenAddr: "127.0.0.1:0",
+	})
+	srv := NewServer(ctl)
+	srv.AttachReplication(node)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/modules", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST on standby = HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 from standby is missing Retry-After")
+	}
+
+	// DELETE is gated too.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/modules/pm-1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("DELETE on standby = HTTP %d, want 503", dresp.StatusCode)
+	}
+
+	// Reads pass through, and health advertises the role.
+	hr, err := http.Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Replication == nil || h.Replication.Role != "standby" {
+		t.Fatalf("health replication = %+v, want role standby", h.Replication)
+	}
+}
+
+// With a live leader, the standby's 307 carries the leader's
+// advertised URL — and the api.Client rides the redirect end-to-end:
+// a deploy POSTed at the standby lands on the leader.
+func TestStandbyRedirectsDeployToLeader(t *testing.T) {
+	standbyCtl, _, standbyNode := replNode(t, replication.Config{
+		Role:       controller.RoleStandby,
+		ListenAddr: "127.0.0.1:0",
+	})
+	standbySrv := NewServer(standbyCtl)
+	standbySrv.AttachReplication(standbyNode)
+	standbyTS := httptest.NewServer(standbySrv)
+	t.Cleanup(standbyTS.Close)
+
+	// The leader's client-facing URL must be known before its node is
+	// built (AdvertiseURL travels in the replication handshake), so
+	// its HTTP server comes up first.
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderCtl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderSrv := NewServer(leaderCtl)
+	leaderTS := httptest.NewServer(leaderSrv)
+	t.Cleanup(leaderTS.Close)
+	leaderStore, err := journal.Open(t.TempDir(), journal.Options{Sync: journal.SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leaderStore.Close() })
+	leaderNode, err := replication.NewNode(leaderStore, leaderCtl, replication.Config{
+		Role:           controller.RoleLeader,
+		Peers:          []string{standbyNode.Addr()},
+		AdvertiseURL:   leaderTS.URL,
+		AckTimeout:     3 * time.Second,
+		HeartbeatEvery: 20 * time.Millisecond,
+		RedialEvery:    10 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leaderNode.Close() })
+	leaderCtl.AttachJournal(leaderNode)
+	if err := leaderNode.Start(); err != nil {
+		t.Fatal(err)
+	}
+	leaderSrv.AttachReplication(leaderNode)
+
+	// Wait for the standby to learn who the leader is.
+	deadline := time.Now().Add(5 * time.Second)
+	for standbyNode.Leader() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never learned the leader URL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	c := NewClient(standbyTS.URL)
+	c.Sleep = func(time.Duration) {}
+	req := DeployRequest{
+		Tenant:     "alice",
+		ModuleName: "Batcher",
+		Config:     batcher,
+		Requirements: `
+reach from internet udp -> Batcher:dst:0 dst 10.1.15.133 -> client dst port 1500
+`,
+		Trust: "client",
+	}
+	dep, err := c.Deploy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Leader() != leaderTS.URL {
+		t.Errorf("client leader = %q, want %q", c.Leader(), leaderTS.URL)
+	}
+	if _, ok := leaderCtl.Get(dep.ID); !ok {
+		t.Errorf("deployment %s not on the leader", dep.ID)
+	}
+	// The replicated admission reached the standby too (sync ship).
+	if _, ok := standbyCtl.Get(dep.ID); !ok {
+		t.Errorf("deployment %s not replicated to the standby", dep.ID)
+	}
+
+	// An identical retry (a client replaying through a failover)
+	// reuses the admission: HTTP 200, same deployment.
+	again, err := c.Deploy(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != dep.ID {
+		t.Errorf("idempotent replay created %s, want %s", again.ID, dep.ID)
+	}
+}
+
+// A wedged journal surfaces in /v1/health Errors and degrades status.
+func TestHealthSurfacesWedgedJournal(t *testing.T) {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(topo, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ctl)
+	srv.AttachJournal(wedgedStub{})
+	wts := httptest.NewServer(srv)
+	t.Cleanup(wts.Close)
+
+	hr, err := http.Get(wts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Errorf("status = %q, want degraded", h.Status)
+	}
+	found := false
+	for _, e := range h.Errors {
+		if strings.Contains(e, "wedged") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("errors = %v, want a journal-wedged entry", h.Errors)
+	}
+}
+
+type wedgedStub struct{}
+
+func (wedgedStub) Wedged() error { return fmt.Errorf("disk gone") }

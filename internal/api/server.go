@@ -13,6 +13,7 @@ import (
 
 	"github.com/in-net/innet/internal/controller"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/replication"
 	"github.com/in-net/innet/internal/security"
 	"github.com/in-net/innet/internal/telemetry"
 
@@ -56,6 +57,21 @@ type Server struct {
 	// AttachTelemetry before serving.
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
+
+	// repl, when set, makes the server role-aware: mutating requests
+	// on a standby or fenced node are redirected (307 with Location)
+	// to the advertised leader, or refused (503 with Retry-After) when
+	// no leader is known. Set by AttachReplication before serving.
+	repl *replication.Node
+	// wedged, when set, lets GET /v1/health surface a wedged journal.
+	// Set by AttachJournal before serving.
+	wedged Wedger
+}
+
+// Wedger reports a permanently-failed (wedged) journal; nil means the
+// journal is healthy. *journal.Store implements it.
+type Wedger interface {
+	Wedged() error
 }
 
 // NewServer wraps a controller.
@@ -96,6 +112,46 @@ func (s *Server) AttachTelemetry(r *telemetry.Registry, tr *telemetry.Tracer) {
 // or negative disables the bound.
 func (s *Server) SetDeployTimeout(d time.Duration) {
 	s.deployTimeout = d
+}
+
+// AttachReplication makes the server role-aware: GET /v1/health
+// advertises the node's replication role, and mutating endpoints on a
+// non-leader answer 307 (leader known) or 503 + Retry-After (leader
+// unknown) instead of diverging history. Call before serving.
+func (s *Server) AttachReplication(n *replication.Node) {
+	s.repl = n
+}
+
+// AttachJournal lets GET /v1/health surface a wedged journal in its
+// Errors list. Call before serving.
+func (s *Server) AttachJournal(w Wedger) {
+	s.wedged = w
+}
+
+// notLeader intercepts a mutating request on a node that cannot
+// currently append: a standby or fenced leader redirects the client
+// to the advertised leader with 307 (the method and body must be
+// replayed verbatim, which 307 mandates), or refuses with 503 and
+// Retry-After when no leader is known yet (mid-election). Reports
+// true when the request was answered.
+func (s *Server) notLeader(w http.ResponseWriter, r *http.Request) bool {
+	if s.repl == nil {
+		return false
+	}
+	info := s.repl.Info()
+	if info.Role == controller.RoleLeader.String() && !info.Fenced {
+		return false
+	}
+	if info.LeaderURL != "" {
+		w.Header().Set("Location", strings.TrimRight(info.LeaderURL, "/")+r.URL.RequestURI())
+		writeErr(w, http.StatusTemporaryRedirect,
+			fmt.Errorf("not the leader (role %s, term %d); leader is %s", info.Role, info.Term, info.LeaderURL))
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Errorf("not the leader (role %s, term %d) and no leader is known yet; retry shortly", info.Role, info.Term))
+	return true
 }
 
 // ServeHTTP implements http.Handler. With telemetry attached it also
@@ -219,6 +275,9 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
+		if s.notLeader(w, r) {
+			return
+		}
 		var req DeployRequest
 		if !decodeBody(w, r, &req) {
 			return
@@ -228,7 +287,7 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		dep, err := s.deployBounded(controller.Request{
+		dep, reused, err := s.deployBounded(controller.Request{
 			Tenant:       req.Tenant,
 			ModuleName:   req.ModuleName,
 			Config:       req.Config,
@@ -244,18 +303,30 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusUnprocessableEntity
 			} else if errors.Is(err, errDeployTimeout) {
 				status = http.StatusServiceUnavailable
+			} else if errors.Is(err, controller.ErrNotLeader) {
+				// Role changed between the gate and the admission;
+				// have the client re-resolve the leader.
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
 			}
 			writeErr(w, status, err)
 			return
 		}
-		if s.sim != nil {
+		if s.sim != nil && !reused {
 			if err := s.sim.Register(dep); err != nil {
 				_ = s.ctl.Kill(dep.ID)
 				writeErr(w, http.StatusInternalServerError, err)
 				return
 			}
 		}
-		writeJSON(w, http.StatusCreated, DeployResponse{
+		// A reused deployment (idempotent replay of a request the
+		// controller already admitted, e.g. a client retrying across a
+		// failover) answers 200 instead of 201.
+		status := http.StatusCreated
+		if reused {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, DeployResponse{
 			ID:        dep.ID,
 			Platform:  dep.Platform,
 			Addr:      packet.IPString(dep.Addr),
@@ -274,21 +345,25 @@ var errDeployTimeout = errors.New("admission timed out; the request was abandone
 // timeout. On timeout the worker keeps running (controller calls are
 // not interruptible) but its outcome is discarded: a late successful
 // placement is killed so the 503 the client saw stays true.
-func (s *Server) deployBounded(req controller.Request) (*controller.Deployment, error) {
+// Admissions are idempotent: a byte-identical retry of a request the
+// controller already holds returns the existing deployment (reused =
+// true) so clients replaying through a failover don't double-place.
+func (s *Server) deployBounded(req controller.Request) (*controller.Deployment, bool, error) {
 	if s.deployTimeout <= 0 && s.testSlowDeploy == nil {
-		return s.ctl.Deploy(req)
+		return s.ctl.DeployIdempotent(req)
 	}
 	type result struct {
-		dep *controller.Deployment
-		err error
+		dep    *controller.Deployment
+		reused bool
+		err    error
 	}
 	ch := make(chan result, 1)
 	go func() {
 		if s.testSlowDeploy != nil {
 			s.testSlowDeploy()
 		}
-		dep, err := s.ctl.Deploy(req)
-		ch <- result{dep, err}
+		dep, reused, err := s.ctl.DeployIdempotent(req)
+		ch <- result{dep, reused, err}
 	}()
 	timeout := s.deployTimeout
 	if timeout <= 0 {
@@ -298,18 +373,18 @@ func (s *Server) deployBounded(req controller.Request) (*controller.Deployment, 
 	defer timer.Stop()
 	select {
 	case res := <-ch:
-		return res.dep, res.err
+		return res.dep, res.reused, res.err
 	case <-timer.C:
 		go func() {
 			res := <-ch
-			if res.err == nil && res.dep != nil {
+			if res.err == nil && res.dep != nil && !res.reused {
 				s.rollbackLatePlacement(res.dep.ID)
 			}
 			if s.testRollbackDone != nil {
 				s.testRollbackDone()
 			}
 		}()
-		return nil, fmt.Errorf("deploy exceeded %v: %w", timeout, errDeployTimeout)
+		return nil, false, fmt.Errorf("deploy exceeded %v: %w", timeout, errDeployTimeout)
 	}
 }
 
@@ -346,8 +421,16 @@ func (s *Server) moduleByID(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodDelete:
+		if s.notLeader(w, r) {
+			return
+		}
 		dep, ok := s.ctl.Get(id)
 		if err := s.ctl.Kill(id); err != nil {
+			if errors.Is(err, controller.ErrNotLeader) {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, err)
+				return
+			}
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
@@ -414,6 +497,27 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.ctl.JournalErr(); err != nil {
 		resp.Errors = append(resp.Errors, "journal: "+err.Error())
+	}
+	if s.wedged != nil {
+		if err := s.wedged.Wedged(); err != nil {
+			resp.Errors = append(resp.Errors, "journal wedged: "+err.Error())
+		}
+	}
+	if s.repl != nil {
+		info := s.repl.Info()
+		resp.Replication = &ReplicationInfo{
+			Role:       info.Role,
+			Term:       info.Term,
+			Seq:        info.Seq,
+			Fenced:     info.Fenced,
+			LeaderURL:  info.LeaderURL,
+			LagRecords: info.LagRecords,
+			Peers:      info.Peers,
+		}
+		if info.Fenced {
+			resp.Errors = append(resp.Errors, fmt.Sprintf(
+				"replication: deposed leader (term %d), node is fenced read-only; writes go to %s", info.Term, info.LeaderURL))
+		}
 	}
 	s.mu.Lock()
 	if s.rollbackErr != nil {

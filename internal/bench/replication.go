@@ -1,0 +1,170 @@
+// Replication failover benchmark: how long clients lose write
+// service when the leader dies. The clock starts at the kill and
+// stops at the first successful admission on the promoted standby —
+// so the figure covers silence detection (FailoverAfter), the term
+// bump, and the first full admission pipeline run on the survivor.
+// The JSON form is what CI archives as BENCH_replication.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/faults"
+	"github.com/in-net/innet/internal/security"
+)
+
+// ReplicationResult is the machine-readable form of the failover
+// benchmark (serialized to BENCH_replication.json by innet-bench
+// -replication-json).
+type ReplicationResult struct {
+	Format string `json:"format"`
+
+	// Pair configuration the trials ran under.
+	FailoverAfterMs  float64 `json:"failover_after_ms"`
+	HeartbeatEveryMs float64 `json:"heartbeat_every_ms"`
+	AckTimeoutMs     float64 `json:"ack_timeout_ms"`
+	WarmDeploys      int     `json:"warm_deploys"`
+
+	// Failover time per trial: leader kill -> first successful
+	// admission on the promoted standby.
+	Trials           int       `json:"trials"`
+	FailoverMs       []float64 `json:"failover_ms"`
+	FailoverMsMin    float64   `json:"failover_ms_min"`
+	FailoverMsMedian float64   `json:"failover_ms_median"`
+	FailoverMsMax    float64   `json:"failover_ms_max"`
+	// DetectionFloorMs is the configured silence threshold — the part
+	// of every failover no implementation speedup can remove.
+	DetectionFloorMs float64 `json:"detection_floor_ms"`
+
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
+const replBenchModule = `
+in :: FromNetfront();
+f :: IPFilter(allow udp);
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> mir -> out;
+`
+
+func replBenchRequest(i int) controller.Request {
+	return controller.Request{
+		Tenant:     fmt.Sprintf("bench%d", i),
+		ModuleName: fmt.Sprintf("failover%d", i),
+		Config:     replBenchModule,
+		Trust:      security.ThirdParty,
+	}
+}
+
+// measureFailoverOnce boots a fresh replicated pair, warms it with
+// real deployments, kills the leader and polls the standby with the
+// next deployment until it is admitted. Returns kill-to-admission.
+func measureFailoverOnce(opts faults.ReplPairOptions, warm int) (time.Duration, error) {
+	ldir, err := os.MkdirTemp("", "innet-bench-leader-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(ldir)
+	sdir, err := os.MkdirTemp("", "innet-bench-standby-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(sdir)
+	opts.LeaderDir, opts.StandbyDir = ldir, sdir
+
+	p, err := faults.NewReplPair(opts)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+
+	// Warm deployments replicate synchronously, so by the kill the
+	// standby is a fully-admitted warm replica — the deployment the
+	// paper's failover story depends on.
+	for i := 0; i < warm; i++ {
+		if _, err := p.A.Ctl.Deploy(replBenchRequest(i)); err != nil {
+			return 0, fmt.Errorf("warm deploy %d: %w", i, err)
+		}
+	}
+
+	kill := time.Now()
+	p.CrashLeader()
+	req := replBenchRequest(warm)
+	deadline := kill.Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := p.B.Ctl.Deploy(req); err == nil {
+			return time.Since(kill), nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, fmt.Errorf("standby never admitted a deploy within 30s of the kill")
+}
+
+// ReplicationMeasure runs the failover trials. Each trial gets a
+// fresh pair (a leader kill is not repeatable within one).
+func ReplicationMeasure(quick bool) *ReplicationResult {
+	trials, warm := 5, 3
+	if quick {
+		trials, warm = 3, 2
+	}
+	opts := faults.ReplPairOptions{
+		AckTimeout:     500 * time.Millisecond,
+		FailoverAfter:  150 * time.Millisecond,
+		HeartbeatEvery: 20 * time.Millisecond,
+		RedialEvery:    10 * time.Millisecond,
+	}
+	r := &ReplicationResult{
+		Format:           BenchFormat,
+		FailoverAfterMs:  float64(opts.FailoverAfter) / float64(time.Millisecond),
+		HeartbeatEveryMs: float64(opts.HeartbeatEvery) / float64(time.Millisecond),
+		AckTimeoutMs:     float64(opts.AckTimeout) / float64(time.Millisecond),
+		WarmDeploys:      warm,
+		Trials:           trials,
+		DetectionFloorMs: float64(opts.FailoverAfter) / float64(time.Millisecond),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+	}
+	for i := 0; i < trials; i++ {
+		d, err := measureFailoverOnce(opts, warm)
+		if err != nil {
+			panic(fmt.Sprintf("replication bench trial %d: %v", i, err))
+		}
+		r.FailoverMs = append(r.FailoverMs, float64(d)/float64(time.Millisecond))
+	}
+	sorted := append([]float64(nil), r.FailoverMs...)
+	sort.Float64s(sorted)
+	r.FailoverMsMin = sorted[0]
+	r.FailoverMsMedian = sorted[len(sorted)/2]
+	r.FailoverMsMax = sorted[len(sorted)-1]
+	return r
+}
+
+// JSON renders the result for archival next to BENCH_pr3.json.
+func (r *ReplicationResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ReplicationTable renders an already-measured result as a table.
+func ReplicationTable(r *ReplicationResult) *Table {
+	t := &Table{
+		ID:      "REPLICATION",
+		Title:   "replication failover (leader kill -> first standby admission)",
+		Columns: []string{"metric", "ms"},
+	}
+	t.AddRow("failover min", f1(r.FailoverMsMin))
+	t.AddRow("failover median", f1(r.FailoverMsMedian))
+	t.AddRow("failover max", f1(r.FailoverMsMax))
+	t.AddRow("detection floor (FailoverAfter)", f1(r.DetectionFloorMs))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d trials, fresh pair each; %d warm deployments replicated before the kill", r.Trials, r.WarmDeploys),
+		fmt.Sprintf("heartbeat %.0fms, ack timeout %.0fms, GOMAXPROCS=%d", r.HeartbeatEveryMs, r.AckTimeoutMs, r.GOMAXPROCS),
+		"median - floor is the promotion + first-admission cost on this machine")
+	return t
+}

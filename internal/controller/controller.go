@@ -277,6 +277,9 @@ type Controller struct {
 	// append that failed.
 	journal    Journal
 	journalErr error
+	// role is the replication role; RoleStandby rejects mutations
+	// with ErrNotLeader (see replication.go).
+	role Role
 	// cache memoizes symbolic-execution verdicts (nil = disabled);
 	// epoch content-addresses the deployment set + platform health
 	// for placement-dependent entries, recomputed when epochDirty.
@@ -354,8 +357,20 @@ func (e *RejectionError) Error() string { return "controller: request rejected: 
 // is recorded as hosted and its deployment descriptor returned; a
 // *RejectionError explains refusals.
 func (c *Controller) Deploy(req Request) (*Deployment, error) {
+	d, _, err := c.deploy(req, false)
+	return d, err
+}
+
+// deploy is the shared core of Deploy and DeployIdempotent: when
+// idempotent, a request byte-identical to an existing deployment
+// returns that deployment (reused=true) instead of a duplicate-module
+// rejection.
+func (c *Controller) deploy(req Request, idempotent bool) (*Deployment, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.leaderOnlyLocked(); err != nil {
+		return nil, false, err
+	}
 
 	start := time.Now()
 	c.beginSpanLocked("deploy", req.ModuleName)
@@ -368,13 +383,17 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 	if req.ModuleName == "" {
 		c.verdictLocked(false)
 		c.endSpanLocked("rejected")
-		return nil, &RejectionError{Reason: "missing module name"}
+		return nil, false, &RejectionError{Reason: "missing module name"}
 	}
 	for _, d := range c.deployments {
 		if d.Tenant == req.Tenant && d.ModuleName == req.ModuleName {
+			if idempotent && sameRequest(d.req, req) {
+				c.endSpanLocked("reused")
+				return d, true, nil
+			}
 			c.verdictLocked(false)
 			c.endSpanLocked("rejected")
-			return nil, &RejectionError{Reason: fmt.Sprintf("module %q already deployed", req.ModuleName)}
+			return nil, false, &RejectionError{Reason: fmt.Sprintf("module %q already deployed", req.ModuleName)}
 		}
 	}
 	dep, err := c.placeLocked(req)
@@ -387,23 +406,24 @@ func (c *Controller) Deploy(req Request) (*Deployment, error) {
 		c.stageLocked(StageJournalAppend, jstart, "reject record")
 		c.verdictLocked(false)
 		c.endSpanLocked("rejected")
-		return nil, err
+		return nil, false, err
 	}
 	c.span.SetRef(dep.ID)
-	// Write-ahead: the admission is durable before it is visible.
+	// Write-ahead: the admission is durable (and, under replication,
+	// acknowledged by the standbys) before it is visible.
 	jstart := time.Now()
-	jerr := c.appendLocked(journal.Record{Type: journal.EvAdmit, Dep: depRecord(dep)})
+	jerr := c.appendSyncLocked(journal.Record{Type: journal.EvAdmit, Dep: depRecord(dep)})
 	c.stageLocked(StageJournalAppend, jstart, "admit record")
 	if jerr != nil {
 		c.endSpanLocked("error")
-		return nil, fmt.Errorf("controller: journal admit: %v", jerr)
+		return nil, false, fmt.Errorf("controller: journal admit: %w", jerr)
 	}
 	c.deployments[dep.ID] = dep
 	c.bumpEpochLocked()
 	c.Placed++
 	c.verdictLocked(true)
 	c.endSpanLocked("admitted")
-	return dep, nil
+	return dep, false, nil
 }
 
 // placeLocked runs the full verification-and-placement pipeline for a
@@ -657,6 +677,10 @@ func (c *Controller) runPlacementChecks(platformName string, reqs []*policy.Requ
 func (c *Controller) MarkPlatformDown(name string) []*Deployment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.leaderOnlyLocked() != nil {
+		// A standby learns platform health through replicated records.
+		return nil
+	}
 	c.platformDown[name] = true
 	c.bumpEpochLocked()
 	// One platform-down record covers the whole sweep: replay folds
@@ -678,6 +702,9 @@ func (c *Controller) MarkPlatformDown(name string) []*Deployment {
 func (c *Controller) MarkPlatformUp(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.leaderOnlyLocked() != nil {
+		return
+	}
 	delete(c.platformDown, name)
 	c.bumpEpochLocked()
 	c.journalBestEffortLocked(journal.Record{Type: journal.EvPlatformUp, Platform: name})
@@ -717,6 +744,9 @@ type Migration struct {
 func (c *Controller) Failover(name string) (migrated []Migration, failed []*Deployment) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.leaderOnlyLocked() != nil {
+		return nil, nil
+	}
 	ids := make([]string, 0, len(c.deployments))
 	for id, d := range c.deployments {
 		if d.Platform == name && d.Status() != StatusFailed {
@@ -761,6 +791,9 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 func (c *Controller) RetryFailed() []*Deployment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.leaderOnlyLocked() != nil {
+		return nil
+	}
 	ids := make([]string, 0, len(c.deployments))
 	for id, d := range c.deployments {
 		if d.Status() == StatusFailed {
@@ -863,13 +896,16 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 func (c *Controller) Kill(id string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.leaderOnlyLocked(); err != nil {
+		return err
+	}
 	if _, ok := c.deployments[id]; !ok {
 		return fmt.Errorf("controller: no deployment %q", id)
 	}
 	// Write-ahead: a kill that is not durable is not performed, so a
 	// recovered controller can never resurrect a killed module.
-	if jerr := c.appendLocked(journal.Record{Type: journal.EvKill, ID: id}); jerr != nil {
-		return fmt.Errorf("controller: journal kill: %v", jerr)
+	if jerr := c.appendSyncLocked(journal.Record{Type: journal.EvKill, ID: id}); jerr != nil {
+		return fmt.Errorf("controller: journal kill: %w", jerr)
 	}
 	delete(c.deployments, id)
 	c.bumpEpochLocked()

@@ -1,0 +1,234 @@
+// Controller-side replication support: role state (single, leader,
+// standby), leader-only gating of mutating operations, the idempotent
+// deploy path clients retry against after a failover, and the standby
+// catch-up apply that folds replicated journal records into a warm
+// in-memory replica without re-journaling them.
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/in-net/innet/internal/journal"
+)
+
+// Role is the controller's replication role.
+type Role int32
+
+const (
+	// RoleSingle is the unreplicated default: one controller owns the
+	// journal and serves everything.
+	RoleSingle Role = iota
+	// RoleLeader owns admissions and ships journal frames to standbys.
+	RoleLeader
+	// RoleStandby applies replicated records and serves reads only;
+	// mutating operations return ErrNotLeader. A deposed (fenced)
+	// ex-leader is also set to RoleStandby.
+	RoleStandby
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleStandby:
+		return "standby"
+	default:
+		return "single"
+	}
+}
+
+// ParseRole maps flag values to roles.
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "single", "":
+		return RoleSingle, nil
+	case "leader":
+		return RoleLeader, nil
+	case "standby":
+		return RoleStandby, nil
+	default:
+		return 0, fmt.Errorf("controller: unknown role %q (want single, leader or standby)", s)
+	}
+}
+
+// ErrNotLeader is returned by mutating operations on a standby (or
+// fenced ex-leader) controller. The API layer translates it into a
+// redirect to the current leader.
+var ErrNotLeader = errors.New("controller: not the leader")
+
+// SetRole flips the controller's replication role. The replication
+// node calls it on promotion (standby→leader) and fencing
+// (leader→standby).
+func (c *Controller) SetRole(r Role) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.role = r
+}
+
+// Role returns the controller's replication role.
+func (c *Controller) Role() Role {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
+
+// leaderOnlyLocked rejects mutations on a standby controller.
+func (c *Controller) leaderOnlyLocked() error {
+	if c.role == RoleStandby {
+		return ErrNotLeader
+	}
+	return nil
+}
+
+// syncJournal is the replication node's journal facade: AppendSync
+// blocks until the record is durable on the standbys too, so an
+// admission acked to a client can never be lost by a leader crash.
+type syncJournal interface {
+	AppendSync(journal.Record) error
+}
+
+// appendSyncLocked journals a strict (write-ahead) record. When the
+// attached journal is a replication node it waits for standby
+// acknowledgement; otherwise it is a plain append.
+func (c *Controller) appendSyncLocked(r journal.Record) error {
+	if c.journal == nil {
+		return nil
+	}
+	r.NextID = c.nextID
+	if sj, ok := c.journal.(syncJournal); ok {
+		return sj.AppendSync(r)
+	}
+	return c.journal.Append(r)
+}
+
+// sameRequest reports whether two deployment requests are
+// byte-identical — the retry-equality test behind DeployIdempotent.
+func sameRequest(a, b Request) bool {
+	if a.Tenant != b.Tenant || a.ModuleName != b.ModuleName ||
+		a.Config != b.Config || a.Stock != b.Stock ||
+		a.Requirements != b.Requirements || a.Trust != b.Trust ||
+		a.Transparent != b.Transparent || len(a.Whitelist) != len(b.Whitelist) {
+		return false
+	}
+	for i := range a.Whitelist {
+		if a.Whitelist[i] != b.Whitelist[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DeployIdempotent is Deploy for clients that may be retrying after a
+// failover: when an identical request (same tenant, module and full
+// request body) is already deployed, the existing deployment is
+// returned with reused=true instead of a duplicate-module rejection.
+// This resolves the client's ambiguity after a leader crash — whether
+// the admission replicated before the crash or not, the retry against
+// the new leader converges on exactly one deployment. A *different*
+// request under an existing (tenant, module) name still rejects.
+func (c *Controller) DeployIdempotent(req Request) (*Deployment, bool, error) {
+	return c.deploy(req, true)
+}
+
+// ApplyRecord folds one replicated journal record into the live
+// controller — the standby catch-up path. The record has already been
+// ingested into the standby's journal store, so nothing is
+// re-journaled here; this mirrors exactly the in-memory transition the
+// leader made when it appended the record. Deployments are rebuilt
+// with deploymentFromRecord (no symbolic re-analysis — the leader's
+// admission already paid for it, and the verdict travels with the
+// record).
+func (c *Controller) ApplyRecord(r journal.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.NextID > c.nextID {
+		c.nextID = r.NextID
+	}
+	switch r.Type {
+	case journal.EvAdmit:
+		d, err := deploymentFromRecord(r.Dep)
+		if err != nil {
+			return err
+		}
+		c.deployments[d.ID] = d
+		c.bumpEpochLocked()
+		c.Placed++
+	case journal.EvMigrate:
+		d, err := deploymentFromRecord(r.Dep)
+		if err != nil {
+			return err
+		}
+		c.deployments[d.ID] = d
+		c.bumpEpochLocked()
+		c.Migrations++
+	case journal.EvMigrateFailed:
+		if d, ok := c.deployments[r.ID]; ok {
+			d.setStatus(StatusFailed)
+			c.bumpEpochLocked()
+		}
+		c.FailedMigrations++
+	case journal.EvReject:
+		c.Rejections++
+	case journal.EvStatus:
+		if d, ok := c.deployments[r.ID]; ok {
+			d.setStatus(parseStatus(r.Status))
+		}
+	case journal.EvKill:
+		delete(c.deployments, r.ID)
+		c.bumpEpochLocked()
+	case journal.EvPlatformDown:
+		c.platformDown[r.Platform] = true
+		c.bumpEpochLocked()
+		for _, d := range c.deployments {
+			if d.Platform == r.Platform && d.Status() == StatusActive {
+				d.setStatus(StatusDegraded)
+			}
+		}
+	case journal.EvPlatformUp:
+		delete(c.platformDown, r.Platform)
+		c.bumpEpochLocked()
+		for _, d := range c.deployments {
+			if d.Platform == r.Platform && d.Status() == StatusDegraded {
+				d.setStatus(StatusActive)
+			}
+		}
+	case journal.EvTerm:
+		// Leadership bookkeeping lives in the journal state; nothing
+		// changes in the deployment set.
+	}
+	return nil
+}
+
+// ResetToState discards the controller's in-memory deployment set and
+// rebuilds it from a folded journal state — the standby snapshot
+// resync path (the journal-store side is Store.ResetTo). Like restart
+// recovery's re-attach pass this runs no placement and journals
+// nothing; unlike Restore it reuses the live controller so the
+// topology, policy and caches survive.
+func (c *Controller) ResetToState(st *journal.State) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deployments := make(map[string]*Deployment, len(st.Deployments))
+	for _, id := range st.IDs() {
+		d, err := deploymentFromRecord(st.Deployments[id])
+		if err != nil {
+			return err
+		}
+		deployments[id] = d
+	}
+	c.deployments = deployments
+	c.nextID = st.NextID
+	c.Placed = st.Placed
+	c.Rejections = st.Rejections
+	c.Migrations = st.Migrations
+	c.FailedMigrations = st.FailedMigrations
+	c.platformDown = make(map[string]bool)
+	for name, down := range st.PlatformDown {
+		if down {
+			c.platformDown[name] = true
+		}
+	}
+	c.bumpEpochLocked()
+	return nil
+}

@@ -37,6 +37,16 @@ const (
 	// KindControllerCrash kills the controller process and restarts it
 	// from its journal and snapshot (crash-safe controller recovery).
 	KindControllerCrash
+	// KindLeaderCrash kills the replication leader outright; the
+	// standby must detect the silence, promote itself and take over.
+	KindLeaderCrash
+	// KindPartition isolates the leader from its standby — but not
+	// from clients — for Duration. The leader must fence itself (sync
+	// appends cannot be acknowledged) rather than fork history.
+	KindPartition
+	// KindStandbyLag delays the replication stream for Duration; the
+	// standby falls behind and must catch up when the lag lifts.
+	KindStandbyLag
 )
 
 func (k Kind) String() string {
@@ -53,6 +63,12 @@ func (k Kind) String() string {
 		return "loss-burst"
 	case KindControllerCrash:
 		return "controller-crash"
+	case KindLeaderCrash:
+		return "leader-crash"
+	case KindPartition:
+		return "partition"
+	case KindStandbyLag:
+		return "standby-lag"
 	default:
 		return "unknown"
 	}
@@ -88,6 +104,20 @@ type Target interface {
 	CrashController()
 }
 
+// ReplTarget optionally extends Target with replicated-controller
+// faults. Schedule type-asserts for it, so targets without a
+// replication pair silently skip these kinds and existing Target
+// implementations keep compiling.
+type ReplTarget interface {
+	// CrashLeader kills the current leader outright.
+	CrashLeader()
+	// PartitionLeader cuts leader↔standby replication (clients keep
+	// reaching both) for dur.
+	PartitionLeader(dur netsim.Time)
+	// LagStandby delays the replication stream for dur.
+	LagStandby(dur netsim.Time)
+}
+
 // Plan is a deterministic fault schedule.
 type Plan struct {
 	Seed   int64
@@ -121,6 +151,18 @@ type Config struct {
 	// the controller process dies mid-run and is rebuilt from its
 	// write-ahead journal and snapshot.
 	ControllerCrashes int
+	// LeaderCrash, when true, schedules one replication leader kill in
+	// the horizon's middle half (at most one — a two-node pair has one
+	// standby to fail over to).
+	LeaderCrash bool
+	// Partitions counts leader↔standby partition windows of
+	// PartitionDuration each.
+	Partitions        int
+	PartitionDuration netsim.Time
+	// StandbyLags counts replication-lag windows of
+	// StandbyLagDuration each.
+	StandbyLags        int
+	StandbyLagDuration netsim.Time
 }
 
 // Generate derives a fault plan from a seed. Identical seeds and
@@ -165,12 +207,30 @@ func Generate(seed int64, cfg Config) *Plan {
 	for i := 0; i < cfg.ControllerCrashes; i++ {
 		pl.Faults = append(pl.Faults, Fault{At: at(0, 1), Kind: KindControllerCrash})
 	}
+	// Replication faults draw after everything that predates them, for
+	// the same seeded-plan-stability reason.
+	if cfg.LeaderCrash {
+		pl.Faults = append(pl.Faults, Fault{At: at(0.25, 0.75), Kind: KindLeaderCrash})
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		pl.Faults = append(pl.Faults, Fault{
+			At: at(0, 0.75), Kind: KindPartition, Duration: cfg.PartitionDuration,
+		})
+	}
+	for i := 0; i < cfg.StandbyLags; i++ {
+		pl.Faults = append(pl.Faults, Fault{
+			At: at(0, 0.75), Kind: KindStandbyLag, Duration: cfg.StandbyLagDuration,
+		})
+	}
 	sort.SliceStable(pl.Faults, func(i, j int) bool { return pl.Faults[i].At < pl.Faults[j].At })
 	return pl
 }
 
 // Schedule arms every fault on the simulator clock against a target.
+// Replication kinds only fire when the target also implements
+// ReplTarget.
 func (pl *Plan) Schedule(sim *netsim.Sim, tgt Target) {
+	rt, _ := tgt.(ReplTarget)
 	for _, f := range pl.Faults {
 		f := f
 		sim.At(f.At, func() {
@@ -187,6 +247,18 @@ func (pl *Plan) Schedule(sim *netsim.Sim, tgt Target) {
 				tgt.LossBurst(f.Platform, f.Loss, f.Duration)
 			case KindControllerCrash:
 				tgt.CrashController()
+			case KindLeaderCrash:
+				if rt != nil {
+					rt.CrashLeader()
+				}
+			case KindPartition:
+				if rt != nil {
+					rt.PartitionLeader(f.Duration)
+				}
+			case KindStandbyLag:
+				if rt != nil {
+					rt.LagStandby(f.Duration)
+				}
 			}
 		})
 	}

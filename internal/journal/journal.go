@@ -65,6 +65,11 @@ const (
 	// including the implied active↔degraded status sweeps.
 	EvPlatformDown EventType = "platform-down"
 	EvPlatformUp   EventType = "platform-up"
+	// EvTerm records a leadership term change (replicated controller
+	// fencing): the first record a node writes when it becomes leader.
+	// Terms are strictly monotonic; a node that observes a higher term
+	// than its own is deposed and must refuse further appends.
+	EvTerm EventType = "term"
 )
 
 // Deployment lifecycle status names as journaled (the controller's
@@ -130,6 +135,8 @@ type Record struct {
 	// NextID is the controller's ID counter at emission time, so a
 	// recovered controller never reissues a deployment ID.
 	NextID int `json:"next_id,omitempty"`
+	// Term carries the new leadership term for EvTerm records.
+	Term uint64 `json:"term,omitempty"`
 }
 
 // State is the fold of a snapshot plus every journal record after it:
@@ -143,6 +150,12 @@ type State struct {
 	Deployments map[string]*DeploymentRecord `json:"deployments"`
 	// PlatformDown marks platforms last known unhealthy.
 	PlatformDown map[string]bool `json:"platform_down,omitempty"`
+	// Term is the last applied leadership term (0 = never replicated).
+	Term uint64 `json:"term,omitempty"`
+	// TermStart is the sequence number of the record that started the
+	// current term — the replication handshake uses it to decide
+	// whether a standby may catch up incrementally or must resync.
+	TermStart uint64 `json:"term_start,omitempty"`
 	// Controller decision counters (the accounting identity).
 	Placed           int `json:"placed"`
 	Rejections       int `json:"rejections"`
@@ -247,7 +260,32 @@ func (st *State) Apply(r Record) {
 				d.Status = StatusActive
 			}
 		}
+	case EvTerm:
+		if r.Term > st.Term {
+			st.Term = r.Term
+			st.TermStart = r.Seq
+		}
 	}
+}
+
+// Canonical renders the state with the replication bookkeeping (Seq,
+// Term, TermStart) zeroed and stable key order: two histories that
+// admitted the same deployments produce identical bytes even when a
+// failover shifted sequence numbers and bumped the term. The chaos
+// differential tests compare these digests to prove a crashed or
+// partitioned run converged to the uncrashed run's state — no lost,
+// duplicated or forked deployments.
+func (st *State) Canonical() []byte {
+	c := st.Clone()
+	c.Seq = 0
+	c.Term = 0
+	c.TermStart = 0
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		// State is plain maps and scalars; Marshal cannot fail.
+		panic("journal: canonical marshal: " + err.Error())
+	}
+	return data
 }
 
 // ---- Frame encoding --------------------------------------------------

@@ -3,6 +3,7 @@ package journal
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -306,5 +307,75 @@ func TestAppendWedgesWhenRollbackFails(t *testing.T) {
 func TestOpenRejectsMissingDir(t *testing.T) {
 	if _, err := Open(filepath.Join(t.TempDir(), "nope"), Options{}); err == nil {
 		t.Error("Open of a missing directory succeeded")
+	}
+}
+
+// A reader resuming by sequence number must survive a Compact
+// boundary: positions that predate the compaction are gone from disk
+// (RecordsAfter says so explicitly), while DecodeAll's afterSeq filter
+// resumes cleanly from any position against the post-compaction file —
+// the replication catch-up path depends on both behaviors.
+func TestDecodeAllAfterSeqAcrossCompactBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, s, Record{Type: EvAdmit, Dep: dep(fmt.Sprintf("pm-%d", i), "Platform1", uint32(40+i), StatusActive), NextID: i})
+	}
+	// Compact folds seqs 1..3 into the snapshot and truncates the log.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 6; i++ {
+		mustAppend(t, s, Record{Type: EvAdmit, Dep: dep(fmt.Sprintf("pm-%d", i), "Platform2", uint32(40+i), StatusActive), NextID: i})
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := func(recs []Record) []uint64 {
+		var out []uint64
+		for _, r := range recs {
+			out = append(out, r.Seq)
+		}
+		return out
+	}
+
+	// afterSeq pointing before the boundary: everything on disk is
+	// newer, so the whole tail comes back.
+	recs, valid := DecodeAll(data, 2)
+	if valid != int64(len(data)) || !reflect.DeepEqual(seqs(recs), []uint64{4, 5, 6}) {
+		t.Errorf("DecodeAll(after=2) = seqs %v, valid %d/%d; want [4 5 6], all valid", seqs(recs), valid, len(data))
+	}
+	// Mid-file resume within the post-compaction tail.
+	recs, _ = DecodeAll(data, 5)
+	if !reflect.DeepEqual(seqs(recs), []uint64{6}) {
+		t.Errorf("DecodeAll(after=5) = seqs %v, want [6]", seqs(recs))
+	}
+	// At (and past) the head: nothing.
+	if recs, _ = DecodeAll(data, 6); len(recs) != 0 {
+		t.Errorf("DecodeAll(after=6) = seqs %v, want none", seqs(recs))
+	}
+
+	// RecordsAfter distinguishes "before the boundary" (the records no
+	// longer exist as frames — callers must fall back to a snapshot)
+	// from "at or after" (an incremental read works).
+	if _, err := s.RecordsAfter(2); !errors.Is(err, ErrCompacted) {
+		t.Errorf("RecordsAfter(2) err = %v, want ErrCompacted", err)
+	}
+	got, err := s.RecordsAfter(3)
+	if err != nil || !reflect.DeepEqual(seqs(got), []uint64{4, 5, 6}) {
+		t.Errorf("RecordsAfter(3) = seqs %v, err %v; want [4 5 6]", seqs(got), err)
+	}
+	got, err = s.RecordsAfter(5)
+	if err != nil || !reflect.DeepEqual(seqs(got), []uint64{6}) {
+		t.Errorf("RecordsAfter(5) = seqs %v, err %v; want [6]", seqs(got), err)
+	}
+	if got, err = s.RecordsAfter(6); err != nil || len(got) != 0 {
+		t.Errorf("RecordsAfter(6) = %d recs, err %v; want none", len(got), err)
 	}
 }

@@ -52,4 +52,12 @@ func (s *Store) RegisterMetrics(r *telemetry.Registry) {
 	r.GaugeFunc("innet_journal_seq",
 		"Last applied journal sequence number.",
 		func() float64 { return float64(s.seq.Load()) })
+	r.GaugeFunc("innet_journal_wedged",
+		"1 when the store has wedged (rollback after a failed append itself failed) and refuses writes.",
+		func() float64 {
+			if s.Wedged() != nil {
+				return 1
+			}
+			return 0
+		})
 }

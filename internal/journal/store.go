@@ -63,8 +63,14 @@ type Store struct {
 	goodOff int64
 	// wedged is set when that rollback itself failed: the file may end
 	// in garbage, so the store refuses further appends rather than
-	// write records a restart could never replay.
-	wedged error
+	// write records a restart could never replay. Stored atomically so
+	// a health scrape can read it without racing an in-flight append.
+	wedged atomic.Pointer[wedgeCause]
+	// baseSeq is the sequence number the snapshot covers: records with
+	// Seq ≤ baseSeq are no longer in the journal file. RecordsAfter
+	// uses it to tell a lagging reader it must resync from a snapshot
+	// instead of catching up frame by frame.
+	baseSeq uint64
 	// testWrite, when set, replaces the journal write — tests use it
 	// to inject partial (torn) writes.
 	testWrite func(f *os.File, b []byte) (int, error)
@@ -112,6 +118,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if s.state.PlatformDown == nil {
 			s.state.PlatformDown = make(map[string]bool)
 		}
+		s.baseSeq = s.state.Seq
 	} else if !os.IsNotExist(rerr) {
 		return nil, fmt.Errorf("journal: %w", rerr)
 	}
@@ -146,11 +153,26 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// wedgeCause wraps the wedging error for atomic storage.
+type wedgeCause struct{ err error }
+
+// Wedged reports whether the store has refused service after a failed
+// rollback, and why. Nil means the store is healthy. Safe to call from
+// any goroutine — the health endpoint polls it.
+func (s *Store) Wedged() error {
+	if c := s.wedged.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
 // Dir returns the state directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Seq returns the last applied sequence number.
-func (s *Store) Seq() uint64 { return s.state.Seq }
+// Seq returns the last applied sequence number. It reads the atomic
+// mirror, so concurrent observers (telemetry, replication lag probes,
+// tests) never race with an in-flight append.
+func (s *Store) Seq() uint64 { return s.seq.Load() }
 
 // State returns a deep copy of the folded state.
 func (s *Store) State() *State { return s.state.Clone() }
@@ -163,14 +185,49 @@ func (s *Store) Append(r Record) error {
 	if s.f == nil {
 		return fmt.Errorf("journal: store is closed")
 	}
-	if s.wedged != nil {
-		return fmt.Errorf("journal: store failed: %w", s.wedged)
+	if err := s.Wedged(); err != nil {
+		return fmt.Errorf("journal: store failed: %w", err)
 	}
 	r.Seq = s.state.Seq + 1
 	frame, err := EncodeRecord(r)
 	if err != nil {
 		return err
 	}
+	return s.commitFrame(frame, r)
+}
+
+// IngestFrame appends an already-encoded frame verbatim — the
+// follower-mode write path. A standby receives frames from the leader
+// byte-identical to the leader's journal file, so ingesting them
+// unmodified keeps the two files (and their CRCs) byte-identical too.
+// The frame must decode to exactly one valid record carrying the next
+// expected sequence number; anything else is rejected before touching
+// the file.
+func (s *Store) IngestFrame(frame []byte) (Record, error) {
+	if s.f == nil {
+		return Record{}, fmt.Errorf("journal: store is closed")
+	}
+	if err := s.Wedged(); err != nil {
+		return Record{}, fmt.Errorf("journal: store failed: %w", err)
+	}
+	recs, valid := DecodeAll(frame, 0)
+	if valid != int64(len(frame)) || len(recs) != 1 {
+		return Record{}, fmt.Errorf("journal: ingest: corrupt or multi-record frame (%d bytes, %d records, %d valid)", len(frame), len(recs), valid)
+	}
+	r := recs[0]
+	if want := s.state.Seq + 1; r.Seq != want {
+		return Record{}, fmt.Errorf("journal: ingest: out-of-order frame seq %d (want %d)", r.Seq, want)
+	}
+	if err := s.commitFrame(frame, r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// commitFrame writes an encoded frame, fsyncs per policy, folds the
+// record into the state and compacts when due. Shared by Append
+// (leader/single) and IngestFrame (standby).
+func (s *Store) commitFrame(frame []byte, r Record) error {
 	if _, werr := s.write(frame); werr != nil {
 		// A partial write leaves torn bytes at the offset; roll the
 		// file back to the last good frame boundary so a later append
@@ -203,6 +260,58 @@ func (s *Store) Append(r Record) error {
 	return nil
 }
 
+// ErrCompacted reports that requested records have been folded into
+// the snapshot and are no longer individually available; the reader
+// must resync from a full snapshot instead.
+var ErrCompacted = fmt.Errorf("journal: records compacted into snapshot")
+
+// RecordsAfter returns the journal records with Seq > after, reading
+// the journal file through an independent handle (the append cursor is
+// untouched). Returns ErrCompacted when the requested range has been
+// folded into the snapshot — the caller must ship a snapshot instead.
+// The caller must hold the same serialization appends run under.
+func (s *Store) RecordsAfter(after uint64) ([]Record, error) {
+	if s.f == nil {
+		return nil, fmt.Errorf("journal: store is closed")
+	}
+	if after < s.baseSeq {
+		return nil, ErrCompacted
+	}
+	if after >= s.state.Seq {
+		return nil, nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, JournalFile))
+	if err != nil {
+		return nil, err
+	}
+	recs, _ := DecodeAll(data, after)
+	return recs, nil
+}
+
+// ResetTo discards the store's state and journal, replacing them with
+// the given folded state: the snapshot is rewritten atomically and the
+// journal truncated. A standby uses this when the leader's history has
+// been compacted past the standby's position (or the standby holds a
+// forked suffix from a deposed term) and frame-by-frame catch-up is
+// impossible.
+func (s *Store) ResetTo(st *State) error {
+	if s.f == nil {
+		return fmt.Errorf("journal: store is closed")
+	}
+	if err := s.Wedged(); err != nil {
+		return fmt.Errorf("journal: store failed: %w", err)
+	}
+	s.state = st.Clone()
+	if s.state.Deployments == nil {
+		s.state.Deployments = make(map[string]*DeploymentRecord)
+	}
+	if s.state.PlatformDown == nil {
+		s.state.PlatformDown = make(map[string]bool)
+	}
+	s.seq.Store(s.state.Seq)
+	return s.Compact()
+}
+
 // write appends raw bytes at the journal cursor. testWrite, when set,
 // lets tests simulate a torn write (part of the buffer lands on disk,
 // then an error).
@@ -220,11 +329,11 @@ func (s *Store) write(b []byte) (int, error) {
 func (s *Store) rollback(cause error) {
 	s.ops.rollbacks.Add(1)
 	if err := s.f.Truncate(s.goodOff); err != nil {
-		s.wedged = fmt.Errorf("append failed (%v) and truncate to last good offset %d failed (%v)", cause, s.goodOff, err)
+		s.wedged.Store(&wedgeCause{err: fmt.Errorf("append failed (%v) and truncate to last good offset %d failed (%v)", cause, s.goodOff, err)})
 		return
 	}
 	if _, err := s.f.Seek(s.goodOff, 0); err != nil {
-		s.wedged = fmt.Errorf("append failed (%v) and seek to last good offset %d failed (%v)", cause, s.goodOff, err)
+		s.wedged.Store(&wedgeCause{err: fmt.Errorf("append failed (%v) and seek to last good offset %d failed (%v)", cause, s.goodOff, err)})
 	}
 }
 
@@ -252,8 +361,8 @@ func (s *Store) Compact() error {
 	if s.f == nil {
 		return fmt.Errorf("journal: store is closed")
 	}
-	if s.wedged != nil {
-		return fmt.Errorf("journal: store failed: %w", s.wedged)
+	if err := s.Wedged(); err != nil {
+		return fmt.Errorf("journal: store failed: %w", err)
 	}
 	data, err := json.MarshalIndent(s.state, "", " ")
 	if err != nil {
@@ -305,6 +414,7 @@ func (s *Store) Compact() error {
 	}
 	s.goodOff = 0
 	s.sinceSnap = 0
+	s.baseSeq = s.state.Seq
 	s.ops.compactions.Add(1)
 	return nil
 }

@@ -1,0 +1,690 @@
+// Package replication implements a leader/standby controller pair:
+// the leader streams write-ahead journal frames (the exact bytes it
+// wrote to its own journal file) to standbys over a minimal TCP
+// protocol, and each standby ingests them verbatim and folds them
+// through the controller's catch-up apply, holding a warm,
+// fully-admitted replica. Failover is fenced: leadership terms are
+// journal records, a deposed leader's late appends are rejected
+// (wedging it read-only) rather than forking history, and clients are
+// redirected to the new leader through the API layer's role routing.
+//
+// Consistency model. Strict (write-ahead) records — admissions and
+// kills — replicate synchronously: AppendSync blocks until every
+// configured peer has acknowledged the frame, so an operation acked
+// to a client exists on the standby that would take over. Best-effort
+// records ship asynchronously. A leader that cannot reach its standby
+// inside the ack timeout fences itself: it stops accepting writes and
+// lets the standby's failure detector promote, trading availability
+// on the deposed side for a history that never forks. Records a dying
+// leader appended locally but never replicated are discarded when it
+// rejoins as a standby (snapshot resync) — exactly the records no
+// client ever saw acknowledged.
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/telemetry"
+)
+
+// Proto names the wire protocol version carried in the handshake.
+const Proto = "innet-repl/1"
+
+// ErrFenced is returned by appends on a deposed (or self-fenced)
+// leader: the node is read-only until an operator restarts it as a
+// standby of the new leader.
+var ErrFenced = errors.New("replication: node is fenced (deposed leader), read-only")
+
+// Config shapes a replication node.
+type Config struct {
+	// Role is the boot role: RoleLeader or RoleStandby.
+	Role controller.Role
+	// ListenAddr accepts replication streams (standbys listen; leaders
+	// listen too, so a successor can fence them after a partition
+	// heals). Empty = no listener.
+	ListenAddr string
+	// Peers are the replication addresses this node ships frames to
+	// when (and only while) it is the leader.
+	Peers []string
+	// AdvertiseURL is this node's client-facing API base URL,
+	// announced in the handshake so a deposed leader can redirect
+	// clients to its successor.
+	AdvertiseURL string
+	// AckTimeout bounds AppendSync's wait for standby acknowledgement;
+	// on expiry the leader fences itself (default 5s).
+	AckTimeout time.Duration
+	// HeartbeatEvery paces leader heartbeats (default 250ms).
+	HeartbeatEvery time.Duration
+	// FailoverAfter, when positive, auto-promotes a standby that has
+	// not heard from its leader for this long. Zero = manual Promote.
+	FailoverAfter time.Duration
+	// RedialEvery paces reconnection attempts to a dead peer
+	// (default 100ms).
+	RedialEvery time.Duration
+	// Dial replaces net.Dial for the peer streams — the chaos suite
+	// injects partitions and lag here.
+	Dial func(addr string) (net.Conn, error)
+	// OnApply, when set, observes every record the standby applies —
+	// innetd uses it to mirror admissions into its simulated dataplane.
+	OnApply func(journal.Record)
+	// Registry receives the replication telemetry families (nil = dark).
+	Registry *telemetry.Registry
+	// Logf receives protocol events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.RedialEvery <= 0 {
+		c.RedialEvery = 100 * time.Millisecond
+	}
+}
+
+// peer is one standby the leader ships to. All fields are guarded by
+// Node.mu; the stream goroutine copies what it needs under the lock.
+type peer struct {
+	addr    string
+	started bool
+	// live marks an established stream; ch carries frames to its
+	// writer goroutine, conn is closed to force a reconnect.
+	live bool
+	ch   chan []byte
+	conn net.Conn
+	// acked is the highest sequence number the standby acknowledged on
+	// the current stream.
+	acked uint64
+	// termConnected is the leadership term in which this peer's stream
+	// last went live. A peer that has never connected during the
+	// current term is a catch-up candidate, not a voter: sync appends
+	// do not wait for it (see minAckedLocked). This is the asymmetry
+	// that lets a freshly promoted leader commit while its deposed
+	// predecessor — whose peer WAS connected in its term and then
+	// vanished — blocks and fences.
+	termConnected uint64
+}
+
+// waiter is one AppendSync blocked until its seq is acknowledged by
+// every peer (or the node fences).
+type waiter struct {
+	seq uint64
+	ch  chan error
+}
+
+// Node replicates a journal store between controllers. It implements
+// controller.Journal (plus the AppendSync extension), so attaching it
+// in place of the bare *journal.Store makes every controller
+// transition flow through replication.
+type Node struct {
+	store *journal.Store
+	ctl   *controller.Controller
+	cfg   Config
+
+	mu     sync.Mutex
+	role   controller.Role
+	term   uint64
+	fenced bool
+	// leaderURL is the last advertised leader API URL (a standby
+	// learns it from the handshake; a deposed leader from its
+	// successor's fencing handshake).
+	leaderURL string
+	// leaderSeq / lastContact track the upstream leader for lag and
+	// failure detection. everHeard records that at least one leader
+	// handshake ever arrived: a standby that has never heard from any
+	// leader has nothing to fail over FROM and must not auto-promote
+	// over a boot leader it simply hasn't met yet.
+	leaderSeq   uint64
+	lastContact time.Time
+	everHeard   bool
+	peers       []*peer
+	waiters     []*waiter
+	// ingests are live inbound streams (closed on promote so a zombie
+	// leader cannot keep feeding a new leader).
+	ingests []net.Conn
+	closed  bool
+
+	ln   net.Listener
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	framesShipped  atomic.Uint64
+	framesIngested atomic.Uint64
+	resyncs        atomic.Uint64
+	fencings       atomic.Uint64
+	failoverHist   *telemetry.Histogram
+}
+
+// NewNode wires a replication node around a store and its controller.
+// A boot leader whose journal has never seen a term appends the
+// founding EvTerm record immediately, so term 0 only ever means
+// "never replicated".
+func NewNode(store *journal.Store, ctl *controller.Controller, cfg Config) (*Node, error) {
+	cfg.defaults()
+	if cfg.Role != controller.RoleLeader && cfg.Role != controller.RoleStandby {
+		return nil, fmt.Errorf("replication: role must be leader or standby, got %s", cfg.Role)
+	}
+	n := &Node{
+		store: store,
+		ctl:   ctl,
+		cfg:   cfg,
+		role:  cfg.Role,
+		term:  store.State().Term,
+		stop:  make(chan struct{}),
+	}
+	if cfg.Role == controller.RoleLeader && n.term == 0 {
+		n.term = 1
+		if err := store.Append(journal.Record{Type: journal.EvTerm, Term: 1}); err != nil {
+			return nil, fmt.Errorf("replication: founding term record: %w", err)
+		}
+	}
+	// Peers start as voters for the current term: a boot leader's sync
+	// appends wait for them from the first record (strict by default).
+	// A later promotion bumps the term past termConnected, turning
+	// unreachable peers into non-voting catch-up candidates until they
+	// reconnect.
+	for _, addr := range cfg.Peers {
+		n.peers = append(n.peers, &peer{addr: addr, termConnected: n.term})
+	}
+	ctl.SetRole(cfg.Role)
+	n.registerMetrics(cfg.Registry)
+	return n, nil
+}
+
+// Start opens the listener, begins shipping (leaders) and arms the
+// failure detector (standbys with FailoverAfter set).
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+		if err != nil {
+			return fmt.Errorf("replication: listen: %w", err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop(ln)
+	}
+	n.lastContact = time.Now()
+	if n.role == controller.RoleLeader {
+		n.startPeersLocked()
+	}
+	if n.cfg.FailoverAfter > 0 {
+		n.wg.Add(1)
+		go n.failureDetector()
+	}
+	return nil
+}
+
+// Addr returns the replication listener's address ("" if none) —
+// tests listen on :0 and read the bound port here.
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// AddPeer registers another replica's replication address. On an
+// active leader the shipping stream starts immediately; on a standby
+// the peer lies dormant until promotion. Harnesses use it when peer
+// addresses are only known after both nodes have bound ":0"
+// listeners. Sync appends wait on every registered peer, so adding a
+// peer that is not actually listening will fence an active leader
+// after one ack timeout.
+func (n *Node) AddPeer(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || addr == "" {
+		return
+	}
+	for _, p := range n.peers {
+		if p.addr == addr {
+			return
+		}
+	}
+	n.peers = append(n.peers, &peer{addr: addr, termConnected: n.term})
+	if n.role == controller.RoleLeader && !n.fenced {
+		n.startPeersLocked()
+	}
+}
+
+// SetAdvertiseURL updates the client-facing API URL announced in the
+// replication handshake. Harnesses that bind test HTTP servers after
+// the node is built set it before the first peer stream opens.
+func (n *Node) SetAdvertiseURL(u string) {
+	n.mu.Lock()
+	n.cfg.AdvertiseURL = u
+	n.mu.Unlock()
+}
+
+// Append journals a best-effort record and ships it asynchronously.
+func (n *Node) Append(r journal.Record) error { return n.append(r, false) }
+
+// AppendSync journals a strict record and blocks until every peer has
+// acknowledged it (or the ack timeout fences this node). Admissions
+// and kills use it through the controller's write-ahead path.
+func (n *Node) AppendSync(r journal.Record) error { return n.append(r, true) }
+
+func (n *Node) append(r journal.Record, syncAck bool) error {
+	n.mu.Lock()
+	if n.fenced {
+		n.mu.Unlock()
+		return ErrFenced
+	}
+	if n.role != controller.RoleLeader {
+		n.mu.Unlock()
+		return controller.ErrNotLeader
+	}
+	if err := n.store.Append(r); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	r.Seq = n.store.Seq()
+	// Re-encoding the record with its assigned Seq reproduces the
+	// exact frame bytes the store just wrote (deterministic JSON), so
+	// the standby's journal file stays byte-identical to the leader's.
+	frame, err := journal.EncodeRecord(r)
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	n.shipLocked(frame)
+	if !syncAck || !n.hasVotersLocked() {
+		// No peer has connected during this term yet: nothing can
+		// acknowledge, and nothing that could become leader holds this
+		// term — commit locally (the catch-up stream replays it later).
+		n.mu.Unlock()
+		return nil
+	}
+	w := &waiter{seq: r.Seq, ch: make(chan error, 1)}
+	n.waiters = append(n.waiters, w)
+	n.mu.Unlock()
+
+	select {
+	case err := <-w.ch:
+		return err
+	case <-time.After(n.cfg.AckTimeout):
+	}
+	n.mu.Lock()
+	select {
+	case err := <-w.ch: // resolved while we were timing out
+		n.mu.Unlock()
+		return err
+	default:
+	}
+	for i, other := range n.waiters {
+		if other == w {
+			n.waiters = append(n.waiters[:i], n.waiters[i+1:]...)
+			break
+		}
+	}
+	// The standby is unreachable: fence rather than diverge. The
+	// record stays in the local journal but was never acknowledged to
+	// the client; the snapshot resync on rejoin discards it.
+	n.fenceLocked("", fmt.Sprintf("no standby acknowledgement for seq %d within %v", r.Seq, n.cfg.AckTimeout))
+	n.mu.Unlock()
+	return fmt.Errorf("%w: replication of seq %d timed out", ErrFenced, r.Seq)
+}
+
+// shipLocked hands a frame to every live peer stream. A peer whose
+// buffer is full has its connection closed instead of blocking the
+// append path — the reconnect catches it up from disk.
+func (n *Node) shipLocked(frame []byte) {
+	for _, p := range n.peers {
+		if !p.live {
+			continue
+		}
+		select {
+		case p.ch <- frame:
+		default:
+			n.logf("replication: peer %s stream backlogged, dropping connection", p.addr)
+			p.conn.Close()
+			p.live = false
+		}
+	}
+}
+
+// hasVotersLocked reports whether any peer has connected during the
+// current term. Only such peers hold (or acknowledged) records of
+// this term, so only they gate sync appends.
+func (n *Node) hasVotersLocked() bool {
+	for _, p := range n.peers {
+		if p.termConnected == n.term {
+			return true
+		}
+	}
+	return false
+}
+
+// minAckedLocked is the lowest acknowledged seq across the peers that
+// have connected during the current term — the watermark AppendSync
+// waiters resolve against. Peers from older terms are catch-up
+// candidates, not voters; with no voters at all everything resolves
+// (^0).
+func (n *Node) minAckedLocked() uint64 {
+	min := ^uint64(0)
+	for _, p := range n.peers {
+		if p.termConnected == n.term && p.acked < min {
+			min = p.acked
+		}
+	}
+	return min
+}
+
+func (n *Node) maybeResolveLocked() {
+	if len(n.waiters) == 0 {
+		return
+	}
+	min := n.minAckedLocked()
+	keep := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.seq <= min {
+			w.ch <- nil
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	n.waiters = keep
+}
+
+// fenceLocked makes the node read-only: a higher term exists (or the
+// standby is unreachable and is presumed promoting). Pending sync
+// appends fail, peer streams close, and the controller drops to
+// standby so the API layer starts redirecting.
+func (n *Node) fenceLocked(successorURL, reason string) {
+	if successorURL != "" {
+		n.leaderURL = successorURL
+	}
+	if n.fenced {
+		return
+	}
+	n.fenced = true
+	n.fencings.Add(1)
+	n.role = controller.RoleStandby
+	for _, w := range n.waiters {
+		w.ch <- ErrFenced
+	}
+	n.waiters = nil
+	for _, p := range n.peers {
+		if p.live {
+			p.conn.Close()
+			p.live = false
+		}
+	}
+	n.logf("replication: fenced: %s", reason)
+	// Async: fencing can fire inside AppendSync while the controller's
+	// own mutex is held; SetRole takes that mutex.
+	go n.ctl.SetRole(controller.RoleStandby)
+}
+
+// Promote makes a standby the leader: bump the term, journal the
+// EvTerm fencing record, start shipping to peers. The failure
+// detector calls this automatically when FailoverAfter is set; tests
+// and operators may call it directly.
+func (n *Node) Promote() error {
+	n.mu.Lock()
+	if n.fenced {
+		n.mu.Unlock()
+		return ErrFenced
+	}
+	if n.role == controller.RoleLeader {
+		n.mu.Unlock()
+		return nil
+	}
+	down := time.Since(n.lastContact)
+	if st := n.store.State(); st.Term > n.term {
+		n.term = st.Term
+	}
+	n.term++
+	rec := journal.Record{Type: journal.EvTerm, Term: n.term}
+	if err := n.store.Append(rec); err != nil {
+		n.term--
+		n.mu.Unlock()
+		return fmt.Errorf("replication: promote: term record: %w", err)
+	}
+	rec.Seq = n.store.Seq()
+	n.role = controller.RoleLeader
+	n.leaderURL = ""
+	// Cut inbound streams: a not-yet-dead old leader must not keep
+	// feeding us frames from the deposed term.
+	for _, c := range n.ingests {
+		c.Close()
+	}
+	n.ingests = nil
+	n.startPeersLocked()
+	if frame, err := journal.EncodeRecord(rec); err == nil {
+		n.shipLocked(frame)
+	}
+	term := n.term
+	n.mu.Unlock()
+	n.ctl.SetRole(controller.RoleLeader)
+	if n.failoverHist != nil {
+		n.failoverHist.Observe(down.Seconds())
+	}
+	n.logf("replication: promoted to leader, term %d (leader silent for %v)", term, down)
+	return nil
+}
+
+func (n *Node) startPeersLocked() {
+	for _, p := range n.peers {
+		if p.started {
+			continue
+		}
+		p.started = true
+		n.wg.Add(1)
+		go n.peerLoop(p)
+	}
+}
+
+// failureDetector promotes a standby whose leader has gone silent.
+func (n *Node) failureDetector() {
+	defer n.wg.Done()
+	every := n.cfg.FailoverAfter / 4
+	if every < 5*time.Millisecond {
+		every = 5 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		heard := n.everHeard || n.term > 0
+		promote := heard && !n.fenced && n.role == controller.RoleStandby &&
+			time.Since(n.lastContact) > n.cfg.FailoverAfter
+		n.mu.Unlock()
+		if promote {
+			if err := n.Promote(); err != nil {
+				n.logf("replication: auto-promotion failed: %v", err)
+			}
+		}
+	}
+}
+
+// Info is the node's replication status, surfaced in /v1/health.
+type Info struct {
+	Role string `json:"role"`
+	Term uint64 `json:"term"`
+	Seq  uint64 `json:"seq"`
+	// Fenced marks a deposed leader (read-only until restarted).
+	Fenced bool `json:"fenced,omitempty"`
+	// LeaderURL is the advertised API URL of the current leader, when
+	// this node is not it.
+	LeaderURL string `json:"leader_url,omitempty"`
+	// LagRecords is how many records this node is behind: the
+	// leader's seq minus its own (standby), or its seq minus the
+	// slowest peer's acknowledgement (leader).
+	LagRecords uint64 `json:"lag_records"`
+	// Peers counts configured replication peers.
+	Peers int `json:"peers"`
+}
+
+// Info snapshots the node's replication status.
+func (n *Node) Info() Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.infoLocked()
+}
+
+func (n *Node) infoLocked() Info {
+	info := Info{
+		Role:      n.role.String(),
+		Term:      n.term,
+		Seq:       n.store.Seq(),
+		Fenced:    n.fenced,
+		LeaderURL: n.leaderURL,
+		Peers:     len(n.peers),
+	}
+	info.LagRecords = n.lagLocked(info.Seq)
+	return info
+}
+
+func (n *Node) lagLocked(seq uint64) uint64 {
+	if n.role == controller.RoleLeader {
+		if len(n.peers) == 0 {
+			return 0
+		}
+		if min := n.minAckedLocked(); min < seq {
+			return seq - min
+		}
+		return 0
+	}
+	if n.leaderSeq > seq {
+		return n.leaderSeq - seq
+	}
+	return 0
+}
+
+// Leader returns the advertised API URL of the current leader ("" when
+// this node is the leader or no leader is known).
+func (n *Node) Leader() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderURL
+}
+
+// Role returns the node's current role (fenced nodes report standby).
+func (n *Node) Role() controller.Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Fenced reports whether this node has been deposed.
+func (n *Node) Fenced() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fenced
+}
+
+// Term returns the node's current leadership term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// Close stops all streams, the listener and the failure detector.
+// Pending sync appends fail. The store is not closed.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.stop)
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, p := range n.peers {
+		if p.live {
+			p.conn.Close()
+			p.live = false
+		}
+	}
+	for _, c := range n.ingests {
+		c.Close()
+	}
+	n.ingests = nil
+	for _, w := range n.waiters {
+		w.ch <- fmt.Errorf("replication: node closed")
+	}
+	n.waiters = nil
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+func (n *Node) registerMetrics(r *telemetry.Registry) {
+	n.failoverHist = r.Histogram("innet_replication_failover_seconds",
+		"Standby promotion latency: time from last leader contact to leadership.",
+		telemetry.DefBuckets)
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("innet_replication_term",
+		"Current leadership term (0 = never replicated).",
+		func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return float64(n.term)
+		})
+	r.GaugeFunc("innet_replication_lag_records",
+		"Journal records this node is behind (leader: slowest peer; standby: vs leader heartbeat).",
+		func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return float64(n.lagLocked(n.store.Seq()))
+		})
+	r.GaugeFunc("innet_replication_fenced",
+		"1 when this node has been deposed and is read-only.",
+		func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if n.fenced {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("innet_replication_frames_shipped_total",
+		"Journal frames shipped to peers.",
+		func() float64 { return float64(n.framesShipped.Load()) })
+	r.CounterFunc("innet_replication_frames_ingested_total",
+		"Journal frames ingested from the leader.",
+		func() float64 { return float64(n.framesIngested.Load()) })
+	r.CounterFunc("innet_replication_resyncs_total",
+		"Full snapshot resyncs (incremental catch-up impossible).",
+		func() float64 { return float64(n.resyncs.Load()) })
+	r.CounterFunc("innet_replication_fencings_total",
+		"Times this node fenced itself (deposed or standby unreachable).",
+		func() float64 { return float64(n.fencings.Load()) })
+}
+
+// marshalState renders a snapshot for the resync message.
+func marshalState(st *journal.State) ([]byte, error) {
+	return json.Marshal(st)
+}
