@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication smoke-telemetry experiments examples fuzz fmt vet clean golden chaos chaos-replication
+.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication smoke-telemetry experiments examples fuzz fmt vet clean golden chaos chaos-replication chaos-quorum
 
 all: build test
 
@@ -80,6 +80,15 @@ chaos:
 # with differential convergence checks against unfaulted runs.
 chaos-replication:
 	$(GO) test -race ./internal/faults/ ./internal/replication/ -run 'TestRepl|TestPromotion|TestDeployIdempotent' -count=1 -v
+
+# The quorum chaos suite under the race detector: 3- and 5-node
+# groups with elections — leader crash mid-deploy, symmetric and
+# minority partitions, follower lag and rolling restarts, all
+# converging to byte-identical journals and differential-checked
+# against unfaulted runs.
+chaos-quorum:
+	$(GO) test -race -timeout 300s ./internal/faults/ -run 'TestGroup' -count=1 -v
+	$(GO) test -race -timeout 300s ./internal/replication/ -run 'TestQuorum|TestVote|TestV1|TestLeaderDowngrades|TestFencedNodeRefuses' -count=1 -v
 
 # Refresh the golden experiment tables after an intentional
 # calibration change.

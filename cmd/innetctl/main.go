@@ -207,6 +207,9 @@ func health(c *api.Client) error {
 	if r := h.Replication; r != nil {
 		line := fmt.Sprintf("replication: %s term=%d seq=%d lag=%d peers=%d",
 			r.Role, r.Term, r.Seq, r.LagRecords, r.Peers)
+		if r.ClusterSize > 0 {
+			line += fmt.Sprintf(" quorum=%d/%d", r.Majority, r.ClusterSize)
+		}
 		if r.Fenced {
 			line += " FENCED"
 		}
@@ -214,6 +217,15 @@ func health(c *api.Client) error {
 			line += " leader=" + r.LeaderURL
 		}
 		fmt.Println(line)
+		for _, p := range r.PeerDetail {
+			state := "connected"
+			if !p.Connected {
+				state = "DISCONNECTED"
+			} else if p.TermConnected != r.Term {
+				state = fmt.Sprintf("connected (stale term %d)", p.TermConnected)
+			}
+			fmt.Printf("peer %s: acked=%d lag=%d %s\n", p.Addr, p.AckedSeq, p.Lag, state)
+		}
 	}
 	for _, e := range h.Errors {
 		fmt.Printf("error: %s\n", e)

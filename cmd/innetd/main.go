@@ -93,6 +93,8 @@ func run() int {
 			"standby auto-promotion threshold: promote after this much leader silence (0 = manual promotion only)")
 		ackTimeout = flag.Duration("ack-timeout", 5*time.Second,
 			"how long the leader waits for standby acknowledgement of a strict record before fencing itself")
+		electionTimeout = flag.Duration("election-timeout", time.Second,
+			"with 3+ replicas: how long one election round waits for votes, and the base for campaign retry backoff")
 	)
 	flag.Parse()
 
@@ -188,14 +190,15 @@ func run() int {
 			}
 		}
 		repl, err = replication.NewNode(store, ctl, replication.Config{
-			Role:          replRole,
-			ListenAddr:    listenRepl,
-			Peers:         peerList,
-			AdvertiseURL:  adv,
-			AckTimeout:    *ackTimeout,
-			FailoverAfter: *failoverAfter,
-			Registry:      reg,
-			Logf:          log.Printf,
+			Role:            replRole,
+			ListenAddr:      listenRepl,
+			Peers:           peerList,
+			AdvertiseURL:    adv,
+			AckTimeout:      *ackTimeout,
+			FailoverAfter:   *failoverAfter,
+			ElectionTimeout: *electionTimeout,
+			Registry:        reg,
+			Logf:            log.Printf,
 		})
 		if err != nil {
 			log.Printf("innetd: %v", err)

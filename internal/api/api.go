@@ -8,6 +8,7 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/in-net/innet/internal/telemetry"
@@ -98,6 +100,28 @@ type ReplicationInfo struct {
 	LagRecords uint64 `json:"lag_records"`
 	// Peers counts configured replication peers.
 	Peers int `json:"peers"`
+	// ClusterSize and Majority describe the quorum arithmetic: N
+	// replicas (this node included), commits need Majority acks.
+	ClusterSize int `json:"cluster_size,omitempty"`
+	Majority    int `json:"majority,omitempty"`
+	// PeerDetail reports per-peer replication progress as seen from
+	// this node (leaders track acks; populated only when peering).
+	PeerDetail []PeerInfo `json:"peer_detail,omitempty"`
+}
+
+// PeerInfo is one replication peer's progress in GET /v1/health.
+type PeerInfo struct {
+	// Addr is the peer's replication listen address.
+	Addr string `json:"addr"`
+	// AckedSeq is the last journal seq the peer acknowledged.
+	AckedSeq uint64 `json:"acked_seq"`
+	// Lag is this node's journal head minus AckedSeq.
+	Lag uint64 `json:"lag"`
+	// Connected reports a live stream to the peer.
+	Connected bool `json:"connected"`
+	// TermConnected is the term the stream handshook under (a peer
+	// connected in an older term does not count toward quorum).
+	TermConnected uint64 `json:"term_connected,omitempty"`
 }
 
 // CacheInfo is the admission-cache slice of GET /v1/health.
@@ -210,6 +234,12 @@ func retryable(status int) bool {
 	return status >= 500 && status != http.StatusNotImplemented
 }
 
+// maxRedirects caps how many leader re-aims (307 hops plus
+// connection-refused fallbacks to BaseURL) one request will follow.
+// Two confused nodes advertising each other as leader would otherwise
+// bounce the client forever without ever consuming its retry budget.
+const maxRedirects = 5
+
 // redirected reports a response that re-points the client (a deposed
 // leader naming its successor).
 func redirected(status int) bool {
@@ -247,7 +277,8 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 		backoff = 100 * time.Millisecond
 	}
 	var lastErr error
-	for attempt := 0; ; attempt++ {
+	attempt, redirects := 0, 0
+	for {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -260,10 +291,19 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := c.HTTP.Do(req)
-		// wait < 0 means retry immediately (redirect); otherwise the
-		// jittered backoff, overridden by an explicit Retry-After.
+		// wait < 0 means re-aim and retry immediately (redirect or
+		// dead-leader fallback); otherwise the jittered backoff,
+		// overridden by an explicit Retry-After.
 		wait := time.Duration(0)
 		switch {
+		case err != nil && errors.Is(err, syscall.ECONNREFUSED) && c.Leader() != "":
+			// The sticky redirect-discovered leader is gone (crashed,
+			// not merely slow). Fall back to the configured BaseURL,
+			// which a surviving node may be serving — or redirecting
+			// from — right now.
+			c.setLeader("")
+			lastErr = fmt.Errorf("api: leader unreachable, falling back to %s: %w", c.BaseURL, err)
+			wait = -1
 		case err != nil:
 			lastErr = err
 		case redirected(resp.StatusCode):
@@ -285,6 +325,16 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 		default:
 			return resp, nil
 		}
+		if wait < 0 {
+			// Re-aims ride a separate (capped) budget: they cost no
+			// backoff and should not eat into the retry allowance, but
+			// a redirect cycle must still terminate.
+			redirects++
+			if redirects > maxRedirects {
+				return nil, fmt.Errorf("api: gave up after %d leader redirects: %w", redirects-1, lastErr)
+			}
+			continue
+		}
 		if attempt >= c.Retries {
 			plural := "s"
 			if attempt == 0 {
@@ -292,9 +342,8 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 			}
 			return nil, fmt.Errorf("after %d attempt%s: %w", attempt+1, plural, lastErr)
 		}
+		attempt++
 		switch {
-		case wait < 0:
-			// Redirect: the successor is up, go straight there.
 		case wait > 0:
 			// The server named its own delay; jitter ±25% so a herd of
 			// redirected clients does not re-arrive in lockstep.

@@ -134,6 +134,69 @@ func TestClientFollowsLeaderRedirect(t *testing.T) {
 	}
 }
 
+// Two confused nodes each advertising the other as leader must not
+// bounce the client forever: the redirect-hop cap terminates the
+// ping-pong with an error, regardless of the retry budget.
+func TestClientCapsRedirectPingPong(t *testing.T) {
+	var aCalls, bCalls atomic.Int32
+	var aURL, bURL string
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aCalls.Add(1)
+		w.Header().Set("Location", bURL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(a.Close)
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		w.Header().Set("Location", aURL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	t.Cleanup(b.Close)
+	aURL, bURL = a.URL, b.URL
+
+	c := NewClient(a.URL)
+	c.Retries = 1000 // the hop cap, not the retry budget, must stop the loop
+	c.Sleep = func(d time.Duration) { t.Errorf("slept %v; redirects retry immediately", d) }
+	_, err := c.Health()
+	if err == nil {
+		t.Fatal("ping-pong redirect chain returned success")
+	}
+	if !strings.Contains(err.Error(), "redirect") {
+		t.Errorf("error %q does not mention redirects", err)
+	}
+	if total := aCalls.Load() + bCalls.Load(); total > 10 {
+		t.Errorf("client made %d requests chasing the loop, want a handful", total)
+	}
+}
+
+// When the redirect-discovered leader dies, a connection-refused error
+// resets the sticky base: the client falls back to its configured
+// BaseURL instead of hammering a dead address until the retry budget
+// runs out.
+func TestClientFallsBackWhenLeaderDies(t *testing.T) {
+	home := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","platforms":{},"deployments":{}}`))
+	}))
+	t.Cleanup(home.Close)
+
+	// A real listener that closes: its port refuses connections after.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	c := NewClient(home.URL)
+	c.Retries = 0 // the fallback must not need the retry budget
+	c.Sleep = func(d time.Duration) { t.Errorf("slept %v; fallback re-aims immediately", d) }
+	c.setLeader(deadURL)
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("health after leader death: %v", err)
+	}
+	if c.Leader() != "" {
+		t.Errorf("Leader() = %q after fallback, want cleared", c.Leader())
+	}
+}
+
 // --- server role-awareness ----------------------------------------
 
 // replNode builds a controller + journal store + replication node for

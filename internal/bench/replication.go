@@ -42,6 +42,16 @@ type ReplicationResult struct {
 	// of every failover no implementation speedup can remove.
 	DetectionFloorMs float64 `json:"detection_floor_ms"`
 
+	// Quorum failover: the same kill, but on a 3-replica group where
+	// the survivors must ELECT a successor (majority vote) before one
+	// of them can admit. The delta over the pair figure is the cost of
+	// the vote round.
+	ElectionTimeoutMs      float64   `json:"election_timeout_ms,omitempty"`
+	QuorumFailoverMs       []float64 `json:"quorum_failover_ms,omitempty"`
+	QuorumFailoverMsMin    float64   `json:"quorum_failover_ms_min,omitempty"`
+	QuorumFailoverMsMedian float64   `json:"quorum_failover_ms_median,omitempty"`
+	QuorumFailoverMsMax    float64   `json:"quorum_failover_ms_max,omitempty"`
+
 	GOMAXPROCS int `json:"gomaxprocs"`
 	NumCPU     int `json:"num_cpu"`
 }
@@ -107,6 +117,46 @@ func measureFailoverOnce(opts faults.ReplPairOptions, warm int) (time.Duration, 
 	return 0, fmt.Errorf("standby never admitted a deploy within 30s of the kill")
 }
 
+// measureQuorumFailoverOnce boots a fresh 3-replica group, warms it,
+// kills the leader and polls both survivors with the next deployment
+// until the elected successor admits it. Returns kill-to-admission —
+// detection, the vote round, and the first admission, end to end.
+func measureQuorumFailoverOnce(opts faults.ReplGroupOptions, warm int) (time.Duration, error) {
+	for i := 0; i < 3; i++ {
+		dir, err := os.MkdirTemp("", fmt.Sprintf("innet-bench-quorum%d-", i))
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		opts.Dirs = append(opts.Dirs, dir)
+	}
+	g, err := faults.NewReplGroup(opts)
+	if err != nil {
+		return 0, err
+	}
+	defer g.Close()
+
+	for i := 0; i < warm; i++ {
+		if _, err := g.Nodes[0].Ctl.Deploy(replBenchRequest(i)); err != nil {
+			return 0, fmt.Errorf("warm deploy %d: %w", i, err)
+		}
+	}
+
+	kill := time.Now()
+	g.Crash(0)
+	req := replBenchRequest(warm)
+	deadline := kill.Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, i := range []int{1, 2} {
+			if _, err := g.Nodes[i].Ctl.Deploy(req); err == nil {
+				return time.Since(kill), nil
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, fmt.Errorf("no survivor admitted a deploy within 30s of the kill")
+}
+
 // ReplicationMeasure runs the failover trials. Each trial gets a
 // fresh pair (a leader kill is not repeatable within one).
 func ReplicationMeasure(quick bool) *ReplicationResult {
@@ -143,6 +193,27 @@ func ReplicationMeasure(quick bool) *ReplicationResult {
 	r.FailoverMsMin = sorted[0]
 	r.FailoverMsMedian = sorted[len(sorted)/2]
 	r.FailoverMsMax = sorted[len(sorted)-1]
+
+	gopts := faults.ReplGroupOptions{
+		AckTimeout:      opts.AckTimeout,
+		FailoverAfter:   opts.FailoverAfter,
+		ElectionTimeout: 200 * time.Millisecond,
+		HeartbeatEvery:  opts.HeartbeatEvery,
+		RedialEvery:     opts.RedialEvery,
+	}
+	r.ElectionTimeoutMs = float64(gopts.ElectionTimeout) / float64(time.Millisecond)
+	for i := 0; i < trials; i++ {
+		d, err := measureQuorumFailoverOnce(gopts, warm)
+		if err != nil {
+			panic(fmt.Sprintf("quorum failover bench trial %d: %v", i, err))
+		}
+		r.QuorumFailoverMs = append(r.QuorumFailoverMs, float64(d)/float64(time.Millisecond))
+	}
+	sorted = append([]float64(nil), r.QuorumFailoverMs...)
+	sort.Float64s(sorted)
+	r.QuorumFailoverMsMin = sorted[0]
+	r.QuorumFailoverMsMedian = sorted[len(sorted)/2]
+	r.QuorumFailoverMsMax = sorted[len(sorted)-1]
 	return r
 }
 
@@ -162,9 +233,15 @@ func ReplicationTable(r *ReplicationResult) *Table {
 	t.AddRow("failover median", f1(r.FailoverMsMedian))
 	t.AddRow("failover max", f1(r.FailoverMsMax))
 	t.AddRow("detection floor (FailoverAfter)", f1(r.DetectionFloorMs))
+	if len(r.QuorumFailoverMs) > 0 {
+		t.AddRow("3-node elected failover min", f1(r.QuorumFailoverMsMin))
+		t.AddRow("3-node elected failover median", f1(r.QuorumFailoverMsMedian))
+		t.AddRow("3-node elected failover max", f1(r.QuorumFailoverMsMax))
+	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d trials, fresh pair each; %d warm deployments replicated before the kill", r.Trials, r.WarmDeploys),
 		fmt.Sprintf("heartbeat %.0fms, ack timeout %.0fms, GOMAXPROCS=%d", r.HeartbeatEveryMs, r.AckTimeoutMs, r.GOMAXPROCS),
-		"median - floor is the promotion + first-admission cost on this machine")
+		"median - floor is the promotion + first-admission cost on this machine",
+		"3-node rows add a majority vote round (election) to the same kill")
 	return t
 }

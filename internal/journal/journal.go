@@ -156,6 +156,15 @@ type State struct {
 	// current term — the replication handshake uses it to decide
 	// whether a standby may catch up incrementally or must resync.
 	TermStart uint64 `json:"term_start,omitempty"`
+	// TermStarts maps every applied leadership term to the sequence
+	// number of its term record — the full term history, not just the
+	// current term. Replication's log-matching check uses it: a
+	// follower whose journal head (have, term) lands inside the same
+	// term of the leader's history holds a byte-identical prefix and
+	// may catch up frame by frame; anything else needs a snapshot
+	// resync. Nil on states written before terms were tracked (the
+	// handshake then falls back to the current-term-only check).
+	TermStarts map[uint64]uint64 `json:"term_starts,omitempty"`
 	// Controller decision counters (the accounting identity).
 	Placed           int `json:"placed"`
 	Rejections       int `json:"rejections"`
@@ -182,7 +191,31 @@ func (st *State) Clone() *State {
 	for p, down := range st.PlatformDown {
 		c.PlatformDown[p] = down
 	}
+	if st.TermStarts != nil {
+		c.TermStarts = make(map[uint64]uint64, len(st.TermStarts))
+		for t, s := range st.TermStarts {
+			c.TermStarts[t] = s
+		}
+	}
 	return &c
+}
+
+// TermAt reports which leadership term governed the record at seq in
+// this state's history: the highest term whose term record sits at or
+// before seq (0 for records before the first term record). ok is
+// false when the state predates term-history tracking (no TermStarts)
+// and the answer is unknowable.
+func (st *State) TermAt(seq uint64) (term uint64, ok bool) {
+	if len(st.TermStarts) == 0 {
+		return 0, false
+	}
+	var bestStart uint64
+	for t, s := range st.TermStarts {
+		if s <= seq && (term == 0 || s > bestStart || (s == bestStart && t > term)) {
+			term, bestStart = t, s
+		}
+	}
+	return term, true
 }
 
 // IDs returns the deployment IDs in sorted order (recovery iterates
@@ -264,6 +297,10 @@ func (st *State) Apply(r Record) {
 		if r.Term > st.Term {
 			st.Term = r.Term
 			st.TermStart = r.Seq
+			if st.TermStarts == nil {
+				st.TermStarts = make(map[uint64]uint64)
+			}
+			st.TermStarts[r.Term] = r.Seq
 		}
 	}
 }
@@ -280,6 +317,7 @@ func (st *State) Canonical() []byte {
 	c.Seq = 0
 	c.Term = 0
 	c.TermStart = 0
+	c.TermStarts = nil
 	data, err := json.MarshalIndent(c, "", " ")
 	if err != nil {
 		// State is plain maps and scalars; Marshal cannot fail.

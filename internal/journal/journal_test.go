@@ -214,6 +214,60 @@ func writeSnapshotOnly(s *Store) error {
 	return os.WriteFile(filepath.Join(s.dir, SnapshotFile), data, 0o644)
 }
 
+// TestCompactCrashAfterRenameRecovers drives the REAL Compact path to
+// its narrowest crash window — the snapshot rename (and directory
+// fsync) succeeded, the journal truncate never ran — and proves a
+// restart neither double-applies the snapshotted records nor burns a
+// sequence number. TestCrashBetweenSnapshotAndTruncate fakes this
+// window by hand; here the hook aborts Compact itself, so the test
+// also covers the snapshot bytes Compact actually writes.
+func TestCompactCrashAfterRenameRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})
+	mustAppend(t, s, Record{Type: EvAdmit, Dep: dep("pm-2", "Platform2", 43, StatusActive), NextID: 2})
+	mustAppend(t, s, Record{Type: EvKill, ID: "pm-1"})
+	want := s.State()
+
+	crash := fmt.Errorf("injected crash after snapshot rename")
+	s.testCrashAfterSnapshotRename = func() error { return crash }
+	if err := s.Compact(); err != crash {
+		t.Fatalf("Compact = %v, want injected crash", err)
+	}
+	s.Close()
+
+	// The crash left both artifacts: a snapshot at Seq 3 AND a journal
+	// still holding records 1..3.
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatalf("snapshot missing after crash point: %v", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, JournalFile))
+	if recs, _ := DecodeAll(data, 0); len(recs) != 3 {
+		t.Fatalf("journal holds %d records, want all 3 (truncate must not have run)", len(recs))
+	}
+
+	s2, err := Open(dir, Options{Sync: SyncNone, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.State()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("state after crash-point recovery:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got.Placed != 2 {
+		t.Errorf("Placed = %d, want 2 (pre-snapshot admits double-applied)", got.Placed)
+	}
+	// Appends resume at the exact next sequence number.
+	mustAppend(t, s2, Record{Type: EvAdmit, Dep: dep("pm-3", "Platform1", 44, StatusActive), NextID: 3})
+	if got := s2.Seq(); got != 4 {
+		t.Errorf("next append Seq = %d, want 4", got)
+	}
+}
+
 func TestPlatformDownUpFolding(t *testing.T) {
 	st := NewState()
 	st.Apply(Record{Seq: 1, Type: EvAdmit, Dep: dep("pm-1", "Platform1", 42, StatusActive), NextID: 1})

@@ -74,6 +74,11 @@ type Store struct {
 	// testWrite, when set, replaces the journal write — tests use it
 	// to inject partial (torn) writes.
 	testWrite func(f *os.File, b []byte) (int, error)
+	// testCrashAfterSnapshotRename, when set, aborts Compact right
+	// after the snapshot rename (and directory fsync) but before the
+	// journal truncation — the crash point where a restart sees a
+	// snapshot at Seq N next to a journal still holding records ≤ N.
+	testCrashAfterSnapshotRename func() error
 
 	// ops counts journal activity. The store itself is single-threaded
 	// (the controller serializes appends under its mutex), but a
@@ -117,6 +122,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		if s.state.PlatformDown == nil {
 			s.state.PlatformDown = make(map[string]bool)
+		}
+		// Snapshots written before term-history tracking carry only the
+		// current term; seed its entry so TermAt can answer for the
+		// live term at least.
+		if s.state.Term > 0 && s.state.TermStarts == nil {
+			s.state.TermStarts = map[uint64]uint64{s.state.Term: s.state.TermStart}
 		}
 		s.baseSeq = s.state.Seq
 	} else if !os.IsNotExist(rerr) {
@@ -397,6 +408,11 @@ func (s *Store) Compact() error {
 		// no) snapshot next to an already-truncated journal, losing the
 		// compacted state.
 		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	if s.testCrashAfterSnapshotRename != nil {
+		if err := s.testCrashAfterSnapshotRename(); err != nil {
 			return err
 		}
 	}

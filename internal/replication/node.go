@@ -1,30 +1,46 @@
-// Package replication implements a leader/standby controller pair:
-// the leader streams write-ahead journal frames (the exact bytes it
-// wrote to its own journal file) to standbys over a minimal TCP
-// protocol, and each standby ingests them verbatim and folds them
-// through the controller's catch-up apply, holding a warm,
-// fully-admitted replica. Failover is fenced: leadership terms are
-// journal records, a deposed leader's late appends are rejected
-// (wedging it read-only) rather than forking history, and clients are
-// redirected to the new leader through the API layer's role routing.
+// Package replication implements a replicated controller group: the
+// leader streams write-ahead journal frames (the exact bytes it wrote
+// to its own journal file) to followers over a minimal TCP protocol,
+// and each follower ingests them verbatim and folds them through the
+// controller's catch-up apply, holding a warm, fully-admitted
+// replica. Failover is fenced: leadership terms are journal records,
+// a deposed leader's late appends are rejected (wedging it read-only)
+// rather than forking history, and clients are redirected to the new
+// leader through the API layer's role routing.
 //
 // Consistency model. Strict (write-ahead) records — admissions and
-// kills — replicate synchronously: AppendSync blocks until every
-// configured peer has acknowledged the frame, so an operation acked
-// to a client exists on the standby that would take over. Best-effort
-// records ship asynchronously. A leader that cannot reach its standby
-// inside the ack timeout fences itself: it stops accepting writes and
-// lets the standby's failure detector promote, trading availability
-// on the deposed side for a history that never forks. Records a dying
-// leader appended locally but never replicated are discarded when it
-// rejoins as a standby (snapshot resync) — exactly the records no
-// client ever saw acknowledged.
+// kills — replicate synchronously. In a group of N ≥ 3 replicas,
+// AppendSync commits once a majority of the group (the leader plus
+// ⌊N/2⌋ followers) holds the frame, so any future majority — and
+// therefore any electable leader — intersects the committing one and
+// holds every acknowledged record. Failover is an election: a
+// candidate solicits votes at a bumped term, a voter grants at most
+// one vote per term (persisted across restarts) and only to a
+// candidate whose journal is at least as up-to-date as its own, and
+// the candidate promotes only with a majority including itself. A
+// leader cut off from a majority fences within the ack timeout
+// (blocked append or idle-quorum watchdog), so the minority side
+// wedges read-only while the majority side elects and proceeds.
+//
+// With N ≤ 2 the legacy pair semantics apply unchanged: AppendSync
+// waits for every peer that connected during the current term,
+// failover is silence-triggered direct promotion (a standby that has
+// never heard any leader refuses), and the operator accepts the
+// pair's split-brain-on-partition fencing tradeoffs documented in
+// DESIGN.md. A majority of 2 would make a promoted pair-standby
+// unable to commit alone, so quorum rules only engage at N ≥ 3.
+//
+// Best-effort records ship asynchronously in both modes. Records a
+// dying leader appended locally but never replicated are discarded
+// when it rejoins as a follower (snapshot or suffix resync) — exactly
+// the records no client ever saw acknowledged.
 package replication
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -35,8 +51,14 @@ import (
 	"github.com/in-net/innet/internal/telemetry"
 )
 
-// Proto names the wire protocol version carried in the handshake.
+// Proto names the v1 wire protocol version carried in the handshake.
 const Proto = "innet-repl/1"
+
+// Proto2 is the v2 protocol: same stream format, but the hello gains
+// a kind (stream vs vote solicitation) and log-position fields for
+// elections. Dialers offer v2 and fall back per-peer when a v1
+// acceptor refuses it; acceptors take both.
+const Proto2 = "innet-repl/2"
 
 // ErrFenced is returned by appends on a deposed (or self-fenced)
 // leader: the node is read-only until an operator restarts it as a
@@ -63,9 +85,15 @@ type Config struct {
 	AckTimeout time.Duration
 	// HeartbeatEvery paces leader heartbeats (default 250ms).
 	HeartbeatEvery time.Duration
-	// FailoverAfter, when positive, auto-promotes a standby that has
-	// not heard from its leader for this long. Zero = manual Promote.
+	// FailoverAfter, when positive, arms automatic failover for a
+	// follower that has not heard from its leader for this long: at
+	// N ≤ 2 it promotes directly, at N ≥ 3 it starts an election.
+	// Zero = manual Promote.
 	FailoverAfter time.Duration
+	// ElectionTimeout bounds one election round (vote solicitation)
+	// and paces the jittered retry after a lost or split vote
+	// (default 1s). Only meaningful at N ≥ 3.
+	ElectionTimeout time.Duration
 	// RedialEvery paces reconnection attempts to a dead peer
 	// (default 100ms).
 	RedialEvery time.Duration
@@ -91,6 +119,9 @@ func (c *Config) defaults() {
 	if c.RedialEvery <= 0 {
 		c.RedialEvery = 100 * time.Millisecond
 	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = time.Second
+	}
 }
 
 // peer is one standby the leader ships to. All fields are guarded by
@@ -112,8 +143,12 @@ type peer struct {
 	// do not wait for it (see minAckedLocked). This is the asymmetry
 	// that lets a freshly promoted leader commit while its deposed
 	// predecessor — whose peer WAS connected in its term and then
-	// vanished — blocks and fences.
+	// vanished — blocks and fences. At N ≥ 3 the same field scopes
+	// majority counting to acks earned in the current term.
 	termConnected uint64
+	// proto is the negotiated wire protocol for this peer ("" = offer
+	// v2 first; set to Proto after a v1-only acceptor refuses v2).
+	proto string
 }
 
 // waiter is one AppendSync blocked until its seq is acknowledged by
@@ -150,6 +185,17 @@ type Node struct {
 	everHeard   bool
 	peers       []*peer
 	waiters     []*waiter
+	// votedTerm / votedFor record the single vote this node may cast
+	// per term, persisted to a side file in the journal directory so a
+	// crash-restart cannot double-vote and elect two leaders for one
+	// term. A candidate's self-vote lands here too — without bumping
+	// n.term, so a failed candidacy cannot depose a healthy leader.
+	votedTerm uint64
+	votedFor  string
+	// quorumLostSince marks when a quorum-mode leader last lost
+	// contact with a majority; the supervisor fences it once the gap
+	// exceeds AckTimeout even if no append is in flight.
+	quorumLostSince time.Time
 	// ingests are live inbound streams (closed on promote so a zombie
 	// leader cannot keep feeding a new leader).
 	ingests []net.Conn
@@ -159,11 +205,15 @@ type Node struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	framesShipped  atomic.Uint64
-	framesIngested atomic.Uint64
-	resyncs        atomic.Uint64
-	fencings       atomic.Uint64
-	failoverHist   *telemetry.Histogram
+	framesShipped    atomic.Uint64
+	framesIngested   atomic.Uint64
+	resyncs          atomic.Uint64
+	fencings         atomic.Uint64
+	electionsStarted atomic.Uint64
+	electionsWon     atomic.Uint64
+	electionsLost    atomic.Uint64
+	votesGranted     atomic.Uint64
+	failoverHist     *telemetry.Histogram
 }
 
 // NewNode wires a replication node around a store and its controller.
@@ -183,6 +233,7 @@ func NewNode(store *journal.Store, ctl *controller.Controller, cfg Config) (*Nod
 		term:  store.State().Term,
 		stop:  make(chan struct{}),
 	}
+	n.loadVote()
 	if cfg.Role == controller.RoleLeader && n.term == 0 {
 		n.term = 1
 		if err := store.Append(journal.Record{Type: journal.EvTerm, Term: 1}); err != nil {
@@ -220,10 +271,13 @@ func (n *Node) Start() error {
 	if n.role == controller.RoleLeader {
 		n.startPeersLocked()
 	}
-	if n.cfg.FailoverAfter > 0 {
-		n.wg.Add(1)
-		go n.failureDetector()
-	}
+	// The supervisor always runs: it decides per-tick whether this is
+	// a quorum group (N ≥ 3 — elections and the minority-leader
+	// watchdog) or a legacy pair (direct silence-triggered promotion),
+	// so peers registered after Start (harnesses bind ":0" first)
+	// still flip the node into quorum behavior.
+	n.wg.Add(1)
+	go n.supervisor()
 	return nil
 }
 
@@ -303,10 +357,16 @@ func (n *Node) append(r journal.Record, syncAck bool) error {
 		return err
 	}
 	n.shipLocked(frame)
-	if !syncAck || !n.hasVotersLocked() {
-		// No peer has connected during this term yet: nothing can
-		// acknowledge, and nothing that could become leader holds this
-		// term — commit locally (the catch-up stream replays it later).
+	if !syncAck {
+		n.mu.Unlock()
+		return nil
+	}
+	if !n.quorumLocked() && !n.hasVotersLocked() {
+		// Pair mode with no peer connected during this term: nothing
+		// can acknowledge, and nothing that could become leader holds
+		// this term — commit locally (the catch-up stream replays it
+		// later). At N ≥ 3 this shortcut would let a minority leader
+		// commit, so quorum mode always waits for majority acks.
 		n.mu.Unlock()
 		return nil
 	}
@@ -332,10 +392,10 @@ func (n *Node) append(r journal.Record, syncAck bool) error {
 			break
 		}
 	}
-	// The standby is unreachable: fence rather than diverge. The
+	// Too few replicas acknowledged: fence rather than diverge. The
 	// record stays in the local journal but was never acknowledged to
-	// the client; the snapshot resync on rejoin discards it.
-	n.fenceLocked("", fmt.Sprintf("no standby acknowledgement for seq %d within %v", r.Seq, n.cfg.AckTimeout))
+	// the client; the resync on rejoin discards it.
+	n.fenceLocked("", fmt.Sprintf("no replication quorum for seq %d within %v", r.Seq, n.cfg.AckTimeout))
 	n.mu.Unlock()
 	return fmt.Errorf("%w: replication of seq %d timed out", ErrFenced, r.Seq)
 }
@@ -356,6 +416,47 @@ func (n *Node) shipLocked(frame []byte) {
 			p.live = false
 		}
 	}
+}
+
+// clusterSizeLocked counts the replica group: this node plus every
+// configured peer.
+func (n *Node) clusterSizeLocked() int { return 1 + len(n.peers) }
+
+// majorityLocked is the quorum size: ⌊N/2⌋+1 replicas.
+func (n *Node) majorityLocked() int { return n.clusterSizeLocked()/2 + 1 }
+
+// quorumLocked reports whether majority-quorum semantics govern this
+// group. Pairs (and solo nodes) keep the legacy all-voter semantics:
+// a majority of 2 is 2, which would leave a promoted pair-standby
+// unable to commit alone — exactly the failover the pair exists for.
+func (n *Node) quorumLocked() bool { return n.clusterSizeLocked() >= 3 }
+
+// ackCountLocked counts the replicas known to hold the record at seq:
+// this node (its journal wrote it) plus every current-term peer whose
+// acknowledged watermark covers it. Acks earned under an older term
+// do not count — only current-term streams prove the peer's journal
+// is a prefix of ours.
+func (n *Node) ackCountLocked(seq uint64) int {
+	count := 1
+	for _, p := range n.peers {
+		if p.termConnected == n.term && p.acked >= seq {
+			count++
+		}
+	}
+	return count
+}
+
+// liveQuorumLocked reports whether this node plus its live
+// current-term peers form a majority — the idle-leader health check
+// the supervisor's watchdog enforces.
+func (n *Node) liveQuorumLocked() bool {
+	count := 1
+	for _, p := range n.peers {
+		if p.live && p.termConnected == n.term {
+			count++
+		}
+	}
+	return count >= n.majorityLocked()
 }
 
 // hasVotersLocked reports whether any peer has connected during the
@@ -389,10 +490,21 @@ func (n *Node) maybeResolveLocked() {
 	if len(n.waiters) == 0 {
 		return
 	}
-	min := n.minAckedLocked()
+	quorum := n.quorumLocked()
+	min := uint64(0)
+	if !quorum {
+		min = n.minAckedLocked()
+	}
+	majority := n.majorityLocked()
 	keep := n.waiters[:0]
 	for _, w := range n.waiters {
-		if w.seq <= min {
+		committed := false
+		if quorum {
+			committed = n.ackCountLocked(w.seq) >= majority
+		} else {
+			committed = w.seq <= min
+		}
+		if committed {
 			w.ch <- nil
 		} else {
 			keep = append(keep, w)
@@ -431,10 +543,12 @@ func (n *Node) fenceLocked(successorURL, reason string) {
 	go n.ctl.SetRole(controller.RoleStandby)
 }
 
-// Promote makes a standby the leader: bump the term, journal the
-// EvTerm fencing record, start shipping to peers. The failure
-// detector calls this automatically when FailoverAfter is set; tests
-// and operators may call it directly.
+// Promote makes a follower the leader. In a pair this is direct: bump
+// the term, journal the EvTerm fencing record, start shipping. At
+// N ≥ 3 it runs an election and refuses to promote without a majority
+// of votes — there is no unguarded promotion in quorum mode. The
+// supervisor calls this automatically when FailoverAfter is set;
+// tests and operators may call it directly.
 func (n *Node) Promote() error {
 	n.mu.Lock()
 	if n.fenced {
@@ -445,38 +559,59 @@ func (n *Node) Promote() error {
 		n.mu.Unlock()
 		return nil
 	}
+	if n.quorumLocked() {
+		n.mu.Unlock()
+		return n.runElection()
+	}
 	down := time.Since(n.lastContact)
 	if st := n.store.State(); st.Term > n.term {
 		n.term = st.Term
 	}
-	n.term++
-	rec := journal.Record{Type: journal.EvTerm, Term: n.term}
-	if err := n.store.Append(rec); err != nil {
-		n.term--
+	term := n.term + 1
+	if err := n.promoteToTermLocked(term); err != nil {
 		n.mu.Unlock()
 		return fmt.Errorf("replication: promote: term record: %w", err)
 	}
+	n.mu.Unlock()
+	n.finishPromotion(term, down)
+	return nil
+}
+
+// promoteToTermLocked performs the leadership switch at exactly term:
+// journal the EvTerm fencing record, cut inbound streams (a
+// not-yet-dead old leader must not keep feeding us frames from the
+// deposed term), start shipping to peers. Caller holds n.mu, has
+// verified the node is an unfenced follower, and follows up with
+// finishPromotion outside the lock.
+func (n *Node) promoteToTermLocked(term uint64) error {
+	rec := journal.Record{Type: journal.EvTerm, Term: term}
+	if err := n.store.Append(rec); err != nil {
+		return err
+	}
 	rec.Seq = n.store.Seq()
+	n.term = term
 	n.role = controller.RoleLeader
 	n.leaderURL = ""
-	// Cut inbound streams: a not-yet-dead old leader must not keep
-	// feeding us frames from the deposed term.
 	for _, c := range n.ingests {
 		c.Close()
 	}
 	n.ingests = nil
+	n.quorumLostSince = time.Time{}
 	n.startPeersLocked()
 	if frame, err := journal.EncodeRecord(rec); err == nil {
 		n.shipLocked(frame)
 	}
-	term := n.term
-	n.mu.Unlock()
+	return nil
+}
+
+// finishPromotion runs the out-of-lock tail of a promotion: flip the
+// controller to leader, record the failover latency, log.
+func (n *Node) finishPromotion(term uint64, down time.Duration) {
 	n.ctl.SetRole(controller.RoleLeader)
 	if n.failoverHist != nil {
 		n.failoverHist.Observe(down.Seconds())
 	}
 	n.logf("replication: promoted to leader, term %d (leader silent for %v)", term, down)
-	return nil
 }
 
 func (n *Node) startPeersLocked() {
@@ -490,15 +625,26 @@ func (n *Node) startPeersLocked() {
 	}
 }
 
-// failureDetector promotes a standby whose leader has gone silent.
-func (n *Node) failureDetector() {
+// supervisor is the node's periodic health loop. For a follower with
+// FailoverAfter armed it triggers failover when the leader goes
+// silent — direct promotion in a pair, an election (with jittered
+// retry to break split votes) at N ≥ 3. For a quorum-mode leader it
+// is the idle watchdog: a leader continuously cut off from a majority
+// for AckTimeout fences even with no append in flight, so a minority
+// partition wedges read-only within the ack timeout as promised to
+// clients.
+func (n *Node) supervisor() {
 	defer n.wg.Done()
-	every := n.cfg.FailoverAfter / 4
+	every := n.cfg.AckTimeout / 4
+	if n.cfg.FailoverAfter > 0 && n.cfg.FailoverAfter/4 < every {
+		every = n.cfg.FailoverAfter / 4
+	}
 	if every < 5*time.Millisecond {
 		every = 5 * time.Millisecond
 	}
 	t := time.NewTicker(every)
 	defer t.Stop()
+	var nextElection time.Time
 	for {
 		select {
 		case <-n.stop:
@@ -506,14 +652,44 @@ func (n *Node) failureDetector() {
 		case <-t.C:
 		}
 		n.mu.Lock()
-		heard := n.everHeard || n.term > 0
-		promote := heard && !n.fenced && n.role == controller.RoleStandby &&
-			time.Since(n.lastContact) > n.cfg.FailoverAfter
-		n.mu.Unlock()
-		if promote {
-			if err := n.Promote(); err != nil {
-				n.logf("replication: auto-promotion failed: %v", err)
+		quorum := n.quorumLocked()
+		// Leader-side quorum watchdog.
+		if quorum && n.role == controller.RoleLeader && !n.fenced {
+			if n.liveQuorumLocked() {
+				n.quorumLostSince = time.Time{}
+			} else if n.quorumLostSince.IsZero() {
+				n.quorumLostSince = time.Now()
+			} else if time.Since(n.quorumLostSince) > n.cfg.AckTimeout {
+				n.fenceLocked("", fmt.Sprintf("lost contact with the majority for %v", n.cfg.AckTimeout))
 			}
+		}
+		// Follower-side failover trigger.
+		silent := n.cfg.FailoverAfter > 0 && !n.fenced &&
+			n.role == controller.RoleStandby &&
+			time.Since(n.lastContact) > n.cfg.FailoverAfter
+		// In a pair, a standby that has never heard from any leader has
+		// nothing to fail over FROM and must not promote over a boot
+		// leader it simply hasn't met. In quorum mode the vote itself
+		// guards this: a candidate cannot win without a majority, so
+		// the special case is subsumed.
+		if !quorum {
+			silent = silent && (n.everHeard || n.term > 0)
+		}
+		n.mu.Unlock()
+		if !silent {
+			continue
+		}
+		if quorum && time.Now().Before(nextElection) {
+			continue
+		}
+		if err := n.Promote(); err != nil {
+			n.logf("replication: auto-failover: %v", err)
+		}
+		if quorum {
+			// Back off a jittered interval before the next campaign so
+			// two simultaneous candidates do not split votes forever.
+			nextElection = time.Now().Add(n.cfg.ElectionTimeout/2 +
+				time.Duration(rand.Int63n(int64(n.cfg.ElectionTimeout))))
 		}
 	}
 }
@@ -534,6 +710,28 @@ type Info struct {
 	LagRecords uint64 `json:"lag_records"`
 	// Peers counts configured replication peers.
 	Peers int `json:"peers"`
+	// ClusterSize and Majority describe the replica group: N replicas
+	// (this node plus peers) and the ⌊N/2⌋+1 quorum strict appends
+	// commit against at N ≥ 3.
+	ClusterSize int `json:"cluster_size"`
+	Majority    int `json:"majority"`
+	// PeerDetail reports each configured peer's stream state — the
+	// per-peer view an operator needs to debug a quorum stall.
+	PeerDetail []PeerStatus `json:"peer_detail,omitempty"`
+}
+
+// PeerStatus is one peer's replication state as seen from this node.
+type PeerStatus struct {
+	Addr string `json:"addr"`
+	// AckedSeq is the highest journal seq the peer acknowledged on its
+	// current stream; Lag is this node's seq minus that.
+	AckedSeq uint64 `json:"acked_seq"`
+	Lag      uint64 `json:"lag"`
+	// Connected marks a live stream; TermConnected is the leadership
+	// term the stream last went live in (a peer whose TermConnected
+	// trails the node's term is a catch-up candidate, not a voter).
+	Connected     bool   `json:"connected"`
+	TermConnected uint64 `json:"term_connected"`
 }
 
 // Info snapshots the node's replication status.
@@ -545,14 +743,28 @@ func (n *Node) Info() Info {
 
 func (n *Node) infoLocked() Info {
 	info := Info{
-		Role:      n.role.String(),
-		Term:      n.term,
-		Seq:       n.store.Seq(),
-		Fenced:    n.fenced,
-		LeaderURL: n.leaderURL,
-		Peers:     len(n.peers),
+		Role:        n.role.String(),
+		Term:        n.term,
+		Seq:         n.store.Seq(),
+		Fenced:      n.fenced,
+		LeaderURL:   n.leaderURL,
+		Peers:       len(n.peers),
+		ClusterSize: n.clusterSizeLocked(),
+		Majority:    n.majorityLocked(),
 	}
 	info.LagRecords = n.lagLocked(info.Seq)
+	for _, p := range n.peers {
+		ps := PeerStatus{
+			Addr:          p.addr,
+			AckedSeq:      p.acked,
+			Connected:     p.live,
+			TermConnected: p.termConnected,
+		}
+		if p.acked < info.Seq {
+			ps.Lag = info.Seq - p.acked
+		}
+		info.PeerDetail = append(info.PeerDetail, ps)
+	}
 	return info
 }
 
@@ -682,6 +894,18 @@ func (n *Node) registerMetrics(r *telemetry.Registry) {
 	r.CounterFunc("innet_replication_fencings_total",
 		"Times this node fenced itself (deposed or standby unreachable).",
 		func() float64 { return float64(n.fencings.Load()) })
+	r.CounterFunc("innet_replication_elections_started_total",
+		"Election campaigns this node started as a candidate.",
+		func() float64 { return float64(n.electionsStarted.Load()) })
+	r.CounterFunc("innet_replication_elections_won_total",
+		"Election campaigns this node won (promoted with a majority).",
+		func() float64 { return float64(n.electionsWon.Load()) })
+	r.CounterFunc("innet_replication_elections_lost_total",
+		"Election campaigns this node lost or timed out.",
+		func() float64 { return float64(n.electionsLost.Load()) })
+	r.CounterFunc("innet_replication_votes_granted_total",
+		"Votes this node granted to candidates (excluding self-votes).",
+		func() float64 { return float64(n.votesGranted.Load()) })
 }
 
 // marshalState renders a snapshot for the resync message.

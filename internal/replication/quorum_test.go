@@ -1,0 +1,546 @@
+package replication
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/journal"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// newGroup boots n replicas: replicas[0] the leader, the rest
+// standbys, every node configured with every other as a peer (added
+// after all listeners are bound). Timeouts are tightened for tests.
+func newGroup(t *testing.T, n int, tweak func(i int, cfg *Config)) []*replica {
+	t.Helper()
+	group := make([]*replica, n)
+	for i := range group {
+		cfg := Config{
+			Role:       controller.RoleStandby,
+			ListenAddr: "127.0.0.1:0",
+			AckTimeout: time.Second,
+		}
+		if i == 0 {
+			cfg.Role = controller.RoleLeader
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		group[i] = newReplica(t, cfg)
+	}
+	for i, r := range group {
+		for j, other := range group {
+			if i != j {
+				r.node.AddPeer(other.node.Addr())
+			}
+		}
+	}
+	return group
+}
+
+// leaderOf returns the index of the sole unfenced leader, or -1.
+func leaderOf(group []*replica) int {
+	idx := -1
+	for i, r := range group {
+		if r.node.Role() == controller.RoleLeader && !r.node.Fenced() {
+			if idx >= 0 {
+				return -1 // two leaders: not settled
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+func TestQuorumCommitWithOneFollowerDown(t *testing.T) {
+	// 3-node group where one follower is dead from the start: strict
+	// appends must still commit on leader + one follower — the
+	// headline availability win over the pair's all-voter rule.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	follower := newReplica(t, Config{Role: controller.RoleStandby, ListenAddr: "127.0.0.1:0"})
+	leader := newReplica(t, Config{
+		Role:       controller.RoleLeader,
+		ListenAddr: "127.0.0.1:0",
+		AckTimeout: 2 * time.Second,
+		Peers:      []string{follower.node.Addr(), deadAddr},
+	})
+
+	start := time.Now()
+	if _, err := leader.ctl.Deploy(testRequest(0)); err != nil {
+		t.Fatalf("deploy with one follower down: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("majority commit took %v — waited for the dead follower?", elapsed)
+	}
+	if got, want := follower.store.Seq(), leader.store.Seq(); got != want {
+		t.Fatalf("live follower seq %d != leader seq %d", got, want)
+	}
+	info := leader.node.Info()
+	if info.ClusterSize != 3 || info.Majority != 2 {
+		t.Fatalf("info cluster/majority = %d/%d, want 3/2", info.ClusterSize, info.Majority)
+	}
+	if len(info.PeerDetail) != 2 {
+		t.Fatalf("peer detail has %d entries, want 2", len(info.PeerDetail))
+	}
+	var connected, down int
+	for _, ps := range info.PeerDetail {
+		if ps.Connected {
+			connected++
+			if ps.AckedSeq != info.Seq || ps.Lag != 0 {
+				t.Fatalf("connected peer %s: acked %d lag %d, want acked %d lag 0", ps.Addr, ps.AckedSeq, ps.Lag, info.Seq)
+			}
+		} else {
+			down++
+			if ps.Lag == 0 {
+				t.Fatalf("dead peer %s reports zero lag", ps.Addr)
+			}
+		}
+	}
+	if connected != 1 || down != 1 {
+		t.Fatalf("peer detail connected/down = %d/%d, want 1/1", connected, down)
+	}
+}
+
+func TestQuorumLeaderFencesWithoutMajorityOnAppend(t *testing.T) {
+	// Both followers dead: a strict append cannot reach a majority and
+	// must fence the leader within the ack timeout.
+	deadAddrs := make([]string, 2)
+	for i := range deadAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	leader := newReplica(t, Config{
+		Role:       controller.RoleLeader,
+		ListenAddr: "127.0.0.1:0",
+		AckTimeout: 300 * time.Millisecond,
+		Peers:      deadAddrs,
+	})
+	if _, err := leader.ctl.Deploy(testRequest(0)); !errors.Is(err, ErrFenced) {
+		t.Fatalf("minority leader Deploy = %v, want ErrFenced", err)
+	}
+	if !leader.node.Fenced() {
+		t.Fatal("leader not fenced after quorumless append")
+	}
+}
+
+func TestQuorumIdleLeaderWatchdogFences(t *testing.T) {
+	// No appends at all: the supervisor's watchdog must still fence a
+	// leader that cannot see a majority, inside the ack timeout — an
+	// idle minority leader must not keep serving (stale) reads as a
+	// leader indefinitely.
+	deadAddrs := make([]string, 2)
+	for i := range deadAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	leader := newReplica(t, Config{
+		Role:       controller.RoleLeader,
+		ListenAddr: "127.0.0.1:0",
+		AckTimeout: 200 * time.Millisecond,
+		Peers:      deadAddrs,
+	})
+	waitFor(t, "idle minority leader to fence", func() bool { return leader.node.Fenced() })
+}
+
+func TestQuorumElectionAfterLeaderCrash(t *testing.T) {
+	// Manual promotion on a 3-node group runs an election: the
+	// candidate needs the surviving follower's vote, wins term 2, and
+	// the survivor catches up incrementally (no snapshot resync) to a
+	// byte-identical journal file.
+	group := newGroup(t, 3, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := group[0].ctl.Deploy(testRequest(i)); err != nil {
+			t.Fatalf("deploy %d: %v", i, err)
+		}
+	}
+	group[0].node.Close()
+	group[0].store.Close()
+
+	if err := group[1].node.Promote(); err != nil {
+		t.Fatalf("election: %v", err)
+	}
+	if got := group[1].node.Term(); got != 2 {
+		t.Fatalf("elected term = %d, want 2", got)
+	}
+	if _, err := group[1].ctl.Deploy(testRequest(7)); err != nil {
+		t.Fatalf("deploy on elected leader: %v", err)
+	}
+	waitFor(t, "survivor convergence", func() bool {
+		return group[2].store.Seq() == group[1].store.Seq()
+	})
+	if group[2].node.resyncs.Load() != 0 {
+		t.Fatalf("up-to-date survivor took %d snapshot resyncs, want incremental catch-up", group[2].node.resyncs.Load())
+	}
+	a, err := os.ReadFile(filepath.Join(group[1].dir, journal.JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(group[2].dir, journal.JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("journal files differ after failover: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func TestQuorumElectionRequiresMajority(t *testing.T) {
+	// A candidate that can reach no other replica must refuse to
+	// promote — the "never-heard standby refuses" rule, subsumed by
+	// the vote.
+	deadAddrs := make([]string, 2)
+	for i := range deadAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	lone := newReplica(t, Config{
+		Role:            controller.RoleStandby,
+		ListenAddr:      "127.0.0.1:0",
+		ElectionTimeout: 200 * time.Millisecond,
+		Peers:           deadAddrs,
+	})
+	err := lone.node.Promote()
+	if !errors.Is(err, errElectionLost) {
+		t.Fatalf("isolated candidate Promote = %v, want election lost", err)
+	}
+	if lone.node.Role() == controller.RoleLeader {
+		t.Fatal("isolated candidate promoted without a majority")
+	}
+}
+
+func TestQuorumColdGroupElectsExactlyOneLeader(t *testing.T) {
+	// Three standbys, none of which has ever heard a leader, with
+	// automatic failover armed: the group must elect exactly one
+	// leader (term ≥ 2 — founding term 1 is reserved for configured
+	// boot leaders) and serve writes. The pair-era everHeard guard
+	// would have deadlocked this group forever.
+	group := newGroup(t, 3, func(i int, cfg *Config) {
+		cfg.Role = controller.RoleStandby
+		cfg.FailoverAfter = 100 * time.Millisecond
+		cfg.ElectionTimeout = 150 * time.Millisecond
+		cfg.HeartbeatEvery = 20 * time.Millisecond
+	})
+	waitFor(t, "a settled leader", func() bool {
+		idx := leaderOf(group)
+		if idx < 0 {
+			return false
+		}
+		// Settled: both followers on the leader's term and seq.
+		info := group[idx].node.Info()
+		for i, r := range group {
+			if i != idx && (r.node.Term() != info.Term || r.store.Seq() != info.Seq) {
+				return false
+			}
+		}
+		return true
+	})
+	idx := leaderOf(group)
+	if got := group[idx].node.Term(); got < 2 {
+		t.Fatalf("elected term = %d, want ≥ 2", got)
+	}
+	if _, err := group[idx].ctl.Deploy(testRequest(0)); err != nil {
+		t.Fatalf("deploy on elected leader: %v", err)
+	}
+	waitFor(t, "replication to both followers", func() bool {
+		for i, r := range group {
+			if i != idx && r.store.Seq() != group[idx].store.Seq() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// sendRaw writes one hello and reads one reply line.
+func sendRaw(t *testing.T, addr string, h hello) helloReply {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	if err := writeJSONLine(conn, h); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep helloReply
+	if err := json.Unmarshal(line, &rep); err != nil {
+		t.Fatalf("bad reply %q: %v", line, err)
+	}
+	return rep
+}
+
+func TestVoteDeniedToStaleLog(t *testing.T) {
+	// A voter must refuse a candidate whose journal is behind its own:
+	// electing it could lose majority-committed records.
+	follower := newReplica(t, Config{Role: controller.RoleStandby, ListenAddr: "127.0.0.1:0"})
+	leader := newReplica(t, Config{Role: controller.RoleLeader, Peers: []string{follower.node.Addr()}})
+	for i := 0; i < 3; i++ {
+		if _, err := leader.ctl.Deploy(testRequest(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := follower.store.State()
+
+	rep := sendRaw(t, follower.node.Addr(), hello{
+		Proto: Proto2, Kind: helloKindVote, Term: st.Term + 1,
+		Seq: st.Seq - 1, LastTerm: st.Term, Candidate: "stale",
+	})
+	if rep.Granted {
+		t.Fatal("vote granted to a candidate one record behind")
+	}
+	rep = sendRaw(t, follower.node.Addr(), hello{
+		Proto: Proto2, Kind: helloKindVote, Term: st.Term + 1,
+		Seq: st.Seq, LastTerm: st.Term - 1, Candidate: "old-term",
+	})
+	if rep.Granted {
+		t.Fatal("vote granted to a candidate with an older tail term")
+	}
+	// An up-to-date candidate gets the vote…
+	rep = sendRaw(t, follower.node.Addr(), hello{
+		Proto: Proto2, Kind: helloKindVote, Term: st.Term + 1,
+		Seq: st.Seq, LastTerm: st.Term, Candidate: "fresh",
+	})
+	if !rep.Granted {
+		t.Fatalf("vote denied to an up-to-date candidate: %s", rep.Reason)
+	}
+	// …and holds it: a rival in the same term is refused, while the
+	// original re-solicitation is re-granted idempotently.
+	rep = sendRaw(t, follower.node.Addr(), hello{
+		Proto: Proto2, Kind: helloKindVote, Term: st.Term + 1,
+		Seq: st.Seq + 9, LastTerm: st.Term, Candidate: "rival",
+	})
+	if rep.Granted {
+		t.Fatal("double vote in one term")
+	}
+	rep = sendRaw(t, follower.node.Addr(), hello{
+		Proto: Proto2, Kind: helloKindVote, Term: st.Term + 1,
+		Seq: st.Seq, LastTerm: st.Term, Candidate: "fresh",
+	})
+	if !rep.Granted {
+		t.Fatalf("idempotent re-grant refused: %s", rep.Reason)
+	}
+}
+
+func TestVoteSurvivesRestart(t *testing.T) {
+	// The vote ledger persists: after a crash-restart in the same
+	// journal directory, the node still refuses a rival in the term it
+	// voted in before the crash.
+	dir := t.TempDir()
+	boot := func() (*Node, func()) {
+		topo, err := topology.PaperFig3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := controller.New(topo, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := journal.Open(dir, journal.Options{Sync: journal.SyncNone, CompactEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(store, ctl, Config{Role: controller.RoleStandby, ListenAddr: "127.0.0.1:0", Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return node, func() { node.Close(); store.Close() }
+	}
+	node, shutdown := boot()
+	rep := sendRaw(t, node.Addr(), hello{Proto: Proto2, Kind: helloKindVote, Term: 5, Candidate: "first"})
+	if !rep.Granted {
+		t.Fatalf("initial vote denied: %s", rep.Reason)
+	}
+	shutdown()
+
+	node, shutdown = boot()
+	defer shutdown()
+	rep = sendRaw(t, node.Addr(), hello{Proto: Proto2, Kind: helloKindVote, Term: 5, Candidate: "second"})
+	if rep.Granted {
+		t.Fatal("restart forgot the persisted vote: double vote in term 5")
+	}
+	rep = sendRaw(t, node.Addr(), hello{Proto: Proto2, Kind: helloKindVote, Term: 5, Candidate: "first"})
+	if !rep.Granted {
+		t.Fatalf("persisted vote not re-granted to its candidate: %s", rep.Reason)
+	}
+}
+
+func TestV1StreamHelloStillAccepted(t *testing.T) {
+	// A v1 dialer (an un-upgraded leader) must still be able to open a
+	// stream against a v2 node: the acceptor takes both protocols.
+	follower := newReplica(t, Config{Role: controller.RoleStandby, ListenAddr: "127.0.0.1:0"})
+	rep := sendRaw(t, follower.node.Addr(), hello{Proto: Proto, Term: 7, Seq: 0})
+	if !rep.OK {
+		t.Fatalf("v1 hello refused: %s", rep.Reason)
+	}
+	if rep.Proto != "" {
+		t.Fatalf("v1 hello answered with proto %q — v1 clients would choke on surprises", rep.Proto)
+	}
+	// And a vote over v1 is refused: elections are v2 vocabulary.
+	rep = sendRaw(t, follower.node.Addr(), hello{Proto: Proto, Kind: helloKindVote, Term: 9, Candidate: "x"})
+	if rep.OK || rep.Granted {
+		t.Fatal("v1 vote hello accepted")
+	}
+}
+
+// ackRecorder collects the seqs a fake follower acknowledged.
+type ackRecorder struct {
+	mu   sync.Mutex
+	seqs []uint64
+}
+
+func (a *ackRecorder) add(seq uint64) {
+	a.mu.Lock()
+	a.seqs = append(a.seqs, seq)
+	a.mu.Unlock()
+}
+
+func (a *ackRecorder) count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.seqs)
+}
+
+// v1OnlyStandby is a minimal innet-repl/1 acceptor: it refuses v2
+// hellos with the v1 implementation's exact "bad protocol" reply,
+// accepts v1 streams, ingests frames, and acks their seqs.
+func v1OnlyStandby(t *testing.T, ln net.Listener, acked *ackRecorder, done chan<- struct{}) {
+	defer close(done)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		func() {
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				return
+			}
+			var h map[string]any
+			if json.Unmarshal(line, &h) != nil || h["proto"] != Proto {
+				writeJSONLine(conn, helloReply{OK: false, Reason: "bad protocol"})
+				return
+			}
+			writeJSONLine(conn, helloReply{OK: true, Term: 0, Have: 0})
+			ackBuf := make([]byte, 8)
+			for {
+				tag, err := br.ReadByte()
+				if err != nil {
+					return
+				}
+				switch tag {
+				case 'H':
+					if _, err := io.ReadFull(br, ackBuf); err != nil {
+						return
+					}
+				case 'F':
+					frame, err := readFrame(br)
+					if err != nil {
+						return
+					}
+					recs, _ := journal.DecodeAll(frame, 0)
+					if len(recs) != 1 {
+						return
+					}
+					acked.add(recs[0].Seq)
+					binary.LittleEndian.PutUint64(ackBuf, recs[0].Seq)
+					if _, err := conn.Write(ackBuf); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}()
+	}
+}
+
+func TestLeaderDowngradesToV1Peer(t *testing.T) {
+	// A v2 leader shipping to a v1-only follower: the first (v2) hello
+	// is refused "bad protocol", the leader pins the peer to v1 and
+	// the next dial succeeds — 2-node configs keep working across a
+	// rolling upgrade.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked ackRecorder
+	done := make(chan struct{})
+	go v1OnlyStandby(t, ln, &acked, done)
+	// Registered before newReplica's cleanups, so this runs AFTER the
+	// leader node closes (LIFO): the dead stream lets the fake's
+	// single-threaded accept loop notice the closed listener and exit.
+	t.Cleanup(func() { ln.Close(); <-done })
+
+	leader := newReplica(t, Config{
+		Role:       controller.RoleLeader,
+		AckTimeout: 3 * time.Second,
+		Peers:      []string{ln.Addr().String()},
+	})
+	// A strict append commits in pair mode only once the v1 follower
+	// acks — proving the downgrade produced a working stream.
+	if _, err := leader.ctl.Deploy(testRequest(0)); err != nil {
+		t.Fatalf("deploy to v1-only follower: %v", err)
+	}
+	leader.node.mu.Lock()
+	proto := leader.node.peers[0].proto
+	leader.node.mu.Unlock()
+	if proto != Proto {
+		t.Fatalf("peer proto = %q, want pinned to %q", proto, Proto)
+	}
+	if acked.count() == 0 {
+		t.Fatal("v1 follower acked nothing")
+	}
+}
+
+func TestFencedNodeRefusesElection(t *testing.T) {
+	deadAddrs := []string{"127.0.0.1:1", "127.0.0.1:2"}
+	leader := newReplica(t, Config{
+		Role:       controller.RoleLeader,
+		ListenAddr: "127.0.0.1:0",
+		AckTimeout: 150 * time.Millisecond,
+		Peers:      deadAddrs,
+	})
+	waitFor(t, "watchdog fence", func() bool { return leader.node.Fenced() })
+	if err := leader.node.Promote(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced Promote = %v, want ErrFenced", err)
+	}
+}

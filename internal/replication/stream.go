@@ -34,27 +34,48 @@ const handshakeTimeout = 5 * time.Second
 // maxSnapshotBytes bounds a resync snapshot read off the wire.
 const maxSnapshotBytes = 256 << 20
 
-// hello is the leader's opening line.
+// Hello kinds (v2). A v1 hello has no kind and is always a stream.
+const (
+	helloKindStream = "stream"
+	helloKindVote   = "vote"
+)
+
+// hello is the dialer's opening line: a leader opening a frame stream
+// or (v2) a candidate soliciting a vote.
 type hello struct {
 	Proto string `json:"proto"`
-	// Term and Seq describe the leader's journal head; Start is the
+	// Kind distinguishes a frame stream from a vote solicitation
+	// (v2 only; empty means stream for v1 compatibility).
+	Kind string `json:"kind,omitempty"`
+	// Term and Seq describe the dialer's journal head; Start is the
 	// sequence of the record that began its term.
 	Term  uint64 `json:"term"`
 	Seq   uint64 `json:"seq"`
 	Start uint64 `json:"start"`
-	// URL is the leader's advertised API base URL (clients of a
+	// LastTerm is the term governing the record at Seq — the log
+	// position voters compare against their own (v2 vote hellos).
+	LastTerm uint64 `json:"last_term,omitempty"`
+	// Candidate identifies the campaigner on a vote hello, so a voter
+	// can re-grant idempotently and never double-vote in a term.
+	Candidate string `json:"candidate,omitempty"`
+	// URL is the dialer's advertised API base URL (clients of a
 	// deposed node are redirected here).
 	URL string `json:"url,omitempty"`
 }
 
-// helloReply is the standby's answer.
+// helloReply is the acceptor's answer.
 type helloReply struct {
 	OK bool `json:"ok"`
-	// Term and Have describe the standby's journal head; the leader
+	// Proto echoes the accepted protocol version (v2 acceptors only;
+	// absent means a v1 acceptor).
+	Proto string `json:"proto,omitempty"`
+	// Term and Have describe the acceptor's journal head; the leader
 	// uses them to choose incremental catch-up or a snapshot resync.
-	Term   uint64 `json:"term"`
-	Have   uint64 `json:"have"`
-	Reason string `json:"reason,omitempty"`
+	Term uint64 `json:"term"`
+	Have uint64 `json:"have"`
+	// Granted reports a vote grant on a vote solicitation.
+	Granted bool   `json:"granted,omitempty"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 func (n *Node) acceptLoop(ln net.Listener) {
@@ -92,8 +113,21 @@ func (n *Node) serve(conn net.Conn) {
 		return
 	}
 	var h hello
-	if err := json.Unmarshal(line, &h); err != nil || h.Proto != Proto {
+	if err := json.Unmarshal(line, &h); err != nil || (h.Proto != Proto && h.Proto != Proto2) {
 		writeJSONLine(conn, helloReply{OK: false, Reason: "bad protocol"})
+		return
+	}
+	switch h.Kind {
+	case "", helloKindStream:
+	case helloKindVote:
+		if h.Proto != Proto2 {
+			writeJSONLine(conn, helloReply{OK: false, Reason: "vote requires " + Proto2})
+			return
+		}
+		n.handleVote(conn, h)
+		return
+	default:
+		writeJSONLine(conn, helloReply{OK: false, Reason: "unknown hello kind"})
 		return
 	}
 
@@ -120,12 +154,23 @@ func (n *Node) serve(conn net.Conn) {
 			n.fenceLocked(h.URL, fmt.Sprintf("deposed by term %d (own term %d)", h.Term, n.term))
 		}
 		n.term = h.Term
+		// Advancing the term invalidates every other inbound stream:
+		// their handshakes were for an older term, and acking an
+		// old-term frame after this point could count toward a deposed
+		// leader's quorum.
+		for _, c := range n.ingests {
+			c.Close()
+		}
+		n.ingests = nil
 	}
 	n.leaderURL = h.URL
 	n.lastContact = time.Now()
 	n.everHeard = true
 	st := n.store.State()
 	rep := helloReply{OK: true, Term: st.Term, Have: st.Seq}
+	if h.Proto == Proto2 {
+		rep.Proto = Proto2
+	}
 	n.ingests = append(n.ingests, conn)
 	n.mu.Unlock()
 	defer n.dropIngest(conn)
@@ -342,7 +387,18 @@ func (n *Node) runPeer(p *peer) error {
 
 	n.mu.Lock()
 	st := n.store.State()
-	h := hello{Proto: Proto, Term: n.term, Seq: st.Seq, Start: st.TermStart, URL: n.cfg.AdvertiseURL}
+	// Offer v2 until the peer proves to be v1-only ("bad protocol"
+	// refusal), then stick to v1 for this peer. The stream format is
+	// identical; only the hello vocabulary differs.
+	proto := p.proto
+	if proto == "" {
+		proto = Proto2
+	}
+	h := hello{Proto: proto, Term: n.term, Seq: st.Seq, Start: st.TermStart, URL: n.cfg.AdvertiseURL}
+	if proto == Proto2 {
+		h.Kind = helloKindStream
+		h.LastTerm = st.Term
+	}
 	n.mu.Unlock()
 	if err := writeJSONLine(conn, h); err != nil {
 		return err
@@ -357,6 +413,12 @@ func (n *Node) runPeer(p *peer) error {
 		return fmt.Errorf("bad hello reply: %v", err)
 	}
 	if !rep.OK {
+		if proto == Proto2 && rep.Reason == "bad protocol" {
+			n.mu.Lock()
+			p.proto = Proto
+			n.mu.Unlock()
+			return fmt.Errorf("peer %s is %s-only, downgrading", p.addr, Proto)
+		}
 		n.mu.Lock()
 		if rep.Term > n.term {
 			n.fenceLocked("", fmt.Sprintf("refused by peer %s at term %d (own term %d)", p.addr, rep.Term, n.term))
@@ -364,6 +426,9 @@ func (n *Node) runPeer(p *peer) error {
 		n.mu.Unlock()
 		return fmt.Errorf("peer refused: %s", rep.Reason)
 	}
+	n.mu.Lock()
+	p.proto = proto
+	n.mu.Unlock()
 	conn.SetDeadline(time.Time{})
 
 	// Choose the catch-up under the lock and register the live channel
@@ -378,11 +443,27 @@ func (n *Node) runPeer(p *peer) error {
 	st = n.store.State()
 	var backlog [][]byte
 	var snap *journal.State
-	switch {
-	case rep.Have > st.Seq:
-		// The standby is ahead: it holds a forked suffix. Rewrite it.
-		snap = st
-	case (rep.Term == st.Term && rep.Have >= st.TermStart) || rep.Have == 0:
+	incremental := false
+	if rep.Have <= st.Seq {
+		// Log matching: the follower's journal is a clean prefix of
+		// ours iff the term governing its last record IN OUR HISTORY
+		// equals the term its own tail claims — terms uniquely
+		// identify a leader's history, so matching tails mean
+		// matching prefixes. Term 0 (pre-replication records) proves
+		// nothing: two independently booted journals share seqs but
+		// not history, so only the empty position qualifies. States
+		// predating term-history tracking fall back to the pair-era
+		// check (same-term suffix only).
+		incremental = rep.Have == 0
+		if !incremental {
+			if t, ok := st.TermAt(rep.Have); ok && t > 0 {
+				incremental = t == rep.Term
+			} else {
+				incremental = rep.Term == st.Term && rep.Have >= st.TermStart
+			}
+		}
+	}
+	if incremental {
 		recs, rerr := n.store.RecordsAfter(rep.Have)
 		switch {
 		case rerr == journal.ErrCompacted:
@@ -400,18 +481,27 @@ func (n *Node) runPeer(p *peer) error {
 				backlog = append(backlog, f)
 			}
 		}
-	default:
-		// Different term (possible fork) or a pre-term position we
-		// cannot prove is a clean prefix: ship the whole state.
+	} else {
+		// The follower is ahead (forked suffix), on a diverged term,
+		// or at a position we cannot prove is a clean prefix: rewrite
+		// it with the whole state.
 		snap = st
 	}
 	p.ch = make(chan []byte, 1024)
 	p.conn = conn
 	p.acked = 0
+	if snap == nil {
+		// An incremental follower provably holds everything through
+		// rep.Have: count it toward quorums immediately, so a
+		// post-failover leader plus one up-to-date survivor can
+		// commit without waiting for fresh traffic.
+		p.acked = rep.Have
+	}
 	p.live = true
 	// From here on this peer votes: sync appends in this term wait for
 	// its acknowledgement.
 	p.termConnected = n.term
+	n.maybeResolveLocked()
 	n.mu.Unlock()
 	defer func() {
 		n.mu.Lock()
