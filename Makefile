@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication smoke-telemetry experiments examples fuzz fmt vet clean golden chaos chaos-replication chaos-quorum
+.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication bench-admission smoke-telemetry experiments examples fuzz fmt vet clean golden chaos chaos-replication chaos-quorum
 
 all: build test
 
@@ -40,6 +40,11 @@ bench-telemetry:
 bench-replication:
 	$(GO) run ./cmd/innet-bench -quick -only replication -replication-json BENCH_replication.json
 
+# Admission scaling (parallel symexec workers, per-element memo,
+# delta re-verification); writes BENCH_admission.json (innet-bench/1).
+bench-admission:
+	$(GO) run ./cmd/innet-bench -quick -only admission -admission-json BENCH_admission.json
+
 # Boot a real innetd, deploy a module, drive packets, and assert the
 # observability endpoints serve every required metric family and a
 # complete admission trace.
@@ -65,6 +70,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/clicklang/
 	$(GO) test -fuzz=FuzzSplitArgs -fuzztime=15s ./internal/clicklang/
 	$(GO) test -fuzz=FuzzCanonicalConfig -fuzztime=30s ./internal/clicklang/
+	$(GO) test -fuzz=FuzzMemoKey -fuzztime=30s ./internal/clicklang/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/flowspec/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/policy/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/topology/

@@ -20,18 +20,20 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "shrink the heavyweight sweeps")
-		only    = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https, fastpath, telemetry, replication")
+		only    = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https, fastpath, telemetry, replication, admission")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		batch   = flag.Int("batch", 0, "dataplane batch size for fastpath (0 = default)")
 		jsonOut = flag.String("json", "", "also write the fastpath results to this file (BENCH_pr3.json)")
 		telOut  = flag.String("telemetry-json", "", "also write the telemetry overhead results to this file")
 		replOut = flag.String("replication-json", "", "also write the failover results to this file (BENCH_replication.json)")
+		admOut  = flag.String("admission-json", "", "also write the admission-scaling results to this file (BENCH_admission.json)")
 	)
 	flag.Parse()
 
 	var fastpath *bench.FastPathResult
 	var tel *bench.TelemetryResult
 	var repl *bench.ReplicationResult
+	var adm *bench.AdmissionScalingResult
 
 	runners := map[string]func() *bench.Table{
 		"fig5":        func() *bench.Table { return bench.Fig5(*quick) },
@@ -66,13 +68,17 @@ func main() {
 			repl = bench.ReplicationMeasure(*quick)
 			return bench.ReplicationTable(repl)
 		},
+		"admission": func() *bench.Table {
+			adm = bench.AdmissionScalingMeasure(*quick)
+			return bench.AdmissionScalingTable(adm)
+		},
 	}
 	order := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"mawi", "mawi-replay", "controller", "https",
 		"ablation-a", "ablation-b", "ablation-c", "fastpath", "telemetry",
-		"replication",
+		"replication", "admission",
 	}
 
 	writeFile := func(path string, data []byte, err error) {
@@ -106,6 +112,13 @@ func main() {
 			}
 			data, err := repl.JSON()
 			writeFile(*replOut, data, err)
+		}
+		if *admOut != "" {
+			if adm == nil {
+				adm = bench.AdmissionScalingMeasure(*quick)
+			}
+			data, err := adm.JSON()
+			writeFile(*admOut, data, err)
 		}
 	}
 

@@ -124,13 +124,21 @@ type PeerInfo struct {
 	TermConnected uint64 `json:"term_connected,omitempty"`
 }
 
-// CacheInfo is the admission-cache slice of GET /v1/health.
+// CacheInfo is the admission-cache slice of GET /v1/health: the
+// whole-config verdict cache plus the per-element memo underneath it
+// (memo counters are zero when the memo is disabled).
 type CacheInfo struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
 	Entries       int    `json:"entries"`
+
+	MemoHits        uint64 `json:"memo_hits"`
+	MemoMisses      uint64 `json:"memo_misses"`
+	MemoUnsupported uint64 `json:"memo_unsupported"`
+	MemoEvictions   uint64 `json:"memo_evictions"`
+	MemoEntries     int    `json:"memo_entries"`
 }
 
 // TracesResponse is the GET /v1/traces body.

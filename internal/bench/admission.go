@@ -1,0 +1,269 @@
+// Admission-scaling benchmark: throughput and latency for the
+// parallel + incremental verification work — cold admission ops/s as
+// the symexec worker pool widens, the per-element memo's effect on a
+// structurally shared multi-tenant corpus, and the cost of re-serving
+// a warm query across an epoch flip under delta vs wholesale
+// invalidation. The JSON form is what CI archives as
+// BENCH_admission.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/in-net/innet/internal/controller"
+	"github.com/in-net/innet/internal/security"
+	"github.com/in-net/innet/internal/symexec"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// AdmissionScalingResult is the machine-readable form of the
+// admission-scaling benchmark (BENCH_admission.json).
+type AdmissionScalingResult struct {
+	Format string `json:"format"`
+
+	// Cold admission (whole-config verdict cache DISABLED, so every
+	// deploy runs full verification) across worker-pool widths, memo
+	// off vs on. The corpus rotates tenant modules sharing a
+	// firewall→nat prefix, so the memo row also shows cross-tenant
+	// sub-chain sharing.
+	Workers           []int     `json:"workers"`
+	ColdOpsPerSec     []float64 `json:"cold_ops_per_sec"`
+	ColdMemoOpsPerSec []float64 `json:"cold_memo_ops_per_sec"`
+
+	// Headline: cold ops/s at the widest pool with the memo on, and
+	// its speedup over 1 worker / no memo (the sequential PR-3 cold
+	// path).
+	SequentialOpsPerSec float64 `json:"sequential_ops_per_sec"`
+	BestOpsPerSec       float64 `json:"best_ops_per_sec"`
+	ColdSpeedup         float64 `json:"cold_speedup"`
+
+	// Memo effectiveness over the memo-on sweep.
+	MemoHits    uint64  `json:"memo_hits"`
+	MemoMisses  uint64  `json:"memo_misses"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+
+	// Incremental re-verification: a warm query re-served after a
+	// platform health flip (an epoch mutation that touches none of
+	// the query's dependencies). Delta invalidation answers from
+	// cache; wholesale re-runs the symbolic execution.
+	DeltaReverifyMicros     float64 `json:"delta_reverify_micros"`
+	WholesaleReverifyMicros float64 `json:"wholesale_reverify_micros"`
+	ReverifySpeedup         float64 `json:"reverify_speedup"`
+
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+
+	// Note flags measurement caveats (e.g. a single-CPU host, where
+	// the worker pool cannot physically scale and cold_speedup
+	// reflects only the memo and sequential optimizations).
+	Note string `json:"note,omitempty"`
+}
+
+// admissionCorpus returns the rotating multi-tenant deploy requests:
+// every module shares the firewall → nat entry chain (the memo's
+// cross-tenant target) and fans out through a classifier so the
+// symbolic frontier is wide enough for the worker pool to bite.
+func admissionCorpus() []controller.Request {
+	reqs := make([]controller.Request, 4)
+	for i := range reqs {
+		cfg := fmt.Sprintf(`
+in :: FromNetfront();
+fw :: IPFilter(allow src port 5060, allow src port 5061, allow src port 3478,
+               allow dst port 5060, allow dst port 5061, allow dst port 3478,
+               allow udp port 1500, allow tcp port 1500,
+               allow dst port 8080, allow src port 8080,
+               deny all);
+nat :: IPRewriter(pattern - - 10.1.15.133 - 0 0);
+cls :: IPClassifier(dst port 1500, -);
+t :: Tee(2);
+p0 :: SetDstPort(%d);
+p1 :: SetDstPort(%d);
+out0 :: ToNetfront(0);
+out1 :: ToNetfront(1);
+drop :: Discard();
+in -> fw -> nat -> cls;
+cls[0] -> t;
+cls[1] -> drop;
+t[0] -> p0 -> out0;
+t[1] -> p1 -> out1;
+`, 2000+2*i, 2001+2*i)
+		reqs[i] = controller.Request{
+			Tenant:     fmt.Sprintf("tenant-%d", i),
+			ModuleName: fmt.Sprintf("Shared%d", i),
+			Config:     cfg,
+			Trust:      security.Client,
+		}
+	}
+	return reqs
+}
+
+// measureAdmissionScaling times deploy+kill cycles over the rotating
+// corpus with the whole-config cache disabled, so each cycle pays
+// full verification through the given worker pool and memo setting.
+func measureAdmissionScaling(workers int, memo bool, cycles int) (float64, symexec.MemoStats) {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		panic(err)
+	}
+	opts := controller.Options{
+		AdmissionCache:   -1,
+		AdmissionWorkers: workers,
+		ElementMemo:      -1,
+	}
+	if memo {
+		opts.ElementMemo = 0 // default capacity
+	}
+	c, err := controller.NewWithOptions(topo, "reach from internet tcp src port 80 -> HTTPOptimizer -> client", opts)
+	if err != nil {
+		panic(err)
+	}
+	corpus := admissionCorpus()
+	cycle := func(i int) {
+		req := corpus[i%len(corpus)]
+		dep, err := c.Deploy(req)
+		if err != nil {
+			panic(err)
+		}
+		if err := c.Kill(dep.ID); err != nil {
+			panic(err)
+		}
+	}
+	// One untimed pass over the corpus warms code paths (and, with
+	// the memo, captures each shared sub-chain's recipes: the steady
+	// state is replay, exactly as for a long-lived controller).
+	for i := range corpus {
+		cycle(i)
+	}
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		cycle(i)
+	}
+	elapsed := time.Since(start)
+	return float64(cycles) / elapsed.Seconds(), c.MemoStats()
+}
+
+// measureReverify times re-serving a warm query across platform
+// health flips: each iteration flips one platform down (or back up)
+// and re-issues the query. The flip bumps the epoch, so wholesale
+// invalidation re-verifies from scratch every time; delta
+// invalidation proves the flip irrelevant and answers from cache.
+func measureReverify(wholesale bool, iters int) float64 {
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		panic(err)
+	}
+	c, err := controller.NewWithOptions(topo, "reach from internet tcp src port 80 -> HTTPOptimizer -> client",
+		controller.Options{WholesaleInvalidation: wholesale})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := c.Deploy(admissionCorpus()[0]); err != nil {
+		panic(err)
+	}
+	const query = "reach from internet tcp src port 80 -> HTTPOptimizer -> client"
+	if _, err := c.Query(query); err != nil { // populate
+		panic(err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if i%2 == 0 {
+			c.MarkPlatformDown("Platform3")
+		} else {
+			c.MarkPlatformUp("Platform3")
+		}
+		if _, err := c.Query(query); err != nil {
+			panic(err)
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / float64(iters)
+}
+
+// AdmissionScalingMeasure runs the full admission-scaling experiment.
+func AdmissionScalingMeasure(quick bool) *AdmissionScalingResult {
+	cycles, reverifies := 500, 400
+	if quick {
+		cycles, reverifies = 100, 100
+	}
+	r := &AdmissionScalingResult{
+		Format:     BenchFormat,
+		Workers:    []int{1, 2, 4, 8},
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	// Each cell is best-of-trials (fresh controller per trial): the
+	// first measurement of a run otherwise absorbs process warm-up —
+	// GC pacing, page faults — and masquerades as worker scaling.
+	trials := 3
+	if quick {
+		trials = 2
+	}
+	best := func(workers int, memo bool) (float64, symexec.MemoStats) {
+		var ops float64
+		var st symexec.MemoStats
+		for t := 0; t < trials; t++ {
+			o, s := measureAdmissionScaling(workers, memo, cycles)
+			if o > ops {
+				ops, st = o, s
+			}
+		}
+		return ops, st
+	}
+	var hits, misses uint64
+	for _, w := range r.Workers {
+		ops, _ := best(w, false)
+		r.ColdOpsPerSec = append(r.ColdOpsPerSec, ops)
+		mops, st := best(w, true)
+		r.ColdMemoOpsPerSec = append(r.ColdMemoOpsPerSec, mops)
+		hits += st.Hits
+		misses += st.Misses + st.Unsupported
+	}
+	r.SequentialOpsPerSec = r.ColdOpsPerSec[0]
+	r.BestOpsPerSec = r.ColdMemoOpsPerSec[len(r.ColdMemoOpsPerSec)-1]
+	r.ColdSpeedup = r.BestOpsPerSec / r.SequentialOpsPerSec
+	r.MemoHits, r.MemoMisses = hits, misses
+	if hits+misses > 0 {
+		r.MemoHitRate = float64(hits) / float64(hits+misses)
+	}
+	r.WholesaleReverifyMicros = measureReverify(true, reverifies)
+	r.DeltaReverifyMicros = measureReverify(false, reverifies)
+	if r.DeltaReverifyMicros > 0 {
+		r.ReverifySpeedup = r.WholesaleReverifyMicros / r.DeltaReverifyMicros
+	}
+	if r.GOMAXPROCS == 1 {
+		r.Note = "GOMAXPROCS=1: the symexec worker pool cannot run concurrently on this host, so per-worker rows differ only by scheduling noise"
+	}
+	return r
+}
+
+// AdmissionScaling measures and renders the admission-scaling
+// benchmark.
+func AdmissionScaling(quick bool) *Table {
+	return AdmissionScalingTable(AdmissionScalingMeasure(quick))
+}
+
+// AdmissionScalingTable renders an already-measured result.
+func AdmissionScalingTable(r *AdmissionScalingResult) *Table {
+	t := &Table{
+		ID:      "ADMISSION",
+		Title:   "admission scaling (parallel symexec, per-element memo, delta invalidation)",
+		Columns: []string{"workers", "cold ops/s", "cold+memo ops/s"},
+	}
+	for i, w := range r.Workers {
+		t.AddRow(fmt.Sprintf("%d", w), f1(r.ColdOpsPerSec[i]), f1(r.ColdMemoOpsPerSec[i]))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cold speedup (8w+memo vs 1w sequential): %sx", f2(r.ColdSpeedup)),
+		fmt.Sprintf("memo: %d hits / %d misses (hit rate %s)", r.MemoHits, r.MemoMisses, f2(r.MemoHitRate)),
+		fmt.Sprintf("warm query across epoch flip: delta %sµs vs wholesale %sµs (%sx)",
+			f1(r.DeltaReverifyMicros), f1(r.WholesaleReverifyMicros), f2(r.ReverifySpeedup)),
+		fmt.Sprintf("GOMAXPROCS=%d, NumCPU=%d; whole-config verdict cache disabled in the ops/s rows", r.GOMAXPROCS, r.NumCPU))
+	return t
+}
+
+// JSON renders the result as the BENCH_admission.json payload.
+func (r *AdmissionScalingResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

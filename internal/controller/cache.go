@@ -12,14 +12,21 @@
 //     policy and the step budget: every input security.Check reads.
 //     They carry symexec.AnyEpoch — a standalone module's analysis
 //     does not depend on what else is deployed.
-//   - Placement-check entries additionally depend on the compiled
-//     network snapshot, so they are tagged with the topology epoch: a
-//     content hash of the hosted-module set (platform, address,
-//     deployed source per live deployment) plus the down-platform set.
-//     The epoch is recomputed lazily after mutations; a lookup against
-//     a stale epoch deletes the entry (lazy invalidation). Because the
-//     epoch is content-derived, deploy→kill→re-deploy returns to the
-//     prior epoch and warm entries hit again.
+//   - Placement-check and query entries additionally depend on the
+//     compiled network snapshot. By default they record *which parts*
+//     of it the check actually read — dependency tokens derived from
+//     the nodes the symbolic runs visited and the module names the
+//     requirements referenced — and a lookup revalidates only those
+//     tokens against the current digest table (epoch-delta
+//     invalidation: an unrelated deploy/kill/outage leaves the entry
+//     hot). Under Options.WholesaleInvalidation they fall back to the
+//     legacy discipline: tagged with a single topology epoch (content
+//     hash of the hosted-module set plus the down-platform set), so
+//     ANY mutation invalidates every placement-dependent entry.
+//     Either way invalidation is lazy: a stale lookup deletes the
+//     entry, and since tokens/epochs are content-derived,
+//     deploy→kill→re-deploy returns to the prior state and warm
+//     entries hit again.
 //
 // Cache state is never journaled and never persisted: admit/reject
 // records are byte-identical whether the verdict came from the cache
@@ -36,8 +43,10 @@ import (
 	"time"
 
 	"github.com/in-net/innet/internal/clicklang"
+	"github.com/in-net/innet/internal/policy"
 	"github.com/in-net/innet/internal/security"
 	"github.com/in-net/innet/internal/symexec"
+	"github.com/in-net/innet/internal/topology"
 )
 
 // DefaultAdmissionCache is the LRU capacity when Options.AdmissionCache
@@ -150,14 +159,113 @@ func (c *Controller) epochLocked() string {
 	return c.epoch
 }
 
-// bumpEpochLocked marks the topology epoch stale. Call after every
-// mutation of the deployment set or platform health.
-func (c *Controller) bumpEpochLocked() { c.epochDirty = true }
+// bumpEpochLocked marks the topology epoch and the per-platform
+// digest table stale. Call after every mutation of the deployment set
+// or platform health.
+func (c *Controller) bumpEpochLocked() {
+	c.epochDirty = true
+	c.digestsDirty = true
+}
+
+// digestsLocked returns the dependency-token digest table for
+// epoch-delta invalidation, recomputing it only after mutations.
+// Tokens:
+//
+//   - "pf:<platform>" digests the live module set hosted on a
+//     platform (name, address, deployed config — everything that
+//     shapes the platform's demux and element graphs). Sorted, so the
+//     digest is independent of map iteration order; check outcomes
+//     are branch-order-independent, so that is sound.
+//   - "mod:<name>" digests one live deployment by module name (absent
+//     names simply have no entry, which GetValidated sees as "").
+//     Requirement references resolve by module name, so an outcome
+//     can depend on a name's existence/content even when no flow
+//     reaches its platform.
+//
+// Platform *health* is deliberately excluded: down platforms are
+// skipped before any cached check runs, so an outage flip touches no
+// cached placement/query entry — the headline win over wholesale
+// epoch invalidation, where MarkPlatformDown invalidated everything.
+func (c *Controller) digestsLocked() map[string]string {
+	if !c.digestsDirty && c.digests != nil {
+		return c.digests
+	}
+	perPf := make(map[string][]string)
+	out := make(map[string]string)
+	for _, d := range c.deployments {
+		if d.Status() == StatusFailed {
+			continue // failed modules are off the network (hostedLocked)
+		}
+		line := fmt.Sprintf("%s\x00%s\x00%d\x00%d:%s", d.ModuleName, d.Platform, d.Addr, len(d.Config), d.Config)
+		perPf[d.Platform] = append(perPf[d.Platform], line)
+		out["mod:"+d.ModuleName] = hashKey("mod", line)
+	}
+	for _, pl := range c.topo.Platforms() {
+		lines := perPf[pl]
+		sort.Strings(lines)
+		out["pf:"+pl] = hashKey(append([]string{"pf"}, lines...)...)
+	}
+	c.digests = out
+	c.digestsDirty = false
+	return out
+}
+
+// depsValid reports whether every recorded dependency token still
+// digests to its recorded value.
+func depsValid(deps, cur map[string]string) bool {
+	for tok, d := range deps {
+		if cur[tok] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// depsFor converts a check's observed footprint (visited compiled
+// nodes + by-name references) into dependency tokens valued from the
+// digest snapshot the check ran against. Static topology nodes
+// (routers, endpoints, middlebox elements) produce no token — the
+// topology is immutable for a controller's lifetime; only the
+// deployment set changes.
+func (c *Controller) depsFor(env *policy.CheckEnv, cur map[string]string) map[string]string {
+	deps := make(map[string]string)
+	for node := range env.Visited {
+		base := node
+		if i := strings.IndexByte(node, '/'); i >= 0 {
+			base = node[:i]
+		}
+		if n := c.topo.Node(base); n != nil {
+			if n.Kind == topology.KindPlatform {
+				deps["pf:"+base] = cur["pf:"+base]
+			}
+			continue // static topology node
+		}
+		if m := env.Map.Module(base); m != nil {
+			deps["pf:"+m.Platform] = cur["pf:"+m.Platform]
+		}
+	}
+	for name := range env.RefNames {
+		deps["mod:"+name] = cur["mod:"+name]
+	}
+	return deps
+}
+
+// deltaEnabled reports whether placement/query entries use
+// dependency-validated (epoch-delta) invalidation.
+func (c *Controller) deltaEnabled() bool {
+	return c.cache != nil && !c.opts.WholesaleInvalidation
+}
 
 // CacheStats snapshots the admission cache counters (zero stats when
 // caching is disabled).
 func (c *Controller) CacheStats() symexec.CacheStats {
 	return c.cache.Stats()
+}
+
+// MemoStats snapshots the per-element symbolic-execution memo
+// counters (zero stats when the memo is disabled).
+func (c *Controller) MemoStats() symexec.MemoStats {
+	return c.memo.Stats()
 }
 
 // checkedSecurity runs the security check through the cache. Budget
@@ -208,12 +316,23 @@ func policyDetail(platformName, reason string, err error) string {
 	}
 }
 
-// cachedQuery consults the epoch-tagged cache for a full Query result.
-func (c *Controller) cachedQuery(key, epoch string) (*QueryResult, bool) {
+// cachedQuery consults the cache for a full Query result. In delta
+// mode (cur != nil) the entry hits while its recorded dependency
+// tokens still match cur; in wholesale mode it hits on an exact epoch
+// match.
+func (c *Controller) cachedQuery(key, epoch string, cur map[string]string) (*QueryResult, bool) {
 	if c.cache == nil {
 		return nil, false
 	}
-	v, ok := c.cache.Get(key, epoch)
+	var v any
+	var ok bool
+	if cur != nil {
+		v, ok = c.cache.GetValidated(key, func(deps map[string]string) bool {
+			return depsValid(deps, cur)
+		})
+	} else {
+		v, ok = c.cache.Get(key, epoch)
+	}
 	if !ok {
 		return nil, false
 	}
@@ -221,11 +340,19 @@ func (c *Controller) cachedQuery(key, epoch string) (*QueryResult, bool) {
 	return &r, true
 }
 
-func (c *Controller) putQuery(key, epoch string, r *QueryResult) {
+// putQuery stores a Query result. The dependency values come from the
+// digest snapshot (cur) the check actually ran against, so a topology
+// mutation racing with an unlocked query run leaves a stale-valued
+// entry that the next lookup discards — never a wrong hit.
+func (c *Controller) putQuery(key, epoch string, cur map[string]string, env *policy.CheckEnv, r *QueryResult) {
 	if c.cache == nil {
 		return
 	}
 	cp := *r
 	cp.Timings = Timings{} // cached verdicts cost nothing; don't replay stale timings
+	if cur != nil {
+		c.cache.PutDeps(key, c.depsFor(env, cur), &cp)
+		return
+	}
 	c.cache.Put(key, epoch, &cp)
 }

@@ -10,6 +10,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -238,6 +239,35 @@ type Options struct {
 	// DefaultAdmissionCache, negative = caching disabled). See
 	// cache.go for the key discipline.
 	AdmissionCache int
+	// AdmissionWorkers fans symbolic path exploration across a
+	// bounded work-stealing pool (0 = GOMAXPROCS, negative = 1).
+	// Result merging is deterministic, so reports are byte-identical
+	// to sequential runs at any worker count (the parallel
+	// differential battery enforces this).
+	AdmissionWorkers int
+	// ElementMemo bounds the per-element symbolic-execution memo
+	// (entries; 0 = symexec.DefaultMemoEntries, negative = disabled).
+	// Structurally shared sub-chains across tenants verify once.
+	ElementMemo int
+	// WholesaleInvalidation reverts placement/query cache entries to
+	// the legacy epoch-tagged discipline where ANY topology mutation
+	// (deploy, kill, outage) invalidates every placement-dependent
+	// entry. Default (false) is epoch-delta invalidation: entries
+	// record which platforms/modules the check depended on and
+	// survive unrelated mutations. Kept for the incremental
+	// equivalence property test and benchmark comparisons.
+	WholesaleInvalidation bool
+}
+
+// workers resolves AdmissionWorkers to an effective pool size.
+func (o Options) workers() int {
+	if o.AdmissionWorkers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.AdmissionWorkers < 0 {
+		return 1
+	}
+	return o.AdmissionWorkers
 }
 
 // admissionBudget resolves the options into a per-check step budget
@@ -286,6 +316,13 @@ type Controller struct {
 	cache      *symexec.Cache
 	epoch      string
 	epochDirty bool
+	// memo short-circuits repeated per-element symbolic executions
+	// across admissions (nil = disabled); digests is the dependency
+	// token table for epoch-delta invalidation, recomputed when
+	// digestsDirty (see cache.go).
+	memo         *symexec.Memo
+	digests      map[string]string
+	digestsDirty bool
 	// tracer/tel are the attached telemetry sinks (nil = dark); span
 	// is the open admission span — admissions are serialized under mu,
 	// so at most one span is live at a time (see telemetry.go).
@@ -313,13 +350,19 @@ func NewWithOptions(topo *topology.Topology, operatorPolicy string, opts Options
 	if cacheSize == 0 {
 		cacheSize = DefaultAdmissionCache
 	}
+	memoSize := opts.ElementMemo
+	if memoSize == 0 {
+		memoSize = symexec.DefaultMemoEntries
+	}
 	c := &Controller{
 		opts:         opts,
 		topo:         topo,
 		deployments:  make(map[string]*Deployment),
 		platformDown: make(map[string]bool),
 		cache:        symexec.NewCache(cacheSize), // nil (disabled) when cacheSize < 0
+		memo:         symexec.NewMemo(memoSize),   // nil (disabled) when memoSize < 0
 		epochDirty:   true,
+		digestsDirty: true,
 	}
 	if strings.TrimSpace(operatorPolicy) != "" {
 		reqs, err := policy.ParseAll(operatorPolicy)
@@ -333,7 +376,8 @@ func NewWithOptions(topo *topology.Topology, operatorPolicy string, opts Options
 	if err != nil {
 		return nil, fmt.Errorf("controller: %v", err)
 	}
-	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: topo.ClientNet}
+	env := &policy.CheckEnv{Net: net, Map: nm, ClientNet: topo.ClientNet,
+		Workers: opts.workers(), Memo: c.memo}
 	for _, r := range c.operatorPolicy {
 		res, err := r.Check(env)
 		if err != nil {
@@ -526,6 +570,8 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		BanConnectionlessReplies: c.opts.BanConnectionlessReplies,
 		MaxSteps:                 steps,
 		Deadline:                 deadline,
+		Workers:                  c.opts.workers(),
+		Memo:                     c.memo,
 	}, src)
 	if err != nil {
 		return nil, "", budgetRejection(err)
@@ -575,8 +621,12 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 	env := &policy.CheckEnv{
 		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
 		MaxSteps: steps, Deadline: deadline,
+		Workers: c.opts.workers(), Memo: c.memo,
 	}
-	pkey := placementKey(platformName, addr, deploySrc, req.Requirements, steps)
+	var pkey string
+	if c.cache != nil {
+		pkey = placementKey(platformName, addr, deploySrc, req.Requirements, steps)
+	}
 	reason, cerr := c.checkPlacementLocked(platformName, reqs, env, pkey)
 	timings.Check += time.Since(checkStart)
 	if cerr != nil {
@@ -614,20 +664,41 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 // an error means the symbolic-execution budget is exhausted, which no
 // platform can cure.
 //
-// key, when non-empty, memoizes the outcome in the epoch-tagged
-// admission cache: the reason string (including "": fits) is a pure
-// function of the compiled snapshot and the requirement texts, so a
-// repeat of the same tentative placement at the same topology epoch
-// skips the symbolic execution entirely. Budget errors are never
+// key, when non-empty, memoizes the outcome in the admission cache:
+// the reason string (including "": fits) is a pure function of the
+// compiled snapshot and the requirement texts. In epoch-delta mode
+// (the default) the entry records the dependency tokens the checks
+// actually touched — the platforms whose module sets the symbolic
+// runs visited and the module names the requirements referenced — and
+// stays hot across unrelated topology mutations; under
+// Options.WholesaleInvalidation it is epoch-tagged instead. The
+// tentative module itself needs no token: it is part of the cache key
+// (placementKey hashes its deployed source). Budget errors are never
 // cached.
 func (c *Controller) checkPlacementLocked(platformName string, reqs []*policy.Requirement, env *policy.CheckEnv, key string) (string, error) {
-	if c.cache != nil && key != "" {
+	useCache := c.cache != nil && key != ""
+	delta := useCache && !c.opts.WholesaleInvalidation
+	if useCache {
 		lstart := time.Now()
-		if v, ok := c.cache.Get(key, c.epochLocked()); ok {
+		var v any
+		var ok bool
+		if delta {
+			cur := c.digestsLocked()
+			v, ok = c.cache.GetValidated(key, func(deps map[string]string) bool {
+				return depsValid(deps, cur)
+			})
+		} else {
+			v, ok = c.cache.Get(key, c.epochLocked())
+		}
+		if ok {
 			c.stageLocked(StageCacheLookup, lstart, "placement: hit")
 			return v.(string), nil
 		}
 		c.stageLocked(StageCacheLookup, lstart, "placement: miss")
+	}
+	if delta {
+		env.Visited = make(map[string]bool)
+		env.RefNames = make(map[string]bool)
 	}
 	pstart := time.Now()
 	reason, err := c.runPlacementChecks(platformName, reqs, env)
@@ -635,8 +706,12 @@ func (c *Controller) checkPlacementLocked(platformName string, reqs []*policy.Re
 	if err != nil {
 		return reason, err
 	}
-	if c.cache != nil && key != "" {
-		c.cache.Put(key, c.epochLocked(), reason)
+	if useCache {
+		if delta {
+			c.cache.PutDeps(key, c.depsFor(env, c.digestsLocked()), reason)
+		} else {
+			c.cache.Put(key, c.epochLocked(), reason)
+		}
 	}
 	return reason, nil
 }
@@ -854,13 +929,22 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 	key := queryKey(requirements, steps)
 	c.mu.Lock()
 	hosted := c.hostedLocked(nil)
-	epoch := c.epochLocked()
+	var epoch string
+	var cur map[string]string
+	if c.deltaEnabled() {
+		// digestsLocked builds a fresh map on every recompute and
+		// never mutates one in place, so the snapshot reference is
+		// safe to read after unlocking.
+		cur = c.digestsLocked()
+	} else {
+		epoch = c.epochLocked()
+	}
 	c.mu.Unlock()
-	// A cached verdict for this requirement text at this topology
-	// epoch answers the probe without compiling or exploring anything
-	// — the §8 reachability probe becomes a hash lookup under steady
-	// traffic.
-	if res, ok := c.cachedQuery(key, epoch); ok {
+	// A cached verdict for this requirement text whose dependency
+	// tokens (or epoch) still match answers the probe without
+	// compiling or exploring anything — the §8 reachability probe
+	// becomes a hash lookup under steady traffic.
+	if res, ok := c.cachedQuery(key, epoch, cur); ok {
 		return res, nil
 	}
 	out := &QueryResult{Satisfied: true}
@@ -873,6 +957,11 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 	env := &policy.CheckEnv{
 		Net: net, Map: nm, ClientNet: c.topo.ClientNet,
 		MaxSteps: steps, Deadline: deadline,
+		Workers: c.opts.workers(), Memo: c.memo,
+	}
+	if cur != nil {
+		env.Visited = make(map[string]bool)
+		env.RefNames = make(map[string]bool)
 	}
 	checkStart := time.Now()
 	for _, r := range reqs {
@@ -887,7 +976,7 @@ func (c *Controller) Query(requirements string) (*QueryResult, error) {
 		}
 	}
 	out.Timings.Check = time.Since(checkStart)
-	c.putQuery(key, epoch, out)
+	c.putQuery(key, epoch, cur, env, out)
 	return out, nil
 }
 

@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/in-net/innet/internal/controller"
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/topology"
+)
+
+// Chaos regression for parallel + memoized admission: fanning the
+// symbolic execution across a worker pool (and answering sub-chains
+// from the element memo) must not open a crash window or perturb
+// recovery. The scripted crash scenario from cache_crash_test.go —
+// deploy, kill, a redeploy whose admit append dies mid-flight, crash,
+// recover, redeploy for real, push traffic — runs on a sequential
+// memo-free cluster and on one admitting with 8 workers plus the
+// memo, and the end-to-end summaries must match byte for byte. The
+// journal, not any in-memory verification state, is the only
+// recovery input either way.
+
+func newParallelCrashCluster(t *testing.T, opts controller.Options) *Cluster {
+	t.Helper()
+	topo, err := topology.PaperFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClusterWithOptions(5, topo, operatorHTTPPolicy, t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestParallelAdmitCrashRecoversLikeSequential(t *testing.T) {
+	seq := newParallelCrashCluster(t, controller.Options{AdmissionWorkers: -1, ElementMemo: -1})
+	base, _ := crashBeforeAdmitScenario(t, seq)
+
+	par := newParallelCrashCluster(t, controller.Options{AdmissionWorkers: 8})
+	got, hits := crashBeforeAdmitScenario(t, par)
+	// The doomed redeploy must have been answered from the admission
+	// cache (the dangerous spot: no symexec re-run before the crash).
+	if hits == 0 {
+		t.Fatal("redeploy before the crash did not hit the admission cache")
+	}
+	// par.Ctl is the post-crash controller: its memo restarted cold
+	// (verification state never rides through a crash; recovery
+	// replays the journal only) and the final redeploy must have run
+	// through it — proving the memo sits in the admission path of the
+	// very deployment whose recovery we just diffed.
+	if st := par.Ctl.MemoStats(); st.Hits+st.Misses+st.Unsupported == 0 {
+		t.Fatal("element memo saw no traffic during the post-recovery parallel admission")
+	}
+	if got != base {
+		t.Errorf("parallel+memo crash recovery diverged from sequential:\n--- sequential\n%s--- parallel\n%s", base, got)
+	}
+}

@@ -278,6 +278,38 @@ type CheckEnv struct {
 	// Deadline aborts checking once the wall clock passes it (zero =
 	// no deadline).
 	Deadline time.Time
+	// Workers / Memo are passed through to every reachability run
+	// (see symexec.Injection); they never affect results.
+	Workers int
+	Memo    *symexec.Memo
+	// Visited, when non-nil, accumulates the name of every compiled
+	// node some reachability run of this environment executed. A
+	// check's outcome is a function of the models of visited nodes
+	// only — an unvisited node's model never ran, so changing it
+	// cannot alter any flow the check observed — which makes Visited
+	// the dependency footprint for epoch-delta cache invalidation.
+	Visited map[string]bool
+	// RefNames, when non-nil, accumulates requirement node references
+	// resolved *by name* (modules, module elements, topology nodes):
+	// an outcome can depend on a name's existence — "unknown element"
+	// resolution errors, "no flow reaches" verdicts — even when no
+	// flow ever executes the named node.
+	RefNames map[string]bool
+}
+
+func (env *CheckEnv) noteVisited(run *symexec.Result) {
+	if env.Visited == nil || run == nil {
+		return
+	}
+	for node := range run.AtNode {
+		env.Visited[node] = true
+	}
+}
+
+func (env *CheckEnv) noteRef(name string) {
+	if env.RefNames != nil && name != "" {
+		env.RefNames[name] = true
+	}
 }
 
 // HopReport records the verdict for one hop.
@@ -355,9 +387,11 @@ func (r *Requirement) Check(env *CheckEnv) (*CheckResult, error) {
 			run, rerr := env.Net.Run(symexec.Injection{
 				Node: injNode, State: st, MaxHops: env.MaxHops,
 				MaxSteps: budget, Deadline: env.Deadline,
+				Workers: env.Workers, Memo: env.Memo,
 			})
 			if run != nil {
 				res.Steps += run.Steps
+				env.noteVisited(run)
 			}
 			if rerr != nil {
 				return nil, rerr
@@ -460,6 +494,7 @@ func (env *CheckEnv) resolveNode(ref NodeRef) (string, error) {
 		// A raw address source originates in the Internet.
 		return env.mustEntry(topology.NodeInternet)
 	case RefNamed:
+		env.noteRef(ref.Name)
 		if n, ok := env.Map.EntryNode(ref.Name); ok {
 			return n, nil
 		}
@@ -469,6 +504,7 @@ func (env *CheckEnv) resolveNode(ref NodeRef) (string, error) {
 		}
 		return "", fmt.Errorf("policy: unknown node %q", ref.Name)
 	case RefModuleElem:
+		env.noteRef(ref.Name)
 		node := env.Map.ModuleElem(ref.Name, ref.Elem)
 		if !env.Net.HasNode(node) {
 			return "", fmt.Errorf("policy: unknown element %s", ref)
@@ -489,11 +525,13 @@ func (env *CheckEnv) resolveHop(ref NodeRef) (string, int, error) {
 		n, err := env.mustEntry(topology.NodeClient)
 		return n, -1, err
 	case RefNamed:
+		env.noteRef(ref.Name)
 		if n, ok := env.Map.EntryNode(ref.Name); ok {
 			return n, -1, nil
 		}
 		return "", 0, fmt.Errorf("policy: unknown node %q", ref.Name)
 	case RefModuleElem:
+		env.noteRef(ref.Name)
 		node := env.Map.ModuleElem(ref.Name, ref.Elem)
 		if !env.Net.HasNode(node) {
 			return "", 0, fmt.Errorf("policy: unknown element %s", ref)

@@ -42,6 +42,13 @@ const AnyEpoch = ""
 type cacheEntry struct {
 	key   string
 	epoch string
+	// deps, when non-nil, makes validity dependency-driven instead of
+	// epoch-driven: the entry is valid while every recorded token
+	// still digests to the recorded value (see GetValidated). This is
+	// the epoch-delta alternative to wholesale epoch tagging — a
+	// topology change only invalidates entries whose dependency set
+	// it actually touches.
+	deps  map[string]string
 	value any
 }
 
@@ -73,7 +80,7 @@ func (c *Cache) Get(key, epoch string) (any, bool) {
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.epoch != AnyEpoch && e.epoch != epoch {
+	if e.deps != nil || (e.epoch != AnyEpoch && e.epoch != epoch) {
 		c.lru.Remove(el)
 		delete(c.idx, key)
 		c.invalidations++
@@ -83,6 +90,63 @@ func (c *Cache) Get(key, epoch string) (any, bool) {
 	c.lru.MoveToFront(el)
 	c.hits++
 	return e.value, true
+}
+
+// GetValidated returns the cached value for key if present and its
+// dependency set is still current: valid is called with the entry's
+// recorded token→digest map and must report whether every token still
+// digests to the recorded value. A stale entry is deleted and
+// reported as a miss (like epoch invalidation, the cost is paid
+// lazily on lookup). Entries stored with Put (epoch-tagged, nil deps)
+// hit unconditionally — AnyEpoch semantics.
+func (c *Cache) GetValidated(key string, valid func(deps map[string]string) bool) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.deps != nil && !valid(e.deps) {
+		c.lru.Remove(el)
+		delete(c.idx, key)
+		c.invalidations++
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return e.value, true
+}
+
+// PutDeps stores value under key with a dependency set for
+// GetValidated. The deps map is retained; callers must not mutate it
+// afterwards.
+func (c *Cache) PutDeps(key string, deps map[string]string, value any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.epoch = AnyEpoch
+		e.deps = deps
+		e.value = value
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.idx, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.idx[key] = c.lru.PushFront(&cacheEntry{key: key, deps: deps, value: value})
 }
 
 // Put stores value under key, tagged with epoch (AnyEpoch for

@@ -1,0 +1,447 @@
+package symexec
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a concurrency-safe LRU memo of per-element symbolic
+// executions, the layer *below* the controller's whole-config cache:
+// where that cache only hits on an identical resubmitted config, the
+// memo hits on any structurally shared sub-chain (every tenant's
+// "firewall → nat" prefix) because entries are keyed on the element's
+// content digest plus the canonicalized entry state — nothing about
+// the tenant, node name, or surrounding wiring.
+//
+// An entry stores a replayable "recipe": the diff each output
+// transition applies to the entry state (fields assigned, input
+// variables narrowed, fresh variables allocated). Replaying the
+// recipe against a new state with an equal canonical key produces
+// states semantically identical to running the model, because a
+// Model's behaviour is a pure function of (digest, port, field
+// expressions, variable constraint sets) — the exact key. Executions
+// whose effect cannot be expressed as such a diff (none of the
+// in-tree models) are counted as Unsupported and simply not memoized.
+//
+// A nil *Memo is a valid always-miss memo.
+type Memo struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recent; values are *memoEntry
+	idx map[string]*list.Element
+
+	// skip records node digests whose model execution measured too
+	// cheap to beat replay (see symExec's cost gate); reads are
+	// lock-free on the hot path. Purely a performance decision — a
+	// digest mis-classified by one noisy timing sample costs
+	// throughput, never correctness. gateOff disables the gate so
+	// every supported execution memoizes regardless of timing (the
+	// differential battery uses this to keep hit assertions
+	// deterministic).
+	skip    sync.Map
+	gateOff atomic.Bool
+
+	hits, misses, unsupported, evictions uint64
+}
+
+type memoEntry struct {
+	key string
+	r   *memoRecipe
+}
+
+// DefaultMemoEntries sizes the per-element memo when a caller enables
+// it without choosing a capacity.
+const DefaultMemoEntries = 8192
+
+// NewMemo returns an LRU memo bounded to capacity entries
+// (capacity <= 0 returns nil: memoization disabled).
+func NewMemo(capacity int) *Memo {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Memo{
+		cap: capacity,
+		lru: list.New(),
+		idx: make(map[string]*list.Element),
+	}
+}
+
+func (m *Memo) get(key string) (*memoRecipe, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.idx[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.lru.MoveToFront(el)
+	m.hits++
+	return el.Value.(*memoEntry).r, true
+}
+
+func (m *Memo) put(key string, r *memoRecipe) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.idx[key]; ok {
+		el.Value.(*memoEntry).r = r
+		m.lru.MoveToFront(el)
+		return
+	}
+	for m.lru.Len() >= m.cap {
+		back := m.lru.Back()
+		m.lru.Remove(back)
+		delete(m.idx, back.Value.(*memoEntry).key)
+		m.evictions++
+	}
+	m.idx[key] = m.lru.PushFront(&memoEntry{key: key, r: r})
+}
+
+func (m *Memo) noteUnsupported() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.unsupported++
+	m.mu.Unlock()
+}
+
+// skipped reports whether the digest is cost-gated out of the memo.
+func (m *Memo) skipped(digest string) bool {
+	if m.gateOff.Load() {
+		return false
+	}
+	_, ok := m.skip.Load(digest)
+	return ok
+}
+
+// costGated reports whether the execution-cost gate is active.
+func (m *Memo) costGated() bool { return !m.gateOff.Load() }
+
+// noteSkip cost-gates the digest: later executions bypass the memo
+// entirely (no key construction, no lookup).
+func (m *Memo) noteSkip(digest string) {
+	m.skip.Store(digest, struct{}{})
+	m.mu.Lock()
+	m.unsupported++
+	m.mu.Unlock()
+}
+
+// SetCostGate enables (default) or disables the execution-cost gate.
+// With the gate off every supported execution is memoized, making
+// memo-hit counts deterministic — what the differential test battery
+// needs; the gate's on/off state never changes verification results.
+func (m *Memo) SetCostGate(on bool) {
+	if m == nil {
+		return
+	}
+	m.gateOff.Store(!on)
+}
+
+// MemoStats is a point-in-time counter snapshot.
+type MemoStats struct {
+	// Hits and Misses count lookups against nodes that have a content
+	// digest registered (undigested nodes bypass the memo entirely).
+	Hits, Misses uint64
+	// Unsupported counts executions that were not memoized: the state
+	// diff could not be captured as a recipe, or the execution
+	// measured too cheap for replay to pay off (cost gate).
+	Unsupported uint64
+	// Evictions counts capacity evictions; Entries is the resident
+	// count.
+	Evictions uint64
+	Entries   int
+}
+
+// Stats snapshots the memo counters.
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{
+		Hits: m.hits, Misses: m.misses,
+		Unsupported: m.unsupported, Evictions: m.evictions,
+		Entries: m.lru.Len(),
+	}
+}
+
+// memoCtx is the canonicalization of one (digest, port, entry state)
+// triple: the memo key plus the variable numbering needed to
+// translate between the state's actual VarIDs and the canonical ids
+// stored in recipes.
+type memoCtx struct {
+	key       string
+	varActual []VarID // canonical index -> actual VarID
+	depth     int     // PathLen at entry (after PushHop)
+}
+
+// canonOf maps an actual VarID to its canonical index. The entry
+// states in play reference a handful of variables, so a linear scan
+// beats allocating a map per memoContext call.
+func (c *memoCtx) canonOf(id VarID) (int, bool) {
+	for i, v := range c.varActual {
+		if v == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// memoKeyPool recycles the scratch buffer memo keys are built from;
+// memoContext runs once per (node, state) on the admission hot path.
+var memoKeyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// memoContext encodes the canonical form of an entry state. Canonical
+// form: the node's content digest (itself a SHA-256 of the canonical
+// config fragment), the entry port, then fields in sorted order, each
+// rendered as either its constant value or a variable index assigned
+// by first appearance; then, for each canonical variable in order,
+// its interval-set constraint. Every component is length- or
+// tag-prefixed, so the encoding is injective and used directly as the
+// map key — canonically equal states collide by construction and
+// distinct ones never do. VarID numbering, DefHop provenance, the
+// traversal path, and the node's name are all excluded — a Model can
+// observe none of them — so two tenants' states that differ only in
+// those share the memo entry. See docs/FORMATS.md §"Memo keys".
+func memoContext(digest string, port int, s *State) memoCtx {
+	le := binary.LittleEndian
+	bp := memoKeyPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "innet-memo/1"...)
+	b = le.AppendUint64(b, uint64(len(digest)))
+	b = append(b, digest...)
+	b = le.AppendUint64(b, uint64(port))
+	ctx := memoCtx{depth: s.PathLen()}
+	b = le.AppendUint64(b, uint64(len(s.fields)))
+	for i := range s.fields {
+		f, fb := s.fields[i].F, s.fields[i].B
+		b = le.AppendUint64(b, uint64(len(f)))
+		b = append(b, f...)
+		if c, isConst := fb.E.IsConst(); isConst {
+			b = append(b, 0)
+			b = le.AppendUint64(b, c)
+			continue
+		}
+		id, _ := fb.E.IsVar()
+		ci, seen := ctx.canonOf(id)
+		if !seen {
+			ci = len(ctx.varActual)
+			ctx.varActual = append(ctx.varActual, id)
+		}
+		b = append(b, 1)
+		b = le.AppendUint64(b, uint64(ci))
+	}
+	for _, id := range ctx.varActual {
+		iv, ok := s.peekVar(id)
+		if !ok {
+			b = append(b, 0)
+			continue
+		}
+		spans := iv.Intervals()
+		b = append(b, 1)
+		b = le.AppendUint64(b, uint64(len(spans)))
+		for _, sp := range spans {
+			b = le.AppendUint64(b, sp.Lo)
+			b = le.AppendUint64(b, sp.Hi)
+		}
+	}
+	ctx.key = string(b)
+	*bp = b
+	memoKeyPool.Put(bp)
+	return ctx
+}
+
+// Recipe encoding: each transition is a diff against the entry state.
+const (
+	memoExprConst = iota // constant value
+	memoExprInVar        // reference to canonical input variable idx
+	memoExprFresh        // reference to fresh variable idx of this transition
+)
+
+type memoAssign struct {
+	field Field
+	kind  uint8
+	c     uint64 // memoExprConst
+	idx   int    // memoExprInVar / memoExprFresh
+}
+
+type memoNarrow struct {
+	idx int // canonical input variable index
+	iv  IntervalSet
+}
+
+type memoFresh struct {
+	name string
+	iv   IntervalSet
+	has  bool // whether the variable has a constraint entry
+}
+
+type memoTransition struct {
+	port    int
+	nilS    bool // model emitted a nil state (skipped by Run)
+	fresh   []memoFresh
+	narrows []memoNarrow
+	assigns []memoAssign
+}
+
+type memoRecipe struct {
+	trs []memoTransition
+}
+
+// captureRecipe diffs each output transition against the entry-state
+// snapshot (a clone taken after PushHop, before the model ran). It
+// returns ok=false — caller must not memoize — whenever the effect is
+// not expressible as assign/narrow/fresh steps, e.g. a field bound to
+// a pre-existing variable the entry state did not reference, or a
+// DefHop that is neither inherited nor the current hop. In-tree
+// models never trip these; the guards keep third-party models sound.
+func captureRecipe(ctx memoCtx, snap *State, outs []Transition) (*memoRecipe, bool) {
+	rec := &memoRecipe{trs: make([]memoTransition, 0, len(outs))}
+	for _, tr := range outs {
+		if tr.S == nil {
+			rec.trs = append(rec.trs, memoTransition{port: tr.Port, nilS: true})
+			continue
+		}
+		mt, ok := captureTransition(ctx, snap, tr)
+		if !ok {
+			return nil, false
+		}
+		rec.trs = append(rec.trs, mt)
+	}
+	return rec, true
+}
+
+func captureTransition(ctx memoCtx, snap *State, tr Transition) (memoTransition, bool) {
+	out := tr.S
+	mt := memoTransition{port: tr.Port}
+	// Pass 1: discover fresh variables (referenced by an output field
+	// but absent from the entry state's canonical numbering), in
+	// sorted-field first-appearance order so replay allocates them
+	// deterministically.
+	freshIdx := make(map[VarID]int)
+	for i := range out.fields {
+		id, isVar := out.fields[i].B.E.IsVar()
+		if !isVar {
+			continue
+		}
+		if _, inInput := ctx.canonOf(id); inInput {
+			continue
+		}
+		if _, seen := freshIdx[id]; seen {
+			continue
+		}
+		if _, preexisting := snap.peekVar(id); preexisting {
+			// The model re-bound a field to a variable that existed
+			// before it ran but was not visible through any entry
+			// field. Replay cannot reproduce that identity.
+			return mt, false
+		}
+		fi := len(mt.fresh)
+		freshIdx[id] = fi
+		iv, has := out.peekVar(id)
+		mt.fresh = append(mt.fresh, memoFresh{name: out.env.nameOf(id), iv: iv, has: has})
+	}
+	// Pass 2: field assignments. Fields are never deleted and out
+	// descends from the entry state, so out's field set is a superset
+	// of the snapshot's.
+	for i := range out.fields {
+		f, outB := out.fields[i].F, out.fields[i].B
+		inB, had := snap.peekField(f)
+		if !had {
+			inB = Binding{E: Const(0), DefHop: -1}
+			if outB == inB {
+				// Get() materialized the default; replay can let it
+				// re-materialize lazily.
+				continue
+			}
+		}
+		if outB == inB {
+			continue
+		}
+		if outB.DefHop != ctx.depth-1 {
+			// Changed, but not via Assign at this hop.
+			return mt, false
+		}
+		a := memoAssign{field: f}
+		if c, isConst := outB.E.IsConst(); isConst {
+			a.kind = memoExprConst
+			a.c = c
+		} else {
+			id, _ := outB.E.IsVar()
+			if ci, inInput := ctx.canonOf(id); inInput {
+				a.kind = memoExprInVar
+				a.idx = ci
+			} else {
+				a.kind = memoExprFresh
+				a.idx = freshIdx[id]
+			}
+		}
+		mt.assigns = append(mt.assigns, a)
+	}
+	// Pass 3: constraint narrowing of input variables.
+	for ci, id := range ctx.varActual {
+		inIv, inHas := snap.peekVar(id)
+		outIv, outHas := out.peekVar(id)
+		if inHas && !outHas {
+			return mt, false // constraint deleted: not expressible
+		}
+		if inHas == outHas && (!inHas || inIv.Equal(outIv)) {
+			continue
+		}
+		mt.narrows = append(mt.narrows, memoNarrow{idx: ci, iv: outIv})
+	}
+	return mt, true
+}
+
+// replay applies the recipe to a fresh entry state with the same
+// canonical key, producing transitions semantically identical to
+// running the model.
+func (r *memoRecipe) replay(s *State, ctx memoCtx) []Transition {
+	outs := make([]Transition, 0, len(r.trs))
+	for i := range r.trs {
+		mt := &r.trs[i]
+		if mt.nilS {
+			outs = append(outs, Transition{Port: mt.port, S: nil})
+			continue
+		}
+		o := s.Clone()
+		var freshIDs []VarID
+		if len(mt.fresh) > 0 {
+			freshIDs = make([]VarID, len(mt.fresh))
+			for j := range mt.fresh {
+				fv := &mt.fresh[j]
+				id := o.env.fresh(fv.name)
+				if fv.has {
+					o.setVar(id, fv.iv)
+				}
+				freshIDs[j] = id
+			}
+		}
+		for _, nw := range mt.narrows {
+			o.setVar(ctx.varActual[nw.idx], nw.iv)
+		}
+		for _, a := range mt.assigns {
+			var e Expr
+			switch a.kind {
+			case memoExprConst:
+				e = Const(a.c)
+			case memoExprInVar:
+				e = Var(ctx.varActual[a.idx])
+			default:
+				e = Var(freshIDs[a.idx])
+			}
+			o.Assign(a.field, e)
+		}
+		outs = append(outs, Transition{Port: mt.port, S: o})
+	}
+	return outs
+}

@@ -1,0 +1,323 @@
+package symexec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// canonState renders a state up to variable renaming: fields in
+// sorted order with canonical variable indices (first appearance),
+// value sets, and definition hops, plus the traversal path. Parallel
+// scheduling and memo replay may allocate different numeric VarIDs
+// for the same symbolic structure; nothing downstream (reports,
+// policy checks) can observe raw ids, so this is the right equality
+// for differential runs. Bindings indistinguishable from the lazy
+// Get default (Const(0), DefHop -1) are skipped: a model-run state
+// may have materialized them where a memo replay has not.
+func canonState(s *State) string {
+	var b strings.Builder
+	canon := make(map[VarID]int)
+	for _, f := range s.Fields() {
+		bind := s.Binding(f)
+		if c, isConst := bind.E.IsConst(); isConst && c == 0 && bind.DefHop == -1 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s=", f)
+		if c, isConst := bind.E.IsConst(); isConst {
+			fmt.Fprintf(&b, "c%d", c)
+		} else {
+			id, _ := bind.E.IsVar()
+			ci, seen := canon[id]
+			if !seen {
+				ci = len(canon)
+				canon[id] = ci
+			}
+			fmt.Fprintf(&b, "x%d%s", ci, s.Values(f))
+		}
+		fmt.Fprintf(&b, "@%d;", bind.DefHop)
+	}
+	fmt.Fprintf(&b, " path=%v tag=%q", s.Path(), s.Tag)
+	return b.String()
+}
+
+// canonResult renders everything a caller can observe from a Result.
+func canonResult(res *Result, err error) string {
+	var b strings.Builder
+	if err != nil {
+		fmt.Fprintf(&b, "err=%q budget=%v\n", err, errors.Is(err, ErrBudget))
+	}
+	if res == nil {
+		return b.String()
+	}
+	nodes := make([]string, 0, len(res.AtNode))
+	for n := range res.AtNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "at %s:\n", n)
+		for _, s := range res.AtNode[n] {
+			fmt.Fprintf(&b, "  %s\n", canonState(s))
+		}
+	}
+	for _, e := range res.Egress {
+		fmt.Fprintf(&b, "egress %s:%d %s\n", e.Node, e.Port, canonState(e.S))
+	}
+	drops := make([]string, 0, len(res.Dropped))
+	for n := range res.Dropped {
+		drops = append(drops, n)
+	}
+	sort.Strings(drops)
+	for _, n := range drops {
+		fmt.Fprintf(&b, "dropped %s=%d\n", n, res.Dropped[n])
+	}
+	fmt.Fprintf(&b, "truncated=%v steps=%d\n", res.Truncated, res.Steps)
+	return b.String()
+}
+
+// genNetwork builds a seeded random layered network out of pure
+// parametric models (filters, NAT-style rewrites, branchers, tunnel
+// decaps), every node digest-registered so the memo engages.
+func genNetwork(t *testing.T, rng *rand.Rand) *Network {
+	t.Helper()
+	n := NewNetwork()
+	layers := 2 + rng.Intn(4)
+	width := 1 + rng.Intn(4)
+	var names [][]string
+	for l := 0; l < layers; l++ {
+		var layer []string
+		for w := 0; w < width; w++ {
+			name := fmt.Sprintf("n%d_%d", l, w)
+			kind := rng.Intn(5)
+			var m Model
+			var digest string
+			switch kind {
+			case 0: // proto filter
+				lo := uint64(rng.Intn(100))
+				hi := lo + uint64(rng.Intn(100))
+				m = FuncModel(func(port int, s *State) []Transition {
+					if !s.Constrain(FieldProto, Span(lo, hi)) {
+						return nil
+					}
+					return []Transition{{Port: 0, S: s}}
+				})
+				digest = fmt.Sprintf("filter/%d-%d", lo, hi)
+			case 1: // NAT: rewrite source, fresh source port
+				ip := uint64(rng.Uint32())
+				m = FuncModel(func(port int, s *State) []Transition {
+					s.Assign(FieldSrcIP, Const(ip))
+					s.AssignFresh(FieldSrcPort)
+					return []Transition{{Port: 0, S: s}}
+				})
+				digest = fmt.Sprintf("nat/%d", ip)
+			case 2: // two-way brancher on dst port
+				split := uint64(1 + rng.Intn(60000))
+				m = FuncModel(func(port int, s *State) []Transition {
+					lo := s.Clone()
+					var out []Transition
+					if lo.Constrain(FieldDstPort, Span(0, split-1)) {
+						out = append(out, Transition{Port: 0, S: lo})
+					}
+					if s.Constrain(FieldDstPort, Span(split, 65535)) {
+						out = append(out, Transition{Port: 1, S: s})
+					}
+					return out
+				})
+				digest = fmt.Sprintf("branch/%d", split)
+			case 3: // tag writer (middlebox state into the flow)
+				tag := uint64(1 + rng.Intn(200))
+				m = FuncModel(func(port int, s *State) []Transition {
+					s.Assign(FieldFWTag, Const(tag))
+					return []Transition{{Port: 0, S: s}}
+				})
+				digest = fmt.Sprintf("tag/%d", tag)
+			default: // fan-out duplicator (round-robin style may-branch)
+				ways := 2 + rng.Intn(2)
+				m = FuncModel(func(port int, s *State) []Transition {
+					out := make([]Transition, 0, ways)
+					for i := 0; i < ways; i++ {
+						out = append(out, Transition{Port: i, S: s.Clone()})
+					}
+					return out
+				})
+				digest = fmt.Sprintf("fan/%d", ways)
+			}
+			if err := n.AddNode(name, m); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.SetDigest(name, digest); err != nil {
+				t.Fatal(err)
+			}
+			layer = append(layer, name)
+		}
+		names = append(names, layer)
+	}
+	// Wire each node's ports 0..2 forward to random nodes of the next
+	// layer; last layer's ports stay unwired (egress).
+	for l := 0; l+1 < layers; l++ {
+		for _, from := range names[l] {
+			for p := 0; p < 3; p++ {
+				to := names[l+1][rng.Intn(len(names[l+1]))]
+				if err := n.Connect(from, p, to, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return n
+}
+
+func genInjection(net *Network, rng *rand.Rand) Injection {
+	s := NewState()
+	s.Constrain(FieldProto, Span(0, 150))
+	s.Tag = "diff"
+	return Injection{Node: "n0_0", Port: 0, State: s}
+}
+
+// TestRunParallelMemoDifferential: sequential == parallel(2,8) ==
+// memoized == memoized+parallel, for seeded random networks, up to
+// variable renaming. The memo is reused across the two memoized runs
+// so replay (hit) paths are exercised, not just capture.
+func TestRunParallelMemoDifferential(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			net := genNetwork(t, rng)
+			base := genInjection(net, rand.New(rand.NewSource(seed)))
+			run := func(workers int, memo *Memo) string {
+				inj := base
+				inj.State = genInjection(net, rand.New(rand.NewSource(seed))).State
+				inj.Workers = workers
+				inj.Memo = memo
+				res, err := net.Run(inj)
+				return canonResult(res, err)
+			}
+			want := run(1, nil)
+			memo := NewMemo(4096)
+			// The cost gate is timing-dependent; this test asserts
+			// exact memo counters, so force full memoization.
+			memo.SetCostGate(false)
+			for name, got := range map[string]string{
+				"workers2":      run(2, nil),
+				"workers8":      run(8, nil),
+				"memo-cold":     run(1, memo),
+				"memo-warm":     run(1, memo),
+				"memo-parallel": run(8, memo),
+			} {
+				if got != want {
+					t.Fatalf("%s diverged from sequential\n--- sequential:\n%s\n--- %s:\n%s", name, want, name, got)
+				}
+			}
+			st := memo.Stats()
+			if st.Unsupported != 0 {
+				t.Fatalf("unexpected unsupported recipes: %+v", st)
+			}
+			if st.Hits == 0 {
+				t.Fatalf("memo never hit across warm runs: %+v", st)
+			}
+		})
+	}
+}
+
+// TestRunParallelBudgetAbort: step-budget aborts must fire at the
+// same step with the same error text regardless of worker count.
+func TestRunParallelBudgetAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	net := genNetwork(t, rng)
+	for _, maxSteps := range []int{1, 2, 3, 5, 8} {
+		inj := genInjection(net, rand.New(rand.NewSource(42)))
+		inj.MaxSteps = maxSteps
+		seqRes, seqErr := net.Run(inj)
+		for _, workers := range []int{2, 8} {
+			inj := genInjection(net, rand.New(rand.NewSource(42)))
+			inj.MaxSteps = maxSteps
+			inj.Workers = workers
+			parRes, parErr := net.Run(inj)
+			if canonResult(seqRes, seqErr) != canonResult(parRes, parErr) {
+				t.Fatalf("maxSteps=%d workers=%d: abort diverged\nseq: %v\npar: %v",
+					maxSteps, workers, seqErr, parErr)
+			}
+		}
+	}
+}
+
+// TestRunParallelMaxStates: MaxStates truncation must trigger at the
+// same produced-state count in parallel runs.
+func TestRunParallelMaxStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := genNetwork(t, rng)
+	for _, maxStates := range []int{1, 2, 4, 9} {
+		inj := genInjection(net, rand.New(rand.NewSource(7)))
+		inj.MaxStates = maxStates
+		want := func() string { r, e := net.Run(inj); return canonResult(r, e) }()
+		for _, workers := range []int{2, 8} {
+			inj := genInjection(net, rand.New(rand.NewSource(7)))
+			inj.MaxStates = maxStates
+			inj.Workers = workers
+			got := func() string { r, e := net.Run(inj); return canonResult(r, e) }()
+			if got != want {
+				t.Fatalf("maxStates=%d workers=%d truncation diverged\n%s\nvs\n%s", maxStates, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestMemoKeyDistinguishes: states that differ in anything a model
+// can observe must produce different memo keys; states differing only
+// in unobservables (path, VarID numbering, tag) must collide.
+func TestMemoKeyDistinguishes(t *testing.T) {
+	base := func() *State {
+		s := NewState()
+		s.Constrain(FieldProto, Span(6, 6))
+		return s
+	}
+	k := func(s *State) string { return memoContext("d", 0, s).key }
+
+	a, b := base(), base()
+	if k(a) != k(b) {
+		t.Fatal("identical states produced different keys")
+	}
+	b.PushHop("x", 1)
+	if k(a) != k(b) {
+		t.Fatal("path must not affect the memo key")
+	}
+	b.Tag = "other"
+	if k(a) != k(b) {
+		t.Fatal("tag must not affect the memo key")
+	}
+	c := base()
+	c.Constrain(FieldProto, Span(6, 7))
+	_ = c.Constrain(FieldProto, Span(6, 6))
+	if k(a) != k(c) {
+		t.Fatal("equal constraint sets reached differently must collide")
+	}
+
+	d := NewState()
+	d.Constrain(FieldProto, Span(6, 7))
+	if k(a) == k(d) {
+		t.Fatal("different constraint sets must not collide")
+	}
+	e := base()
+	e.Assign(FieldDstIP, Const(99))
+	if k(a) == k(e) {
+		t.Fatal("different field bindings must not collide")
+	}
+	f := base()
+	f.Assign(FieldDstIP, f.Get(FieldSrcIP)) // alias dst to src
+	g := base()
+	g.AssignFresh(FieldDstIP)
+	if k(f) == k(g) {
+		t.Fatal("aliased vs independent variables must not collide")
+	}
+	if memoContext("d1", 0, a).key == memoContext("d2", 0, a).key {
+		t.Fatal("different element digests must not collide")
+	}
+	if memoContext("d", 0, a).key == memoContext("d", 1, a).key {
+		t.Fatal("different entry ports must not collide")
+	}
+}
