@@ -20,20 +20,32 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "shrink the heavyweight sweeps")
-		only    = flag.String("only", "", "run one experiment: fig5..fig16, table1, mawi, controller, https, fastpath, telemetry, replication, admission")
+		only    = flag.String("only", "", "run selected experiments (comma-separated): fig5..fig16, table1, mawi, controller, https, fastpath, telemetry, replication, admission, pipeline")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
-		batch   = flag.Int("batch", 0, "dataplane batch size for fastpath (0 = default)")
+		batch   = flag.Int("batch", 0, "dataplane batch size for fastpath and pipeline (0 = default)")
+		pipe    = flag.Bool("pipeline", false, "run just the compiled-pipeline experiment (same as -only pipeline)")
 		jsonOut = flag.String("json", "", "also write the fastpath results to this file (BENCH_pr3.json)")
 		telOut  = flag.String("telemetry-json", "", "also write the telemetry overhead results to this file")
 		replOut = flag.String("replication-json", "", "also write the failover results to this file (BENCH_replication.json)")
 		admOut  = flag.String("admission-json", "", "also write the admission-scaling results to this file (BENCH_admission.json)")
+		pipeOut = flag.String("pipeline-json", "", "also write the pipeline results to this file (BENCH_pipeline.json)")
+		histOut = flag.String("history", "", "append a per-commit entry with this run's headline metrics to this file (BENCH_HISTORY.jsonl)")
+		commit  = flag.String("commit", "unknown", "commit id recorded in the -history entry")
+		env     = flag.String("env", "local", "environment label recorded in the -history entry (gate compares same-env entries only)")
+		gate    = flag.Bool("gate", false, "after any -history append, fail (exit 3) if a gated metric regressed vs the previous same-env entry")
+		gateTol = flag.Float64("gate-threshold", 0.15, "relative drop that trips -gate")
 	)
 	flag.Parse()
+	if *pipe {
+		*only = "pipeline"
+	}
 
 	var fastpath *bench.FastPathResult
 	var tel *bench.TelemetryResult
 	var repl *bench.ReplicationResult
 	var adm *bench.AdmissionScalingResult
+	var pipeRes *bench.PipelineResult
+	batchCfg := bench.BatchConfig{Size: *batch}
 
 	runners := map[string]func() *bench.Table{
 		"fig5":        func() *bench.Table { return bench.Fig5(*quick) },
@@ -72,13 +84,17 @@ func main() {
 			adm = bench.AdmissionScalingMeasure(*quick)
 			return bench.AdmissionScalingTable(adm)
 		},
+		"pipeline": func() *bench.Table {
+			pipeRes = bench.PipelineMeasure(*quick, batchCfg)
+			return bench.PipelineTable(pipeRes)
+		},
 	}
 	order := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"mawi", "mawi-replay", "controller", "https",
 		"ablation-a", "ablation-b", "ablation-c", "fastpath", "telemetry",
-		"replication", "admission",
+		"replication", "admission", "pipeline",
 	}
 
 	writeFile := func(path string, data []byte, err error) {
@@ -120,19 +136,76 @@ func main() {
 			data, err := adm.JSON()
 			writeFile(*admOut, data, err)
 		}
+		if *pipeOut != "" {
+			if pipeRes == nil {
+				pipeRes = bench.PipelineMeasure(*quick, batchCfg)
+			}
+			data, err := pipeRes.JSON()
+			writeFile(*pipeOut, data, err)
+		}
+		if *histOut != "" {
+			e := bench.NewHistoryEntry(*commit, *env)
+			if fastpath != nil {
+				e.RecordFastPath(fastpath)
+			}
+			if pipeRes != nil {
+				e.RecordPipeline(pipeRes)
+			}
+			if len(e.Metrics) == 0 {
+				fmt.Fprintln(os.Stderr, "innet-bench: -history set but no gated suite ran (need fastpath and/or pipeline)")
+				os.Exit(2)
+			}
+			if err := bench.AppendHistory(*histOut, e); err != nil {
+				fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "appended %s (commit=%s env=%s, %d metrics)\n", *histOut, *commit, *env, len(e.Metrics))
+		}
+		if *gate {
+			if *histOut == "" {
+				fmt.Fprintln(os.Stderr, "innet-bench: -gate requires -history FILE")
+				os.Exit(2)
+			}
+			if err := bench.GateFile(*histOut, *gateTol); err != nil {
+				fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
+				os.Exit(3)
+			}
+			fmt.Fprintln(os.Stderr, "bench gate: ok")
+		}
 	}
 
 	if *list {
 		fmt.Println(strings.Join(order, "\n"))
 		return
 	}
-	if *only != "" {
-		r, ok := runners[strings.ToLower(*only)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "innet-bench: unknown experiment %q (try -list)\n", *only)
+	// Standalone gate: no experiments requested, just check the
+	// history file (scripts/bench_gate.sh path).
+	if *gate && *only == "" && *jsonOut == "" && *telOut == "" &&
+		*replOut == "" && *admOut == "" && *pipeOut == "" {
+		if *histOut == "" {
+			fmt.Fprintln(os.Stderr, "innet-bench: -gate requires -history FILE")
 			os.Exit(2)
 		}
-		fmt.Println(r().String())
+		if err := bench.GateFile(*histOut, *gateTol); err != nil {
+			fmt.Fprintf(os.Stderr, "innet-bench: %v\n", err)
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "bench gate: ok")
+		return
+	}
+	if *only != "" {
+		for _, id := range strings.Split(strings.ToLower(*only), ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			r, ok := runners[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "innet-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			fmt.Println(r().String())
+		}
 		writeJSON()
 		return
 	}

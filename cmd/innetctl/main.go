@@ -190,10 +190,10 @@ func list(c *api.Client) error {
 		fmt.Println("no deployments")
 		return nil
 	}
-	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "STATUS", "SANDBOXED")
+	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %-10s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "STATUS", "DATAPLANE", "SANDBOXED")
 	for _, m := range mods {
-		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %v\n",
-			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Status, m.Sandboxed)
+		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %-10s %v\n",
+			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Status, m.Dataplane, m.Sandboxed)
 	}
 	return nil
 }
@@ -225,6 +225,18 @@ func health(c *api.Client) error {
 				state = fmt.Sprintf("connected (stale term %d)", p.TermConnected)
 			}
 			fmt.Printf("peer %s: acked=%d lag=%d %s\n", p.Addr, p.AckedSeq, p.Lag, state)
+		}
+	}
+	if p := h.Pipeline; p != nil {
+		fmt.Printf("pipeline: workers=%d compiled=%d fallback=%d\n",
+			p.Workers, p.Compiled, p.Fallback)
+		reasons := make([]string, 0, len(p.Reasons))
+		for r := range p.Reasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Printf("pipeline fallback (%d): %s\n", p.Reasons[r], r)
 		}
 	}
 	if cs := h.Cache; cs != nil {

@@ -101,6 +101,8 @@ func run() int {
 			"per-element memo capacity in entries (0 = default, negative = disabled)")
 		wholesaleInvalidation = flag.Bool("wholesale-invalidation", false,
 			"invalidate the whole admission cache on every topology mutation instead of delta re-verification")
+		pipelineWorkers = flag.Int("pipeline-workers", 1,
+			"run-to-completion pipeline workers per compiled module dataplane (rounded up to a power of two)")
 	)
 	flag.Parse()
 
@@ -125,6 +127,7 @@ func run() int {
 		AdmissionWorkers:         *admissionWorkers,
 		ElementMemo:              *elementMemo,
 		WholesaleInvalidation:    *wholesaleInvalidation,
+		PipelineWorkers:          *pipelineWorkers,
 	}
 
 	replRole, err := parseRole(*role)

@@ -55,6 +55,12 @@ type ModuleInfo struct {
 	// Status is the deployment lifecycle state: "active",
 	// "degraded", "migrating" or "failed".
 	Status string `json:"status"`
+	// Dataplane is "pipeline" when the deployed config compiles into
+	// the flattened run-to-completion dataplane, "graph-walk"
+	// otherwise; FallbackReason carries the compiler's reason in the
+	// latter case.
+	Dataplane      string `json:"dataplane"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
 }
 
 // HealthResponse is the GET /v1/health body.
@@ -81,6 +87,18 @@ type HealthResponse struct {
 	// and peers use it to find the leader after a failover. Absent on
 	// an unreplicated (single) controller.
 	Replication *ReplicationInfo `json:"replication,omitempty"`
+	// Pipeline summarizes the compiled-dataplane status across live
+	// deployments (workers, compiled vs graph-walk fallback counts,
+	// fallback reasons).
+	Pipeline *PipelineInfo `json:"pipeline,omitempty"`
+}
+
+// PipelineInfo is the compiled-dataplane slice of GET /v1/health.
+type PipelineInfo struct {
+	Workers  int            `json:"workers"`
+	Compiled int            `json:"compiled"`
+	Fallback int            `json:"fallback"`
+	Reasons  map[string]int `json:"reasons,omitempty"`
 }
 
 // ReplicationInfo is the replication slice of GET /v1/health.

@@ -452,13 +452,15 @@ func (s *Server) moduleByID(w http.ResponseWriter, r *http.Request) {
 
 func moduleInfo(d *controller.Deployment) ModuleInfo {
 	return ModuleInfo{
-		ID:         d.ID,
-		Tenant:     d.Tenant,
-		ModuleName: d.ModuleName,
-		Platform:   d.Platform,
-		Addr:       packet.IPString(d.Addr),
-		Sandboxed:  d.Sandboxed,
-		Status:     d.Status().String(),
+		ID:             d.ID,
+		Tenant:         d.Tenant,
+		ModuleName:     d.ModuleName,
+		Platform:       d.Platform,
+		Addr:           packet.IPString(d.Addr),
+		Sandboxed:      d.Sandboxed,
+		Status:         d.Status().String(),
+		Dataplane:      d.Dataplane(),
+		FallbackReason: d.PipelineFallback,
 	}
 }
 
@@ -498,6 +500,13 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		MemoUnsupported: ms.Unsupported,
 		MemoEvictions:   ms.Evictions,
 		MemoEntries:     ms.Entries,
+	}
+	ps := s.ctl.PipelineStatsSnapshot()
+	resp.Pipeline = &PipelineInfo{
+		Workers:  ps.Workers,
+		Compiled: ps.Compiled,
+		Fallback: ps.Fallback,
+		Reasons:  ps.Reasons,
 	}
 	if s.sim != nil {
 		resp.Drops = s.sim.Drops()

@@ -1,0 +1,39 @@
+// BatchConfig is the single source of truth for dataplane burst
+// sizing across the bench suites. Before it, the burst knob lived in
+// three places (dataplane.DefaultBatchSize, the fastpath bench's
+// -batch parameter, ad-hoc sweep literals); every suite now resolves
+// its effective batch size and sweep through one type, so "what batch
+// sizes did this report use" has exactly one answer.
+package bench
+
+import "github.com/in-net/innet/internal/dataplane"
+
+// DefaultBatchSweep is the burst-size ladder swept by the pipeline
+// bench: per-packet degenerate (1), a small burst, the netfront ring
+// default, and a large burst.
+var DefaultBatchSweep = []int{1, 8, 32, 128}
+
+// BatchConfig resolves burst sizing for a measurement run.
+type BatchConfig struct {
+	// Size is the primary burst size (0 = dataplane.DefaultBatchSize).
+	Size int
+	// Sweep is the burst ladder for sweeping suites (nil =
+	// DefaultBatchSweep).
+	Sweep []int
+}
+
+// BatchSize returns the effective primary burst size.
+func (c BatchConfig) BatchSize() int {
+	if c.Size > 0 {
+		return c.Size
+	}
+	return dataplane.DefaultBatchSize
+}
+
+// BatchSweep returns the effective burst ladder.
+func (c BatchConfig) BatchSweep() []int {
+	if len(c.Sweep) > 0 {
+		return c.Sweep
+	}
+	return append([]int(nil), DefaultBatchSweep...)
+}

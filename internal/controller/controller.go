@@ -21,6 +21,7 @@ import (
 	"github.com/in-net/innet/internal/clicklang"
 	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/pipeline"
 	"github.com/in-net/innet/internal/platform"
 	"github.com/in-net/innet/internal/policy"
 	"github.com/in-net/innet/internal/security"
@@ -151,6 +152,12 @@ type Deployment struct {
 	Config string
 	// Timings is the handling-latency breakdown.
 	Timings Timings
+	// PipelineCompiled reports whether the deployed config flattens
+	// into the compiled run-to-completion dataplane; when it does not,
+	// PipelineFallback carries the compiler's reason and the platform
+	// serves the module on the graph walk.
+	PipelineCompiled bool
+	PipelineFallback string
 
 	// status is atomic so HTTP handlers may read it while a failover
 	// mutates it. All other fields are immutable after placement:
@@ -196,6 +203,28 @@ func (d *Deployment) Stateful() bool {
 		}
 	}
 	return false
+}
+
+// classifyPipeline records whether the deployed source compiles into
+// the flattened pipeline, and if not, why (the admission-time
+// equivalent of the platform's lazy compile, so operators see the
+// dataplane mode before the first packet).
+func (d *Deployment) classifyPipeline() {
+	if err := pipeline.Check(d.Config); err != nil {
+		d.PipelineCompiled = false
+		d.PipelineFallback = err.Error()
+		return
+	}
+	d.PipelineCompiled = true
+	d.PipelineFallback = ""
+}
+
+// Dataplane names the dataplane mode this deployment runs on.
+func (d *Deployment) Dataplane() string {
+	if d.PipelineCompiled {
+		return "pipeline"
+	}
+	return "graph-walk"
 }
 
 // PlatformSpec converts the deployment into the module spec the
@@ -249,6 +278,11 @@ type Options struct {
 	// (entries; 0 = symexec.DefaultMemoEntries, negative = disabled).
 	// Structurally shared sub-chains across tenants verify once.
 	ElementMemo int
+	// PipelineWorkers is the run-to-completion worker count dataplanes
+	// should use for compiled modules (0 = single worker). The
+	// controller only records and reports it; the hosting dataplane
+	// (innetd's simulator, innet-bench) sizes its engines from it.
+	PipelineWorkers int
 	// WholesaleInvalidation reverts placement/query cache entries to
 	// the legacy epoch-tagged discipline where ANY topology mutation
 	// (deploy, kill, outage) invalidates every placement-dependent
@@ -651,6 +685,7 @@ func (c *Controller) tryPlatform(req Request, src string, isVM bool, whitelist [
 		req:        req,
 		module:     hosted,
 	}
+	dep.classifyPipeline()
 	return dep, "", nil
 }
 
@@ -1011,6 +1046,37 @@ func (c *Controller) Deployments() []*Deployment {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// PipelineStats summarizes the dataplane mode across live
+// deployments: how many flatten into the compiled pipeline, how many
+// fall back to the graph walk, and the fallback reasons (reason ->
+// count). Workers echoes Options.PipelineWorkers.
+type PipelineStats struct {
+	Workers  int            `json:"workers"`
+	Compiled int            `json:"compiled"`
+	Fallback int            `json:"fallback"`
+	Reasons  map[string]int `json:"reasons,omitempty"`
+}
+
+// PipelineStatsSnapshot computes PipelineStats over the current
+// deployment set.
+func (c *Controller) PipelineStatsSnapshot() PipelineStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := PipelineStats{Workers: c.opts.PipelineWorkers}
+	for _, d := range c.deployments {
+		if d.PipelineCompiled {
+			st.Compiled++
+			continue
+		}
+		st.Fallback++
+		if st.Reasons == nil {
+			st.Reasons = make(map[string]int)
+		}
+		st.Reasons[d.PipelineFallback]++
+	}
+	return st
 }
 
 // Get returns a deployment by ID.

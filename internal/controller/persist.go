@@ -156,6 +156,7 @@ func deploymentFromRecord(rec *journal.DeploymentRecord) (*Deployment, error) {
 		},
 	}
 	d.setStatus(parseStatus(rec.Status))
+	d.classifyPipeline()
 	return d, nil
 }
 
@@ -251,6 +252,7 @@ func (c *Controller) recoverPlaceLocked(rec *journal.DeploymentRecord) (*Deploym
 			module:     hosted,
 		}
 		d.setStatus(StatusActive)
+		d.classifyPipeline()
 		return d, nil
 	}
 	if lastReason == "" {

@@ -82,20 +82,29 @@ func (e *IPFilter) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *IPFilter) OutPorts() int { return 1 }
 
-// Push implements click.Element.
-func (e *IPFilter) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Decide applies the rule list to one packet: true means forward,
+// false means drop (the drop is counted). It is the single source of
+// truth shared by Push and the compiled pipeline kernel.
+func (e *IPFilter) Decide(p *packet.Packet) bool {
 	for i := range e.rules {
 		if e.rules[i].spec.Match(p) {
 			if e.rules[i].allow {
-				e.Out(ctx, 0, p)
-			} else {
-				e.Dropped++
-				ctx.Drop(p)
+				return true
 			}
-			return
+			e.Dropped++
+			return false
 		}
 	}
 	e.Dropped++
+	return false
+}
+
+// Push implements click.Element.
+func (e *IPFilter) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if e.Decide(p) {
+		e.Out(ctx, 0, p)
+		return
+	}
 	ctx.Drop(p)
 }
 
@@ -179,14 +188,24 @@ func (e *IPClassifier) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *IPClassifier) OutPorts() int { return len(e.patterns) }
 
-// Push implements click.Element.
-func (e *IPClassifier) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Route returns the output port for p (counting the match) or -1 when
+// no pattern matches and the packet should be dropped. Shared by Push
+// and the compiled pipeline kernel.
+func (e *IPClassifier) Route(p *packet.Packet) int {
 	for i, spec := range e.patterns {
 		if spec.Match(p) {
 			e.Matched[i]++
-			e.Out(ctx, i, p)
-			return
+			return i
 		}
+	}
+	return -1
+}
+
+// Push implements click.Element.
+func (e *IPClassifier) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if i := e.Route(p); i >= 0 {
+		e.Out(ctx, i, p)
+		return
 	}
 	ctx.Drop(p)
 }
@@ -245,10 +264,19 @@ func (e *DPI) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *DPI) OutPorts() int { return 2 }
 
-// Push implements click.Element.
-func (e *DPI) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Inspect reports whether the payload carries the pattern, counting a
+// hit when it does. Shared by Push and the compiled pipeline kernel.
+func (e *DPI) Inspect(p *packet.Packet) bool {
 	if bytes.Contains(p.Payload, e.Pattern) {
 		e.Hits++
+		return true
+	}
+	return false
+}
+
+// Push implements click.Element.
+func (e *DPI) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if e.Inspect(p) {
 		if e.Connected(1) {
 			e.Out(ctx, 1, p)
 		} else {

@@ -57,14 +57,25 @@ func (e *Queue) OutPorts() int { return 1 }
 // Len returns the number of buffered packets.
 func (e *Queue) Len() int { return len(e.buf) }
 
-// Push implements click.Element.
-func (e *Queue) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Enqueue buffers one packet, returning false on overflow (counted;
+// the packet should be dropped). Shared by Push and the compiled
+// pipeline kernel — the pipeline never compiles pull-path wiring, so
+// the kick stays in Push.
+func (e *Queue) Enqueue(p *packet.Packet) bool {
 	if len(e.buf) >= e.Capacity {
 		e.Drops++
+		return false
+	}
+	e.buf = append(e.buf, p)
+	return true
+}
+
+// Push implements click.Element.
+func (e *Queue) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if !e.Enqueue(p) {
 		ctx.Drop(p)
 		return
 	}
-	e.buf = append(e.buf, p)
 	// Wake a pull-side consumer, if one claimed this queue (the
 	// notifier of Click's pull path).
 	if k, ok := e.downstream().(kicker); ok {
@@ -158,12 +169,18 @@ func (e *TimedUnqueue) OutPorts() int { return 1 }
 // Pending returns the number of buffered packets.
 func (e *TimedUnqueue) Pending() int { return len(e.buf) }
 
-// Push implements click.Element.
-func (e *TimedUnqueue) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Enqueue buffers one packet at time now, scheduling the release
+// interval if idle. Shared by Push and the compiled pipeline kernel.
+func (e *TimedUnqueue) Enqueue(now int64, p *packet.Packet) {
 	e.buf = append(e.buf, p)
 	if e.next == 0 {
-		e.next = ctx.Now() + e.IntervalNS
+		e.next = now + e.IntervalNS
 	}
+}
+
+// Push implements click.Element.
+func (e *TimedUnqueue) Push(ctx *click.Context, port int, p *packet.Packet) {
+	e.Enqueue(ctx.Now(), p)
 }
 
 // Tick implements click.Ticker: release a batch when the interval
@@ -233,12 +250,18 @@ func (e *RatedUnqueue) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *RatedUnqueue) OutPorts() int { return 1 }
 
-// Push implements click.Element.
-func (e *RatedUnqueue) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Enqueue buffers one packet at time now. Shared by Push and the
+// compiled pipeline kernel.
+func (e *RatedUnqueue) Enqueue(now int64, p *packet.Packet) {
 	e.buf = append(e.buf, p)
 	if e.next == 0 {
-		e.next = ctx.Now()
+		e.next = now
 	}
+}
+
+// Push implements click.Element.
+func (e *RatedUnqueue) Push(ctx *click.Context, port int, p *packet.Packet) {
+	e.Enqueue(ctx.Now(), p)
 }
 
 // Tick implements click.Ticker.
@@ -319,9 +342,10 @@ func (e *RateLimiter) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *RateLimiter) OutPorts() int { return 1 }
 
-// Push implements click.Element.
-func (e *RateLimiter) Push(ctx *click.Context, port int, p *packet.Packet) {
-	now := ctx.Now()
+// Admit charges one packet against the token bucket at time now,
+// returning false when it is over rate (counted; the packet should be
+// dropped). Shared by Push and the compiled pipeline kernel.
+func (e *RateLimiter) Admit(now int64, p *packet.Packet) bool {
 	if e.started {
 		e.tokens += float64(now-e.last) / 1e9 * e.Rate
 		if e.tokens > e.BurstTokens {
@@ -336,10 +360,18 @@ func (e *RateLimiter) Push(ctx *click.Context, port int, p *packet.Packet) {
 	}
 	if e.tokens < cost {
 		e.Dropped++
+		return false
+	}
+	e.tokens -= cost
+	return true
+}
+
+// Push implements click.Element.
+func (e *RateLimiter) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if !e.Admit(ctx.Now(), p) {
 		ctx.Drop(p)
 		return
 	}
-	e.tokens -= cost
 	e.Out(ctx, 0, p)
 }
 

@@ -116,19 +116,20 @@ func (e *IPRewriter) InPorts() int { return 2 }
 // OutPorts implements click.Element.
 func (e *IPRewriter) OutPorts() int { return e.maxOut + 1 }
 
-// Push implements click.Element.
-func (e *IPRewriter) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Rewrite applies the NAT to one packet arriving on the given input
+// port, returning the output port and whether the packet survives
+// (reply packets with no recorded mapping are dropped). Shared by
+// Push and the compiled pipeline kernel.
+func (e *IPRewriter) Rewrite(port int, p *packet.Packet) (int, bool) {
 	if port == 1 {
 		// Reply direction: restore the recorded original tuple.
 		orig, ok := e.mappings[p.Tuple()]
 		if !ok {
-			ctx.Drop(p)
-			return
+			return 0, false
 		}
 		p.SrcIP, p.DstIP = orig.DstIP, orig.SrcIP
 		p.SrcPort, p.DstPort = orig.DstPort, orig.SrcPort
-		e.Out(ctx, e.patterns[0].revOut, p)
-		return
+		return e.patterns[0].revOut, true
 	}
 	pat := e.patterns[0]
 	orig := p.Tuple()
@@ -145,7 +146,17 @@ func (e *IPRewriter) Push(ctx *click.Context, port int, p *packet.Packet) {
 		p.DstPort = *pat.dstPort
 	}
 	e.mappings[p.Tuple().Reverse()] = orig
-	e.Out(ctx, pat.fwdOut, p)
+	return pat.fwdOut, true
+}
+
+// Push implements click.Element.
+func (e *IPRewriter) Push(ctx *click.Context, port int, p *packet.Packet) {
+	out, ok := e.Rewrite(port, p)
+	if !ok {
+		ctx.Drop(p)
+		return
+	}
+	e.Out(ctx, out, p)
 }
 
 // Sym implements symexec.Model. The forward direction assigns the
@@ -295,15 +306,25 @@ func (e *LookupIPRoute) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *LookupIPRoute) OutPorts() int { return e.maxOut + 1 }
 
-// Push implements click.Element.
-func (e *LookupIPRoute) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Lookup returns the LPM output port for the destination, or -1 on a
+// routing miss (counted; the packet should be dropped). Shared by
+// Push and the compiled pipeline kernel.
+func (e *LookupIPRoute) Lookup(p *packet.Packet) int {
 	for _, r := range e.routes {
 		if r.prefix.Contains(p.DstIP) {
-			e.Out(ctx, r.port, p)
-			return
+			return r.port
 		}
 	}
 	e.Misses++
+	return -1
+}
+
+// Push implements click.Element.
+func (e *LookupIPRoute) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if out := e.Lookup(p); out >= 0 {
+		e.Out(ctx, out, p)
+		return
+	}
 	ctx.Drop(p)
 }
 

@@ -138,9 +138,10 @@ func (e *Meter) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *Meter) OutPorts() int { return 2 }
 
-// Push implements click.Element.
-func (e *Meter) Push(ctx *click.Context, port int, p *packet.Packet) {
-	now := ctx.Now()
+// Classify charges the token bucket at time now and returns the
+// output port: 0 under rate, 1 over rate (counted). Shared by Push
+// and the compiled pipeline kernel.
+func (e *Meter) Classify(now int64, p *packet.Packet) int {
 	if e.started {
 		e.tokens += float64(now-e.last) / 1e9 * e.PPS
 		if e.tokens > e.PPS {
@@ -151,11 +152,15 @@ func (e *Meter) Push(ctx *click.Context, port int, p *packet.Packet) {
 	e.last = now
 	if e.tokens >= 1 {
 		e.tokens--
-		e.Out(ctx, 0, p)
-		return
+		return 0
 	}
 	e.Over++
-	e.Out(ctx, 1, p)
+	return 1
+}
+
+// Push implements click.Element.
+func (e *Meter) Push(ctx *click.Context, port int, p *packet.Packet) {
+	e.Out(ctx, e.Classify(ctx.Now(), p), p)
 }
 
 // Sym implements symexec.Model: rate is a runtime property, so the

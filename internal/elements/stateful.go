@@ -80,35 +80,49 @@ func (e *StatefulFirewall) OutPorts() int { return 2 }
 // ActiveFlows returns the number of tracked flows.
 func (e *StatefulFirewall) ActiveFlows() int { return len(e.flows) }
 
-// Push implements click.Element.
-func (e *StatefulFirewall) Push(ctx *click.Context, port int, p *packet.Packet) {
-	now := ctx.Now()
+// Admit runs the firewall decision for a packet arriving on the given
+// input port at time now, returning the output port and whether the
+// packet passes (blocked packets are counted and should be dropped).
+// Shared by Push and the compiled pipeline kernel.
+func (e *StatefulFirewall) Admit(now int64, port int, p *packet.Packet) (int, bool) {
 	if port == 0 {
 		// Outbound: policy check, then record the flow.
 		if !e.policy.Match(p) {
 			e.Blocked++
-			ctx.Drop(p)
-			return
+			return 0, false
 		}
 		e.flows[p.Tuple()] = now
 		p.FlowTag = 1
-		e.Out(ctx, 0, p)
-		return
+		return 0, true
 	}
 	// Inbound: only related response traffic.
 	t, ok := e.flows[p.Tuple().Reverse()]
 	if !ok || (e.TimeoutNS > 0 && now-t > e.TimeoutNS) {
-		if !ok {
-			e.Blocked++
-		} else {
+		if ok {
 			delete(e.flows, p.Tuple().Reverse())
-			e.Blocked++
 		}
+		e.Blocked++
+		return 0, false
+	}
+	e.flows[p.Tuple().Reverse()] = now
+	return 1, true
+}
+
+// LastSeen reports when the given (forward-direction) tuple was last
+// refreshed, for state introspection in tests.
+func (e *StatefulFirewall) LastSeen(t packet.FiveTuple) (int64, bool) {
+	ts, ok := e.flows[t]
+	return ts, ok
+}
+
+// Push implements click.Element.
+func (e *StatefulFirewall) Push(ctx *click.Context, port int, p *packet.Packet) {
+	out, ok := e.Admit(ctx.Now(), port, p)
+	if !ok {
 		ctx.Drop(p)
 		return
 	}
-	e.flows[p.Tuple().Reverse()] = now
-	e.Out(ctx, 1, p)
+	e.Out(ctx, out, p)
 }
 
 // Sym implements symexec.Model, mirroring the paper's Fig. 2:
@@ -175,16 +189,22 @@ func (e *FlowMeter) Stats(t packet.FiveTuple) (packets, bytes uint64, ok bool) {
 	return st.Packets, st.Bytes, true
 }
 
-// Push implements click.Element.
-func (e *FlowMeter) Push(ctx *click.Context, port int, p *packet.Packet) {
+// Record accounts one packet at time now. Shared by Push and the
+// compiled pipeline kernel.
+func (e *FlowMeter) Record(now int64, p *packet.Packet) {
 	st := e.stats[p.Tuple()]
 	if st == nil {
-		st = &flowStats{First: ctx.Now()}
+		st = &flowStats{First: now}
 		e.stats[p.Tuple()] = st
 	}
 	st.Packets++
 	st.Bytes += uint64(p.Len())
-	st.Last = ctx.Now()
+	st.Last = now
+}
+
+// Push implements click.Element.
+func (e *FlowMeter) Push(ctx *click.Context, port int, p *packet.Packet) {
+	e.Record(ctx.Now(), p)
 	e.Out(ctx, 0, p)
 }
 
@@ -266,20 +286,20 @@ func (e *ChangeEnforcer) InPorts() int { return 2 }
 // OutPorts implements click.Element.
 func (e *ChangeEnforcer) OutPorts() int { return 2 }
 
-// Push implements click.Element.
-func (e *ChangeEnforcer) Push(ctx *click.Context, port int, p *packet.Packet) {
-	now := ctx.Now()
+// Admit runs the enforcement decision for a packet arriving on the
+// given input port at time now: true means forward on the same-numbered
+// output, false means drop (counted). Shared by Push and the compiled
+// pipeline kernel.
+func (e *ChangeEnforcer) Admit(now int64, port int, p *packet.Packet) bool {
 	if port == 0 {
 		// Toward the module: record the remote source as implicitly
 		// authorized, then pass.
 		e.inbound[p.SrcIP] = now
-		e.Out(ctx, 0, p)
-		return
+		return true
 	}
 	// From the module: whitelist or implicit authorization.
 	if e.whitelist[p.DstIP] {
-		e.Out(ctx, 1, p)
-		return
+		return true
 	}
 	t, ok := e.inbound[p.DstIP]
 	if !ok || now-t > e.TimeoutNS {
@@ -287,10 +307,18 @@ func (e *ChangeEnforcer) Push(ctx *click.Context, port int, p *packet.Packet) {
 			delete(e.inbound, p.DstIP)
 		}
 		e.Blocked++
+		return false
+	}
+	return true
+}
+
+// Push implements click.Element.
+func (e *ChangeEnforcer) Push(ctx *click.Context, port int, p *packet.Packet) {
+	if !e.Admit(ctx.Now(), port, p) {
 		ctx.Drop(p)
 		return
 	}
-	e.Out(ctx, 1, p)
+	e.Out(ctx, port, p)
 }
 
 // Sym implements symexec.Model. Implicit authorization is pushed into

@@ -103,8 +103,9 @@ func (e *HashSwitch) InPorts() int { return 1 }
 // OutPorts implements click.Element.
 func (e *HashSwitch) OutPorts() int { return e.N }
 
-// Push implements click.Element.
-func (e *HashSwitch) Push(ctx *click.Context, port int, p *packet.Packet) {
+// PortOf returns the output port the five-tuple hashes to. Shared by
+// Push and the compiled pipeline kernel.
+func (e *HashSwitch) PortOf(p *packet.Packet) int {
 	t := p.Tuple()
 	// FNV-1a over the tuple fields.
 	h := uint32(2166136261)
@@ -119,7 +120,12 @@ func (e *HashSwitch) Push(ctx *click.Context, port int, p *packet.Packet) {
 	mix(t.DstIP)
 	mix(uint32(t.SrcPort)<<16 | uint32(t.DstPort))
 	mix(uint32(t.Protocol))
-	e.Out(ctx, int(h%uint32(e.N)), p)
+	return int(h % uint32(e.N))
+}
+
+// Push implements click.Element.
+func (e *HashSwitch) Push(ctx *click.Context, port int, p *packet.Packet) {
+	e.Out(ctx, e.PortOf(p), p)
 }
 
 // Sym implements symexec.Model: a may-branch, like RoundRobinSwitch.

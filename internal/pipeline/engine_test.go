@@ -1,0 +1,196 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/in-net/innet/internal/packet"
+)
+
+func TestAffinityHashSymmetric(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		tup := packet.FiveTuple{
+			SrcIP:    0x0a000000 + uint32(i*2654435761),
+			DstIP:    0xc0000200 + uint32(i*40503),
+			SrcPort:  uint16(1024 + i),
+			DstPort:  uint16(80 + i%7),
+			Protocol: packet.ProtoUDP,
+		}
+		if AffinityHash(tup) != AffinityHash(tup.Reverse()) {
+			t.Fatalf("hash not symmetric for %v", tup)
+		}
+	}
+}
+
+func TestEngineRoundsWorkersToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8},
+	} {
+		e, err := NewEngineString("in :: FromNetfront(0); d :: Discard; in -> d;",
+			Config{Workers: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Workers() != tc.want {
+			t.Errorf("workers %d: got %d want %d", tc.in, e.Workers(), tc.want)
+		}
+		e.Close()
+	}
+}
+
+func TestEngineRejectsUnflattenable(t *testing.T) {
+	_, err := NewEngineString("in :: FromNetfront(0); rr :: RoundRobinSwitch(2); d :: Discard; in -> rr -> d;",
+		Config{Workers: 2})
+	if err == nil {
+		t.Fatal("expected compile error for RoundRobinSwitch config")
+	}
+}
+
+// TestEnginePerFlowOrder drives many interleaved flows through a
+// 4-worker engine and checks that each flow's packets egress in
+// submission order, byte-identical, with forward and reply sharing a
+// worker.
+func TestEnginePerFlowOrder(t *testing.T) {
+	const src = `
+in :: FromNetfront(0);
+ttl :: DecIPTTL;
+out :: ToNetfront(1);
+in -> ttl -> out;
+dsc :: Discard;
+ttl[1] -> dsc;
+`
+	var mu sync.Mutex
+	got := make(map[uint32][]string) // flow -> sequence of payloads
+	workerOf := make(map[uint32]int)
+	eng, err := NewEngineString(src, Config{
+		Workers: 4,
+		Transmit: func(worker, iface int, pk *packet.Packet) {
+			mu.Lock()
+			defer mu.Unlock()
+			got[pk.UserID] = append(got[pk.UserID], string(pk.Payload))
+			if w, ok := workerOf[pk.UserID]; ok && w != worker {
+				t.Errorf("flow %d migrated from worker %d to %d", pk.UserID, w, worker)
+			}
+			workerOf[pk.UserID] = worker
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const flows, perFlow = 37, 50
+	want := make(map[uint32][]string)
+	for i := 0; i < perFlow; i++ {
+		batch := make([]*packet.Packet, 0, flows)
+		for f := uint32(0); f < flows; f++ {
+			pk := &packet.Packet{
+				SrcIP: 0x0a000000 + f, DstIP: 0xc0000200 + f%5,
+				SrcPort: uint16(1024 + f), DstPort: 80,
+				Protocol: packet.ProtoUDP, TTL: 64,
+				UserID:  f,
+				Payload: []byte(fmt.Sprintf("f%d-p%d", f, i)),
+			}
+			want[f] = append(want[f], string(pk.Payload))
+			batch = append(batch, pk)
+		}
+		eng.Dispatch(0, batch)
+	}
+	eng.Drain()
+
+	for f := uint32(0); f < flows; f++ {
+		if len(got[f]) != perFlow {
+			t.Fatalf("flow %d: %d packets egressed, want %d", f, len(got[f]), perFlow)
+		}
+		for i := range got[f] {
+			if got[f][i] != want[f][i] {
+				t.Fatalf("flow %d packet %d: got %q want %q", f, i, got[f][i], want[f][i])
+			}
+		}
+	}
+
+	packets, batches, drops := eng.Totals()
+	if packets != flows*perFlow {
+		t.Errorf("totals: %d packets, want %d", packets, flows*perFlow)
+	}
+	if batches == 0 || drops != 0 {
+		t.Errorf("totals: batches=%d drops=%d", batches, drops)
+	}
+	stats := eng.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("stats: %d workers, want 4", len(stats))
+	}
+	var sum uint64
+	for _, s := range stats {
+		sum += s.Packets
+	}
+	if sum != packets {
+		t.Errorf("stats sum %d != totals %d", sum, packets)
+	}
+}
+
+// TestEngineTick verifies the broadcast tick drains schedulable
+// elements on every worker and reports the minimum next delay.
+func TestEngineTick(t *testing.T) {
+	const src = `
+in :: FromNetfront(0);
+tu :: TimedUnqueue(1);
+out :: ToNetfront(1);
+in -> tu -> out;
+`
+	var mu sync.Mutex
+	var sent int
+	var now int64 // mutated only while the engine is drained
+	eng, err := NewEngineString(src, Config{
+		Workers: 2,
+		Now:     func() int64 { return now },
+		Transmit: func(worker, iface int, pk *packet.Packet) {
+			mu.Lock()
+			sent++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	batch := make([]*packet.Packet, 0, 16)
+	for f := uint32(0); f < 16; f++ {
+		batch = append(batch, &packet.Packet{
+			SrcIP: 0x0a000000 + f, DstIP: 0xc0000200, SrcPort: uint16(f),
+			DstPort: 80, Protocol: packet.ProtoUDP, TTL: 64,
+		})
+	}
+	eng.Dispatch(0, batch)
+	eng.Drain()
+	if sent != 0 {
+		t.Fatalf("packets egressed before tick: %d", sent)
+	}
+	if d := eng.Tick(); d <= 0 {
+		t.Fatalf("tick with queued packets returned %d, want positive delay", d)
+	}
+	now = 2_000_000_000
+	eng.Tick()
+	mu.Lock()
+	got := sent
+	mu.Unlock()
+	if got != 16 {
+		t.Fatalf("after due tick: %d egressed, want 16", got)
+	}
+	if d := eng.Tick(); d != -1 {
+		t.Fatalf("idle tick returned %d, want -1", d)
+	}
+}
+
+func TestEngineCloseIdempotent(t *testing.T) {
+	eng, err := NewEngineString("in :: FromNetfront(0); d :: Discard; in -> d;",
+		Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Dispatch(0, []*packet.Packet{{TTL: 64, Protocol: packet.ProtoUDP}})
+	eng.Close()
+	eng.Close()
+}

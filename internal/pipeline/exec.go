@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/packet"
+)
+
+// Exec runs a Program to completion over packet batches. It owns the
+// per-stage input buffers, so it is single-worker state: one goroutine
+// per Exec, like packet.Pool. The hooks mirror click.Context; set them
+// before the first Run.
+type Exec struct {
+	prog  *Program
+	bufs  [][]*packet.Packet
+	ports [][]int32 // parallel arrival ports; non-nil only for needPort stages
+	ctx   click.Context
+	one   [1]*packet.Packet
+
+	// Now returns the current time in nanoseconds (virtual or wall).
+	// Stateful kernels consult it per packet, exactly as Push does.
+	Now func() int64
+	// Transmit receives packets leaving through ToNetfront stages;
+	// when nil they are dropped, as with a nil click.Context.Transmit.
+	Transmit func(iface int, p *packet.Packet)
+	// DropHook, if non-nil, observes every dropped packet.
+	DropHook func(p *packet.Packet)
+	// Pool recycles dropped packets when non-nil.
+	Pool *packet.Pool
+
+	// Drops counts packets dropped by the program (unwired ports and
+	// element decisions).
+	Drops uint64
+	// Packets and Batches count work pushed through Run.
+	Packets uint64
+	Batches uint64
+}
+
+// NewExec returns an execution context for prog.
+func NewExec(prog *Program) *Exec {
+	x := &Exec{
+		prog:  prog,
+		bufs:  make([][]*packet.Packet, len(prog.stages)),
+		ports: make([][]int32, len(prog.stages)),
+	}
+	for i := range prog.stages {
+		if prog.stages[i].needPort {
+			x.ports[i] = make([]int32, 0, 8)
+		}
+	}
+	// The graph-walk context used for ticker drains forwards to the
+	// same hooks the kernels use, so both paths see identical time,
+	// egress and drop behavior.
+	x.ctx = click.Context{
+		Now: x.now,
+		Transmit: func(iface int, pk *packet.Packet) {
+			x.transmit(iface, pk)
+		},
+		DropHook: func(pk *packet.Packet) {
+			x.Drops++
+			if f := x.DropHook; f != nil {
+				f(pk)
+			}
+			if x.Pool != nil {
+				x.Pool.Put(pk)
+			}
+		},
+	}
+	return x
+}
+
+// Program returns the program this Exec runs.
+func (x *Exec) Program() *Program { return x.prog }
+
+// Run pushes a batch into the src'th injection point and executes the
+// program to completion: every stage consumes its queued batch in
+// topological order, so a packet traverses its whole path before Run
+// returns. The input slice is not retained.
+func (x *Exec) Run(src int, pkts []*packet.Packet) error {
+	if src < 0 || src >= len(x.prog.srcs) {
+		return fmt.Errorf("pipeline: no injection point %d (have %d)", src, len(x.prog.srcs))
+	}
+	x.Packets += uint64(len(pkts))
+	x.Batches++
+	si := x.prog.srcs[src]
+	// All stage buffers are empty between Runs (sweep drains them), so
+	// the source stage's kernel can consume the caller's batch directly
+	// — no copy through its input buffer — and the sweep can start at
+	// the next stage.
+	st := &x.prog.stages[si]
+	st.run(x, st, pkts, nil)
+	x.sweepFrom(int(si) + 1)
+	return nil
+}
+
+// RunOne processes a single packet (the platform's per-packet delivery
+// path) without allocating a batch.
+func (x *Exec) RunOne(src int, pk *packet.Packet) error {
+	x.one[0] = pk
+	err := x.Run(src, x.one[:1])
+	x.one[0] = nil
+	return err
+}
+
+// sweepFrom executes stages from index i onward in topological order.
+// Kernels only append to buffers of later stages (the compiler
+// guarantees all edges point forward), so one pass drains everything.
+func (x *Exec) sweepFrom(i int) {
+	stages := x.prog.stages
+	for ; i < len(stages); i++ {
+		in := x.bufs[i]
+		if len(in) == 0 {
+			continue
+		}
+		st := &stages[i]
+		st.run(x, st, in, x.ports[i])
+		x.bufs[i] = in[:0]
+		if pp := x.ports[i]; pp != nil {
+			x.ports[i] = pp[:0]
+		}
+	}
+}
+
+// Tick drives the router's schedulable elements (Queue, TimedUnqueue,
+// RatedUnqueue) through the ordinary graph walk, sharing the Exec's
+// hooks. The drained packets traverse the same element instances the
+// compiled stages mutate, so compiled and graph execution stay
+// coherent. Returns the smallest delay until the next due tick, or -1
+// when idle.
+func (x *Exec) Tick() int64 {
+	return x.prog.router.Tick(&x.ctx)
+}
+
+// emitTo queues a packet at a pre-resolved stage input, dropping it on
+// an unwired ref — the exact contract of click.Base.Out.
+func (x *Exec) emitTo(r ref, pk *packet.Packet) {
+	if r.idx < 0 {
+		x.drop(pk)
+		return
+	}
+	x.bufs[r.idx] = append(x.bufs[r.idx], pk)
+	if pp := x.ports[r.idx]; pp != nil {
+		x.ports[r.idx] = append(pp, r.port)
+	}
+}
+
+// emit forwards a packet out of stage st on output port p.
+func (x *Exec) emit(st *stage, p int, pk *packet.Packet) {
+	if p >= 0 && p < len(st.next) {
+		x.emitTo(st.next[p], pk)
+		return
+	}
+	x.drop(pk)
+}
+
+func (x *Exec) drop(pk *packet.Packet) {
+	x.Drops++
+	if f := x.DropHook; f != nil {
+		f(pk)
+	}
+	if x.Pool != nil {
+		x.Pool.Put(pk)
+	}
+}
+
+func (x *Exec) now() int64 {
+	if f := x.Now; f != nil {
+		return f()
+	}
+	return 0
+}
+
+func (x *Exec) transmit(iface int, pk *packet.Packet) {
+	if f := x.Transmit; f != nil {
+		f(iface, pk)
+		return
+	}
+	x.drop(pk)
+}

@@ -1,0 +1,250 @@
+package pipeline
+
+// Linear-run fusion. After stages are built, the compiler folds every
+// maximal chain  s0 -[out0]-> s1 -[out0]-> ... -> sk  in which each
+// interior stage has exactly one wired input and a per-packet
+// "continue or leave" kernel into ONE stage: the head keeps its input
+// buffer, and its kernel walks each packet through the whole chain as
+// a flat op list (a small opcode switch over pre-extracted element
+// state). A packet that survives every op lands at the run's tail ref;
+// one that diverts (CheckIPHeader[1], DecIPTTL[1]) is queued at the
+// target stage exactly as the unfused kernel would queue it. This
+// removes the per-stage buffer write/read per hop — the dominant cost
+// of the stage-wise sweep — while updating exactly the same element
+// state in the same per-packet order as the graph walk.
+
+import (
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+)
+
+type opcode uint8
+
+const (
+	opMutate  opcode = iota // fn(x, pk), continue
+	opCheckIP               // header sanity; bad → Drops++, divert alt
+	opDecTTL                // expired → Expired++, divert alt
+	opCounter               // account, continue
+	opFilter                // pred(x, pk); false → drop, consume
+	opPaint                 // pk.Paint = Color, continue
+	opSetTOS                // pk.TOS = TOS, continue
+	opSetTTL                // pk.TTL = TTL, continue
+	opTx                    // TxCount++, transmit, consume
+	opDiscard               // Count++, drop, consume
+)
+
+// fop is one fused per-packet operation: an opcode plus the concrete
+// element state it touches, pre-extracted at compile time so the hot
+// loop never chases an interface.
+type fop struct {
+	code opcode
+	cnt  *elements.Counter
+	chk  *elements.CheckIPHeader
+	ttl  *elements.DecIPTTL
+	tx   *elements.ToNetfront
+	dsc  *elements.Discard
+	pnt  *elements.Paint
+	tos  *elements.SetTOS
+	sttl *elements.SetIPTTL
+	fn   func(x *Exec, pk *packet.Packet)
+	pred func(x *Exec, pk *packet.Packet) bool
+	alt  ref // divert target (opCheckIP/opDecTTL port 1)
+}
+
+type fuseKind uint8
+
+const (
+	fuseNo   fuseKind = iota // not fusable; run stops before this stage
+	fuseNop                  // passthrough head (FromNetfront): no op
+	fuseMid                  // continue-or-leave op; run may extend past it
+	fuseTerm                 // consumes every packet (ToNetfront, Discard)
+)
+
+// fuseOp classifies a stage for fusion and builds its op.
+func fuseOp(st *stage) (fop, fuseKind) {
+	alt1 := func() ref {
+		if len(st.next) > 1 {
+			return st.next[1]
+		}
+		return dropRef
+	}
+	switch e := st.el.(type) {
+	case *elements.FromNetfront:
+		return fop{}, fuseNop
+	case *elements.Counter:
+		return fop{code: opCounter, cnt: e}, fuseMid
+	case *elements.CheckIPHeader:
+		return fop{code: opCheckIP, chk: e, alt: alt1()}, fuseMid
+	case *elements.DecIPTTL:
+		return fop{code: opDecTTL, ttl: e, alt: alt1()}, fuseMid
+	case *elements.IPFilter:
+		return fop{code: opFilter, pred: func(_ *Exec, pk *packet.Packet) bool {
+			return e.Decide(pk)
+		}}, fuseMid
+	case *elements.RateLimiter:
+		return fop{code: opFilter, pred: func(x *Exec, pk *packet.Packet) bool {
+			return e.Admit(x.now(), pk)
+		}}, fuseMid
+	case *elements.Paint:
+		return fop{code: opPaint, pnt: e}, fuseMid
+	case *elements.SetTOS:
+		return fop{code: opSetTOS, tos: e}, fuseMid
+	case *elements.SetIPTTL:
+		return fop{code: opSetTTL, sttl: e}, fuseMid
+	case *elements.SetIPField:
+		if e.Class() == "SetIPSrc" {
+			return mutate(func(_ *Exec, pk *packet.Packet) { pk.SrcIP = e.Addr })
+		}
+		return mutate(func(_ *Exec, pk *packet.Packet) { pk.DstIP = e.Addr })
+	case *elements.SetPort:
+		if e.Class() == "SetSrcPort" {
+			return mutate(func(_ *Exec, pk *packet.Packet) { pk.SrcPort = e.Port })
+		}
+		return mutate(func(_ *Exec, pk *packet.Packet) { pk.DstPort = e.Port })
+	case *elements.IPMirror:
+		return mutate(func(_ *Exec, pk *packet.Packet) {
+			pk.SrcIP, pk.DstIP = pk.DstIP, pk.SrcIP
+			pk.SrcPort, pk.DstPort = pk.DstPort, pk.SrcPort
+		})
+	case *elements.FlowMeter:
+		return mutate(func(x *Exec, pk *packet.Packet) { e.Record(x.now(), pk) })
+	case *elements.ToNetfront:
+		return fop{code: opTx, tx: e}, fuseTerm
+	case *elements.Discard:
+		return fop{code: opDiscard, dsc: e}, fuseTerm
+	default:
+		return fop{}, fuseNo
+	}
+}
+
+func mutate(fn func(x *Exec, pk *packet.Packet)) (fop, fuseKind) {
+	return fop{code: opMutate, fn: fn}, fuseMid
+}
+
+// fuse folds maximal linear runs in stage order. A stage joins the run
+// after its predecessor when the predecessor continues on out0 to it
+// on input port 0, it is that stage's only wired input, it is not an
+// injection point, and it has a fusable op.
+func (p *Program) fuse() {
+	indeg := make([]int, len(p.stages))
+	for i := range p.stages {
+		for _, r := range p.stages[i].next {
+			if r.idx >= 0 {
+				indeg[r.idx]++
+			}
+		}
+	}
+	interior := make([]bool, len(p.stages))
+	for i := range p.stages {
+		if interior[i] {
+			continue
+		}
+		head := &p.stages[i]
+		op, kind := fuseOp(head)
+		if kind == fuseNo || kind == fuseTerm {
+			continue
+		}
+		var ops []fop
+		if kind == fuseMid {
+			ops = append(ops, op)
+		}
+		cur := head
+		tail := cur.out0
+		var folded []int32
+		for {
+			j := cur.out0
+			if j.idx < 0 || j.port != 0 || indeg[j.idx] != 1 {
+				break
+			}
+			nst := &p.stages[j.idx]
+			if nst.needPort || interior[j.idx] {
+				break
+			}
+			if inj, ok := nst.el.(click.Injector); ok && inj.InjectionPoint() {
+				break
+			}
+			nop, nkind := fuseOp(nst)
+			if nkind == fuseNo || nkind == fuseNop {
+				break
+			}
+			ops = append(ops, nop)
+			folded = append(folded, j.idx)
+			if nkind == fuseTerm {
+				tail = dropRef // every packet is consumed by the terminal op
+				cur = nst
+				break
+			}
+			cur = nst
+			tail = cur.out0
+		}
+		if len(folded) == 0 {
+			continue // nothing folded; keep the plain kernel
+		}
+		head.ops = ops
+		head.tail = tail
+		head.run = runFused
+		for _, j := range folded {
+			interior[j] = true
+		}
+		p.fused += len(folded)
+	}
+}
+
+// runFused executes a fused run: each packet walks the op list while
+// it is register-hot; only divergence (divert, drop, transmit) or the
+// run's tail touches a stage buffer.
+func runFused(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+	ops := st.ops
+	txf := x.Transmit // hoisted: one nil check per batch, not per packet
+pkts:
+	for _, pk := range in {
+		for oi := range ops {
+			op := &ops[oi]
+			switch op.code {
+			case opMutate:
+				op.fn(x, pk)
+			case opCheckIP:
+				if pk.TTL == 0 || pk.SrcIP == 0 || pk.DstIP == 0 {
+					op.chk.Drops++
+					x.emitTo(op.alt, pk)
+					continue pkts
+				}
+			case opDecTTL:
+				if pk.TTL <= 1 {
+					op.ttl.Expired++
+					x.emitTo(op.alt, pk)
+					continue pkts
+				}
+				pk.TTL--
+			case opCounter:
+				op.cnt.Packets++
+				op.cnt.Bytes += uint64(pk.Len())
+			case opFilter:
+				if !op.pred(x, pk) {
+					x.drop(pk)
+					continue pkts
+				}
+			case opPaint:
+				pk.Paint = op.pnt.Color
+			case opSetTOS:
+				pk.TOS = op.tos.TOS
+			case opSetTTL:
+				pk.TTL = op.sttl.TTL
+			case opTx:
+				op.tx.TxCount++
+				if txf != nil {
+					txf(op.tx.Iface, pk)
+				} else {
+					x.drop(pk)
+				}
+				continue pkts
+			case opDiscard:
+				op.dsc.Count++
+				x.drop(pk)
+				continue pkts
+			}
+		}
+		x.emitTo(st.tail, pk)
+	}
+}

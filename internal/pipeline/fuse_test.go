@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"testing"
+
+	_ "github.com/in-net/innet/internal/elements"
+)
+
+// TestFuseLinearChain checks that a straight forwarding chain folds
+// into one fused run (the differential suite proves semantics; this
+// guards the optimization itself from silently regressing).
+func TestFuseLinearChain(t *testing.T) {
+	prog, err := CompileConfig(`
+in :: FromNetfront();
+chk :: CheckIPHeader;
+pnt :: Paint(7);
+ttl :: DecIPTTL;
+cnt :: Counter;
+out :: ToNetfront();
+d :: Discard;
+in -> chk -> pnt -> ttl -> cnt -> out;
+chk[1] -> d;
+ttl[1] -> d;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chk, pnt, ttl, cnt, out all fold into the run headed by in; d
+	// keeps its own stage (it has two wired inputs).
+	if got := prog.NumFused(); got != 5 {
+		t.Fatalf("NumFused = %d, want 5", got)
+	}
+	head := &prog.stages[0]
+	if head.name != "in" || head.ops == nil || len(head.ops) != 5 {
+		t.Fatalf("head %q ops=%d, want in with 5 ops", head.name, len(head.ops))
+	}
+}
+
+// TestFuseStopsAtJoin checks a stage with two wired inputs is never
+// folded: both branches must still reach it through its own buffer.
+func TestFuseStopsAtJoin(t *testing.T) {
+	prog, err := CompileConfig(`
+in :: FromNetfront();
+chk :: CheckIPHeader;
+cnt :: Counter;
+out :: ToNetfront();
+in -> chk -> cnt -> out;
+chk[1] -> cnt;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cnt has indegree 2 (chk[0] and chk[1]), so the first run is
+	// in+chk (folding chk) and stops there; cnt then heads a second
+	// run folding out. Crucially cnt is a run HEAD, not an interior —
+	// both branches still reach it through its own input buffer.
+	if got := prog.NumFused(); got != 2 {
+		t.Fatalf("NumFused = %d, want 2", got)
+	}
+	for i := range prog.stages {
+		st := &prog.stages[i]
+		if st.name == "cnt" && st.ops == nil {
+			t.Fatalf("cnt should head its own fused run")
+		}
+	}
+}
+
+// TestFuseStopsAtStateful checks multi-input stateful elements
+// (needPort) terminate a run: the firewall must see real arrival
+// ports, which the fused fast path does not carry.
+func TestFuseStopsAtStateful(t *testing.T) {
+	prog, err := CompileConfig(`
+a :: FromNetfront();
+b :: FromNetfront(1);
+fw :: StatefulFirewall(allow udp, timeout 5);
+o0 :: ToNetfront();
+o1 :: ToNetfront(1);
+a -> fw;
+b -> [1]fw;
+fw[0] -> o0;
+fw[1] -> o1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.NumFused(); got != 0 {
+		t.Fatalf("NumFused = %d, want 0 (firewall needs arrival ports)", got)
+	}
+}

@@ -1,0 +1,335 @@
+package pipeline
+
+import (
+	"hash/crc32"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+)
+
+// kernelFor returns the batch kernel for a concrete element instance,
+// whether the element consumes the arrival port (needPort), or
+// (nil, false, reason) when the class cannot be flattened. Each kernel
+// is a closure over the concrete type — no interface dispatch per
+// packet — and mirrors the element's Push exactly, including counters;
+// where an element keeps unexported decision state, the kernel calls
+// the same exported decision method Push uses.
+func kernelFor(el click.Element) (kernel, bool, string) {
+	switch e := el.(type) {
+	case *elements.FromNetfront:
+		return forward(nil), false, ""
+
+	case *elements.ToNetfront:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				e.TxCount++
+				x.transmit(e.Iface, pk)
+			}
+		}, false, ""
+
+	case *elements.Discard:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				e.Count++
+				x.drop(pk)
+			}
+		}, false, ""
+
+	case *elements.Counter:
+		return forward(func(_ *Exec, pk *packet.Packet) {
+			e.Packets++
+			e.Bytes += uint64(pk.Len())
+		}), false, ""
+
+	case *elements.Tee:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				for i := 1; i < e.N; i++ {
+					if i < len(st.next) && st.next[i].idx >= 0 {
+						x.emit(st, i, pk.Clone())
+					}
+				}
+				x.emit(st, 0, pk)
+			}
+		}, false, ""
+
+	case *elements.Paint:
+		return forward(func(_ *Exec, pk *packet.Packet) { pk.Paint = e.Color }), false, ""
+
+	case *elements.CheckPaint:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if pk.Paint == e.Color {
+					x.emit(st, 0, pk)
+				} else {
+					x.emit(st, 1, pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.SetIPField:
+		if e.Class() == "SetIPSrc" {
+			return forward(func(_ *Exec, pk *packet.Packet) { pk.SrcIP = e.Addr }), false, ""
+		}
+		return forward(func(_ *Exec, pk *packet.Packet) { pk.DstIP = e.Addr }), false, ""
+
+	case *elements.SetTOS:
+		return forward(func(_ *Exec, pk *packet.Packet) { pk.TOS = e.TOS }), false, ""
+
+	case *elements.SetCRC32:
+		return forward(func(_ *Exec, pk *packet.Packet) {
+			e.Last = crc32.ChecksumIEEE(pk.Payload)
+			pk.FlowTag = e.Last
+		}), false, ""
+
+	case *elements.CheckIPHeader:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if pk.TTL == 0 || pk.SrcIP == 0 || pk.DstIP == 0 {
+					e.Drops++
+					x.emit(st, 1, pk)
+					continue
+				}
+				x.emit(st, 0, pk)
+			}
+		}, false, ""
+
+	case *elements.IPFilter:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if e.Decide(pk) {
+					x.emit(st, 0, pk)
+				} else {
+					x.drop(pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.IPClassifier:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if i := e.Route(pk); i >= 0 {
+					x.emit(st, i, pk)
+				} else {
+					x.drop(pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.DPI:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if e.Inspect(pk) {
+					x.emit(st, 1, pk)
+				} else {
+					x.emit(st, 0, pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.HashSwitch:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				x.emit(st, e.PortOf(pk), pk)
+			}
+		}, false, ""
+
+	case *elements.ICMPPingResponder:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if pk.Protocol != packet.ProtoICMP {
+					x.emit(st, 1, pk)
+					continue
+				}
+				e.Replies++
+				pk.SrcIP, pk.DstIP = pk.DstIP, pk.SrcIP
+				x.emit(st, 0, pk)
+			}
+		}, false, ""
+
+	case *elements.SetPort:
+		if e.Class() == "SetSrcPort" {
+			return forward(func(_ *Exec, pk *packet.Packet) { pk.SrcPort = e.Port }), false, ""
+		}
+		return forward(func(_ *Exec, pk *packet.Packet) { pk.DstPort = e.Port }), false, ""
+
+	case *elements.SetIPTTL:
+		return forward(func(_ *Exec, pk *packet.Packet) { pk.TTL = e.TTL }), false, ""
+
+	case *elements.DecIPTTL:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if pk.TTL <= 1 {
+					e.Expired++
+					x.emit(st, 1, pk)
+					continue
+				}
+				pk.TTL--
+				x.emit(st, 0, pk)
+			}
+		}, false, ""
+
+	case *elements.IPMirror:
+		return forward(func(_ *Exec, pk *packet.Packet) {
+			pk.SrcIP, pk.DstIP = pk.DstIP, pk.SrcIP
+			pk.SrcPort, pk.DstPort = pk.DstPort, pk.SrcPort
+		}), false, ""
+
+	case *elements.IPRewriter:
+		return portKernel(func(x *Exec, st *stage, pk *packet.Packet, port int32) {
+			if out, ok := e.Rewrite(int(port), pk); ok {
+				x.emit(st, out, pk)
+			} else {
+				x.drop(pk)
+			}
+		}), true, ""
+
+	case *elements.LookupIPRoute:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if out := e.Lookup(pk); out >= 0 {
+					x.emit(st, out, pk)
+				} else {
+					x.drop(pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.StatefulFirewall:
+		return portKernel(func(x *Exec, st *stage, pk *packet.Packet, port int32) {
+			if out, ok := e.Admit(x.now(), int(port), pk); ok {
+				x.emit(st, out, pk)
+			} else {
+				x.drop(pk)
+			}
+		}), true, ""
+
+	case *elements.FlowMeter:
+		return forward(func(x *Exec, pk *packet.Packet) {
+			e.Record(x.now(), pk)
+		}), false, ""
+
+	case *elements.ChangeEnforcer:
+		return portKernel(func(x *Exec, st *stage, pk *packet.Packet, port int32) {
+			if e.Admit(x.now(), int(port), pk) {
+				x.emit(st, int(port), pk)
+			} else {
+				x.drop(pk)
+			}
+		}), true, ""
+
+	case *elements.Queue:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if !e.Enqueue(pk) {
+					x.drop(pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.TimedUnqueue:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				e.Enqueue(x.now(), pk)
+			}
+		}, false, ""
+
+	case *elements.RatedUnqueue:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				e.Enqueue(x.now(), pk)
+			}
+		}, false, ""
+
+	case *elements.RateLimiter:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				if e.Admit(x.now(), pk) {
+					x.emit(st, 0, pk)
+				} else {
+					x.drop(pk)
+				}
+			}
+		}, false, ""
+
+	case *elements.Meter:
+		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+			for _, pk := range in {
+				x.emit(st, e.Classify(x.now(), pk), pk)
+			}
+		}, false, ""
+
+	// Explicit fallbacks with a precise reason: these classes either
+	// interleave packets in arrival order across outputs (which the
+	// stage-wise sweep cannot reproduce packet-for-packet) or schedule
+	// themselves.
+	case *elements.RoundRobinSwitch:
+		return nil, false, "output depends on packet arrival order"
+	case *elements.RandomSample:
+		return nil, false, "probabilistic branching"
+	case *elements.TimedSource:
+		return nil, false, "self-scheduled packet source"
+	case *elements.Unqueue:
+		return nil, false, "pull-input element"
+
+	default:
+		return nil, false, "no compiled kernel for class " + el.Class()
+	}
+}
+
+// forward builds the single-output fast path: apply fn (may be nil)
+// and emit on port 0. The destination buffer is hoisted out of the
+// packet loop, so per packet it is one closure call and one append.
+func forward(fn func(x *Exec, pk *packet.Packet)) kernel {
+	return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
+		r := st.out0
+		if r.idx < 0 {
+			for _, pk := range in {
+				if fn != nil {
+					fn(x, pk)
+				}
+				x.drop(pk)
+			}
+			return
+		}
+		if fn == nil {
+			// Pure passthrough (FromNetfront): bulk-copy the batch.
+			x.bufs[r.idx] = append(x.bufs[r.idx], in...)
+			if pp := x.ports[r.idx]; pp != nil {
+				for range in {
+					pp = append(pp, r.port)
+				}
+				x.ports[r.idx] = pp
+			}
+			return
+		}
+		dst := x.bufs[r.idx]
+		for _, pk := range in {
+			fn(x, pk)
+			dst = append(dst, pk)
+		}
+		x.bufs[r.idx] = dst
+		if pp := x.ports[r.idx]; pp != nil {
+			for range in {
+				pp = append(pp, r.port)
+			}
+			x.ports[r.idx] = pp
+		}
+	}
+}
+
+// portKernel adapts a per-packet body that consumes the arrival port.
+// ports is nil when the batch was injected directly (source stages),
+// in which case every packet arrived on port 0.
+func portKernel(fn func(x *Exec, st *stage, pk *packet.Packet, port int32)) kernel {
+	return func(x *Exec, st *stage, in []*packet.Packet, ports []int32) {
+		for i, pk := range in {
+			var p int32
+			if ports != nil {
+				p = ports[i]
+			}
+			fn(x, st, pk, p)
+		}
+	}
+}

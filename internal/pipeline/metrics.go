@@ -1,0 +1,35 @@
+package pipeline
+
+import (
+	"strconv"
+
+	"github.com/in-net/innet/internal/telemetry"
+)
+
+// RegisterMetrics folds the engine's counters into a telemetry
+// registry under the innet_pipeline_* families, one series per worker
+// plus the label pairs the caller supplies. Like the vswitch metrics,
+// registration costs nothing on the hot path: the callbacks read the
+// atomics the workers already maintain.
+func (e *Engine) RegisterMetrics(r *telemetry.Registry, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("innet_pipeline_workers",
+		"Run-to-completion pipeline workers in this engine.",
+		func() float64 { return float64(e.n) }, labelPairs...)
+	for _, w := range e.workers {
+		w := w
+		labels := append(append([]string(nil), labelPairs...),
+			"worker", strconv.Itoa(w.id))
+		r.CounterFunc("innet_pipeline_packets_total",
+			"Packets run to completion by a pipeline worker.",
+			func() float64 { return float64(w.packets.Load()) }, labels...)
+		r.CounterFunc("innet_pipeline_batches_total",
+			"Batches run to completion by a pipeline worker.",
+			func() float64 { return float64(w.batches.Load()) }, labels...)
+		r.CounterFunc("innet_pipeline_drops_total",
+			"Packets dropped inside a pipeline worker's program.",
+			func() float64 { return float64(w.drops.Load()) }, labels...)
+	}
+}

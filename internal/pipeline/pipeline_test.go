@@ -1,0 +1,551 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/in-net/innet/internal/click"
+	"github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/packet"
+)
+
+// egress is one observed transmission or drop, with enough of the
+// packet to detect any byte-level divergence.
+type egress struct {
+	iface int // -1 for drops
+	snap  string
+	flow  uint32 // the flow id stamped in UserID before injection
+}
+
+func snapPacket(pk *packet.Packet) string {
+	return fmt.Sprintf("%s ttl=%d tos=%d paint=%d tag=%d seq=%d payload=%q",
+		pk.Tuple(), pk.TTL, pk.TOS, pk.Paint, pk.FlowTag, pk.Seq, pk.Payload)
+}
+
+// step is one unit of differential input: a batch injected at a
+// source, or a ticker pass, at a given virtual time.
+type step struct {
+	src  int
+	pkts []*packet.Packet
+	now  int64
+	tick bool
+}
+
+func clones(pkts []*packet.Packet) []*packet.Packet {
+	out := make([]*packet.Packet, len(pkts))
+	for i, pk := range pkts {
+		out[i] = pk.Clone()
+	}
+	return out
+}
+
+// runGraph replays steps through per-packet graph-walk dispatch.
+func runGraph(t *testing.T, r *click.Router, steps []step) []egress {
+	t.Helper()
+	var log []egress
+	var now int64
+	ctx := &click.Context{
+		Now: func() int64 { return now },
+		Transmit: func(iface int, pk *packet.Packet) {
+			log = append(log, egress{iface, snapPacket(pk), pk.UserID})
+		},
+		DropHook: func(pk *packet.Packet) {
+			log = append(log, egress{-1, snapPacket(pk), pk.UserID})
+		},
+	}
+	for _, s := range steps {
+		now = s.now
+		if s.tick {
+			r.Tick(ctx)
+			continue
+		}
+		for _, pk := range clones(s.pkts) {
+			if err := r.Inject(ctx, s.src, pk); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+		}
+	}
+	return log
+}
+
+// runCompiled replays steps through a compiled Exec.
+func runCompiled(t *testing.T, prog *Program, steps []step) []egress {
+	t.Helper()
+	var log []egress
+	var now int64
+	x := NewExec(prog)
+	x.Now = func() int64 { return now }
+	x.Transmit = func(iface int, pk *packet.Packet) {
+		log = append(log, egress{iface, snapPacket(pk), pk.UserID})
+	}
+	x.DropHook = func(pk *packet.Packet) {
+		log = append(log, egress{-1, snapPacket(pk), pk.UserID})
+	}
+	for _, s := range steps {
+		now = s.now
+		if s.tick {
+			x.Tick()
+			continue
+		}
+		if err := x.Run(s.src, clones(s.pkts)); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	return log
+}
+
+type flowKey struct {
+	flow  uint32
+	iface int
+}
+
+// perFlow groups an egress log by (flow, egress interface), with
+// drops under iface -1, preserving order within each group.
+func perFlow(log []egress) map[flowKey][]string {
+	out := make(map[flowKey][]string)
+	for _, e := range log {
+		k := flowKey{e.flow, e.iface}
+		out[k] = append(out[k], e.snap)
+	}
+	return out
+}
+
+// diffLogs compares two egress logs per (flow, interface) sequence —
+// the pipeline's ordering guarantee: a flow's packets reach each
+// egress interface in the same order and with identical bytes, and
+// its drops happen in the same order, though the global interleaving
+// across flows (and between a flow's drops and deliveries) may follow
+// stage order instead of depth-first graph order.
+func diffLogs(t *testing.T, graph, compiled []egress) {
+	t.Helper()
+	if len(graph) != len(compiled) {
+		t.Fatalf("egress count: graph=%d compiled=%d", len(graph), len(compiled))
+	}
+	g, c := perFlow(graph), perFlow(compiled)
+	if len(g) != len(c) {
+		t.Fatalf("flow/iface group count: graph=%d compiled=%d", len(g), len(c))
+	}
+	for k, gs := range g {
+		cs := c[k]
+		if len(gs) != len(cs) {
+			t.Fatalf("flow %d iface %d egress count: graph=%d compiled=%d", k.flow, k.iface, len(gs), len(cs))
+		}
+		for i := range gs {
+			if gs[i] != cs[i] {
+				t.Fatalf("flow %d iface %d egress[%d]:\n graph:    %s\n compiled: %s", k.flow, k.iface, i, gs[i], cs[i])
+			}
+		}
+	}
+}
+
+// differential builds the config twice (independent element state per
+// mode), runs both modes over the same steps and compares.
+func differential(t *testing.T, src string, steps []step) (*click.Router, *click.Router) {
+	t.Helper()
+	gr := click.MustBuildString(src)
+	pr := click.MustBuildString(src)
+	prog, err := Compile(pr)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	glog := runGraph(t, gr, steps)
+	clog := runCompiled(t, prog, steps)
+	if len(glog) == 0 {
+		t.Fatalf("differential test saw no egress at all")
+	}
+	diffLogs(t, glog, clog)
+	return gr, pr
+}
+
+// mkPacket builds a deterministic test packet for flow f, index i.
+func mkPacket(f uint32, i int) *packet.Packet {
+	return &packet.Packet{
+		SrcIP:    0x0a000000 + f,       // 10.0.0.f
+		DstIP:    0xc0000200 + (f % 7), // 192.0.2.x
+		SrcPort:  uint16(1024 + f),
+		DstPort:  uint16(80 + f%3),
+		Protocol: packet.ProtoUDP,
+		TTL:      uint8(2 + (i+int(f))%60),
+		Payload:  []byte(fmt.Sprintf("f%d-p%d", f, i)),
+		UserID:   f,
+	}
+}
+
+func flowBatch(flows, perFlow int) []*packet.Packet {
+	var out []*packet.Packet
+	for i := 0; i < perFlow; i++ {
+		for f := 0; f < flows; f++ {
+			out = append(out, mkPacket(uint32(f+1), i))
+		}
+	}
+	return out
+}
+
+func TestDifferentialLinear(t *testing.T) {
+	src := `
+in :: FromNetfront();
+chk :: CheckIPHeader();
+cnt :: Counter();
+ttl :: DecIPTTL();
+out :: ToNetfront();
+in -> chk -> cnt -> ttl -> out;
+`
+	bad := mkPacket(99, 0)
+	bad.TTL = 0 // CheckIPHeader drop
+	exp := mkPacket(98, 0)
+	exp.TTL = 1 // DecIPTTL expiry drop
+	steps := []step{{src: 0, pkts: append(flowBatch(8, 16), bad, exp), now: 1000}}
+	gr, cr := differential(t, src, steps)
+
+	// Element state must match exactly too.
+	gc := gr.Element("cnt").(*elements.Counter)
+	cc := cr.Element("cnt").(*elements.Counter)
+	if gc.Packets != cc.Packets || gc.Bytes != cc.Bytes {
+		t.Errorf("counter: graph=%d/%d compiled=%d/%d", gc.Packets, gc.Bytes, cc.Packets, cc.Bytes)
+	}
+	gk := gr.Element("chk").(*elements.CheckIPHeader)
+	ck := cr.Element("chk").(*elements.CheckIPHeader)
+	if gk.Drops != ck.Drops {
+		t.Errorf("checkipheader drops: graph=%d compiled=%d", gk.Drops, ck.Drops)
+	}
+	gt := gr.Element("ttl").(*elements.DecIPTTL)
+	ct := cr.Element("ttl").(*elements.DecIPTTL)
+	if gt.Expired != ct.Expired {
+		t.Errorf("decipttl expired: graph=%d compiled=%d", gt.Expired, ct.Expired)
+	}
+}
+
+func TestDifferentialClassifierFanout(t *testing.T) {
+	src := `
+in :: FromNetfront();
+cls :: IPClassifier(udp dst port 80, udp dst port 81, -);
+c0 :: Counter();
+c1 :: Counter();
+out0 :: ToNetfront(0);
+out1 :: ToNetfront(1);
+out2 :: ToNetfront(2);
+in -> cls;
+cls[0] -> c0 -> out0;
+cls[1] -> c1 -> out1;
+cls[2] -> out2;
+`
+	steps := []step{{src: 0, pkts: flowBatch(12, 8), now: 5}}
+	differential(t, src, steps)
+}
+
+func TestDifferentialFirewallReplay(t *testing.T) {
+	// One ingress; a classifier splits outbound (from 10/8) and
+	// inbound traffic onto the firewall's two ports. Single
+	// predecessor into the firewall keeps lane order identical to the
+	// graph walk, so even intra-batch record-then-reply sequences
+	// must match exactly.
+	src := `
+in :: FromNetfront();
+dir :: IPClassifier(src net 10.0.0.0/8, -);
+fw :: StatefulFirewall(allow udp, timeout 5);
+out :: ToNetfront(0);
+back :: ToNetfront(1);
+in -> dir;
+dir[0] -> [0]fw;
+dir[1] -> [1]fw;
+fw[0] -> out;
+fw[1] -> back;
+`
+	var mixed []*packet.Packet
+	for f := uint32(1); f <= 6; f++ {
+		fwd := mkPacket(f, 0)
+		mixed = append(mixed, fwd)
+		rep := fwd.Clone()
+		rep.SrcIP, rep.DstIP = fwd.DstIP, fwd.SrcIP
+		rep.SrcPort, rep.DstPort = fwd.DstPort, fwd.SrcPort
+		rep.Payload = []byte(fmt.Sprintf("rep-f%d", f))
+		mixed = append(mixed, rep)
+	}
+	// An inbound packet with no recorded flow: must be blocked in
+	// both modes.
+	orphan := mkPacket(50, 0)
+	orphan.SrcIP = 0xc0000299
+	mixed = append(mixed, orphan)
+	steps := []step{
+		{src: 0, pkts: mixed, now: 1_000_000_000},
+		// Replay the replies much later: the flow timeout (5s) must
+		// expire state identically in both modes.
+		{src: 0, pkts: mixed, now: 8_000_000_000},
+	}
+	gr, cr := differential(t, src, steps)
+	gf := gr.Element("fw").(interface{ ActiveFlows() int }).ActiveFlows()
+	cf := cr.Element("fw").(interface{ ActiveFlows() int }).ActiveFlows()
+	if gf != cf {
+		t.Errorf("firewall flows: graph=%d compiled=%d", gf, cf)
+	}
+}
+
+func TestDifferentialNAT(t *testing.T) {
+	src := `
+in :: FromNetfront();
+dir :: IPClassifier(dst host 172.16.0.1, -);
+nat :: IPRewriter(pattern 172.16.0.1 4000 - - 0 1);
+out :: ToNetfront(0);
+back :: ToNetfront(1);
+in -> dir;
+dir[1] -> [0]nat;
+dir[0] -> [1]nat;
+nat[0] -> out;
+nat[1] -> back;
+`
+	var pkts []*packet.Packet
+	for f := uint32(1); f <= 5; f++ {
+		fwd := mkPacket(f, 0)
+		fwd.DstIP = packet.MustParseIP("198.51.100.7")
+		pkts = append(pkts, fwd)
+		// The reply the rewritten packet would generate.
+		rep := &packet.Packet{
+			SrcIP:    fwd.DstIP,
+			DstIP:    packet.MustParseIP("172.16.0.1"),
+			SrcPort:  fwd.DstPort,
+			DstPort:  4000,
+			Protocol: packet.ProtoUDP,
+			TTL:      64,
+			Payload:  []byte(fmt.Sprintf("natrep-f%d", f)),
+			UserID:   100 + f,
+		}
+		pkts = append(pkts, rep)
+	}
+	steps := []step{{src: 0, pkts: pkts, now: 77}}
+	differential(t, src, steps)
+}
+
+func TestDifferentialRateAndMeter(t *testing.T) {
+	src := `
+in :: FromNetfront();
+rl :: RateLimiter(4, 4);
+m :: Meter(2);
+ok :: ToNetfront(0);
+over :: ToNetfront(1);
+in -> rl -> m;
+m[0] -> ok;
+m[1] -> over;
+`
+	steps := []step{
+		{src: 0, pkts: flowBatch(3, 2), now: 1_000_000_000},
+		{src: 0, pkts: flowBatch(3, 2), now: 1_500_000_000},
+		{src: 0, pkts: flowBatch(3, 2), now: 4_000_000_000},
+	}
+	differential(t, src, steps)
+}
+
+func TestDifferentialTimedUnqueueTicks(t *testing.T) {
+	src := `
+in :: FromNetfront();
+tu :: TimedUnqueue(1, 3);
+cnt :: Counter();
+out :: ToNetfront();
+in -> tu -> cnt -> out;
+`
+	steps := []step{
+		{src: 0, pkts: flowBatch(2, 3), now: 1_000_000_000},
+		{tick: true, now: 1_500_000_000}, // before interval: nothing
+		{tick: true, now: 2_100_000_000}, // release burst of 3
+		{tick: true, now: 3_200_000_000}, // release rest
+		{src: 0, pkts: flowBatch(1, 1), now: 3_300_000_000},
+		{tick: true, now: 9_000_000_000},
+	}
+	differential(t, src, steps)
+}
+
+func TestDifferentialQueueTickDrain(t *testing.T) {
+	src := `
+in :: FromNetfront();
+q :: Queue(4);
+out :: ToNetfront();
+in -> q -> out;
+`
+	steps := []step{
+		{src: 0, pkts: flowBatch(3, 2), now: 10}, // 6 packets into cap-4 queue: 2 drop
+		{tick: true, now: 20},
+		{src: 0, pkts: flowBatch(1, 1), now: 30},
+		{tick: true, now: 40},
+	}
+	gr, cr := differential(t, src, steps)
+	for _, r := range []*click.Router{gr, cr} {
+		if n := r.Element("q").(interface{ Len() int }).Len(); n != 0 {
+			t.Errorf("queue not drained: %d", n)
+		}
+	}
+}
+
+func TestDifferentialTeeAndPaint(t *testing.T) {
+	src := `
+in :: FromNetfront();
+tee :: Tee(3);
+p1 :: Paint(7);
+out0 :: ToNetfront(0);
+out1 :: ToNetfront(1);
+out2 :: ToNetfront(2);
+in -> tee;
+tee[0] -> out0;
+tee[1] -> p1 -> out1;
+tee[2] -> out2;
+`
+	steps := []step{{src: 0, pkts: flowBatch(4, 4), now: 3}}
+	differential(t, src, steps)
+}
+
+func TestDifferentialMirrorCRC(t *testing.T) {
+	src := `
+in :: FromNetfront();
+f :: IPFilter(allow udp, deny all);
+crc :: SetCRC32();
+mir :: IPMirror();
+out :: ToNetfront();
+in -> f -> crc -> mir -> out;
+`
+	tcp := mkPacket(42, 0)
+	tcp.Protocol = packet.ProtoTCP // denied by the filter
+	steps := []step{{src: 0, pkts: append(flowBatch(6, 5), tcp), now: 9}}
+	differential(t, src, steps)
+}
+
+func TestDifferentialHashSwitchRoute(t *testing.T) {
+	src := `
+in :: FromNetfront();
+hs :: HashSwitch(4);
+r0 :: LookupIPRoute(192.0.2.0/24 0, 0.0.0.0/0 1);
+out0 :: ToNetfront(0);
+out1 :: ToNetfront(1);
+out2 :: ToNetfront(2);
+out3 :: ToNetfront(3);
+outd :: ToNetfront(9);
+in -> hs;
+hs[0] -> r0;
+r0[0] -> out0;
+r0[1] -> outd;
+hs[1] -> out1;
+hs[2] -> out2;
+hs[3] -> out3;
+`
+	steps := []step{{src: 0, pkts: flowBatch(16, 4), now: 1}}
+	differential(t, src, steps)
+}
+
+func TestDifferentialChangeEnforcer(t *testing.T) {
+	src := `
+in :: FromNetfront(0);
+ret :: FromNetfront(1);
+ce :: ChangeEnforcer(whitelist 203.0.113.5, timeout 2);
+toMod :: ToNetfront(0);
+toWorld :: ToNetfront(1);
+in -> [0]ce;
+ret -> [1]ce;
+ce[0] -> toMod;
+ce[1] -> toWorld;
+`
+	inbound := flowBatch(4, 1)
+	var outbound []*packet.Packet
+	for _, pk := range inbound {
+		rep := pk.Clone()
+		rep.SrcIP, rep.DstIP = pk.DstIP, pk.SrcIP
+		outbound = append(outbound, rep)
+	}
+	// One unauthorized destination and one whitelisted one.
+	unauth := mkPacket(70, 0)
+	unauth.DstIP = packet.MustParseIP("8.8.8.8")
+	wl := mkPacket(71, 0)
+	wl.DstIP = packet.MustParseIP("203.0.113.5")
+	outbound = append(outbound, unauth, wl)
+	steps := []step{
+		{src: 0, pkts: inbound, now: 1_000_000_000},
+		{src: 1, pkts: outbound, now: 2_000_000_000},
+		// After the 2s timeout the implicit authorization must lapse
+		// in both modes.
+		{src: 1, pkts: outbound, now: 9_000_000_000},
+	}
+	differential(t, src, steps)
+}
+
+func TestCompileFallbacks(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"round-robin", `in :: FromNetfront(); rr :: RoundRobinSwitch(2); a :: ToNetfront(0); b :: ToNetfront(1); in -> rr; rr[0] -> a; rr[1] -> b;`},
+		{"random-sample", `in :: FromNetfront(); rs :: RandomSample(0.5); a :: ToNetfront(); in -> rs; rs[0] -> a;`},
+		{"timed-source", `ts :: TimedSource(1); in :: FromNetfront(); out :: ToNetfront(); ts -> out; in -> out;`},
+		{"pull-wiring", `in :: FromNetfront(); q :: Queue(10); uq :: Unqueue(); out :: ToNetfront(); in -> q -> uq -> out;`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileConfig(tc.src)
+			if err == nil {
+				t.Fatalf("expected compile failure")
+			}
+			if !errors.Is(err, ErrUnsupported) {
+				t.Fatalf("expected ErrUnsupported, got %v", err)
+			}
+			var ue *UnsupportedError
+			if !errors.As(err, &ue) {
+				t.Fatalf("expected UnsupportedError, got %T", err)
+			}
+		})
+	}
+}
+
+func TestCompileRejectsCycle(t *testing.T) {
+	src := `
+in :: FromNetfront();
+a :: Counter();
+b :: Counter();
+out :: ToNetfront();
+in -> a;
+a -> b;
+b -> [0]a;
+`
+	// Wiring a into b and b back into a is a cycle; a's input port 0
+	// has two upstreams which click allows, the loop does not break
+	// at build time.
+	_, err := CompileConfig(src)
+	if err == nil || !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("expected cycle rejection, got %v", err)
+	}
+}
+
+func TestCompileStageOrderAndIntrospection(t *testing.T) {
+	prog, err := CompileConfig(`in :: FromNetfront(); c :: Counter(); out :: ToNetfront(); in -> c -> out;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumStages() != 3 || prog.NumSources() != 1 {
+		t.Fatalf("stages=%d sources=%d", prog.NumStages(), prog.NumSources())
+	}
+	want := []string{"in :: FromNetfront", "c :: Counter", "out :: ToNetfront"}
+	got := prog.Stages()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExecDropsCountAndPool(t *testing.T) {
+	prog, err := CompileConfig(`in :: FromNetfront(); d :: Discard(); in -> d;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewExec(prog)
+	pool := packet.NewPool(4, 64)
+	x.Pool = pool
+	pk := pool.Get()
+	if err := x.RunOne(0, pk); err != nil {
+		t.Fatal(err)
+	}
+	if x.Drops != 1 {
+		t.Fatalf("drops = %d", x.Drops)
+	}
+	if _, puts, _ := pool.Stats(); puts != 1 {
+		t.Fatalf("pool puts = %d", puts)
+	}
+	if err := x.Run(5, nil); err == nil {
+		t.Fatal("expected bad source error")
+	}
+}

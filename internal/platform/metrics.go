@@ -67,6 +67,26 @@ func (p *Platform) RegisterMetrics(r *telemetry.Registry, name string, lock sync
 			"Packets dropped by the platform datapath, by reason.",
 			read(func() float64 { return float64(*v) }), "platform", name, "reason", d.reason)
 	}
+	// Compiled-pipeline work on this platform's simulated dataplane.
+	// Same families as Engine.RegisterMetrics, labeled by platform
+	// instead of worker; sums stay monotonic across VM destroys.
+	pipeCounters := []struct {
+		suffix string
+		help   string
+		pick   func(pk, ba, dr uint64) uint64
+	}{
+		{"packets", "Packets run to completion by a pipeline worker.",
+			func(pk, _, _ uint64) uint64 { return pk }},
+		{"batches", "Batches run to completion by a pipeline worker.",
+			func(_, ba, _ uint64) uint64 { return ba }},
+		{"drops", "Packets dropped inside a pipeline worker's program.",
+			func(_, _, dr uint64) uint64 { return dr }},
+	}
+	for _, c := range pipeCounters {
+		pick := c.pick
+		r.CounterFunc("innet_pipeline_"+c.suffix+"_total", c.help,
+			read(func() float64 { return float64(pick(p.PipelineCounters())) }), "platform", name)
+	}
 	r.GaugeFunc("innet_platform_resident_vms", "Instantiated guest VMs.",
 		read(func() float64 { return float64(p.ResidentVMs()) }), "platform", name)
 	r.GaugeFunc("innet_platform_registered_modules", "Registered module specs.",

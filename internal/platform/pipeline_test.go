@@ -1,0 +1,121 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+)
+
+const statefulChain = `
+in :: FromNetfront();
+chk :: CheckIPHeader;
+ttl :: DecIPTTL;
+rl :: RateLimiter(3);
+cnt :: Counter;
+out :: ToNetfront();
+d :: Discard;
+in -> chk -> ttl -> rl -> cnt -> out;
+chk[1] -> d;
+ttl[1] -> d;
+`
+
+// runModule boots one module (optionally pinned to the graph walk),
+// pushes pkts through it and returns every egress as iface/payload
+// strings in arrival order.
+func runModule(t *testing.T, noPipeline bool, pkts []*packet.Packet) ([]string, *Platform) {
+	t.Helper()
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.77")
+	err := p.Register(ModuleSpec{Addr: addr, Config: statefulChain, NoPipeline: noPipeline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	out := func(iface int, pk *packet.Packet) {
+		got = append(got, fmt.Sprintf("%d %s ttl=%d %q", iface, pk.Tuple(), pk.TTL, pk.Payload))
+	}
+	for _, pk := range pkts {
+		p.Deliver(pk, out)
+		sim.Run()
+	}
+	return got, p
+}
+
+// TestPipelineDifferentialInPlatform runs the same traffic through the
+// compiled dataplane and the graph walk and requires identical egress.
+func TestPipelineDifferentialInPlatform(t *testing.T) {
+	mk := func() []*packet.Packet {
+		var pkts []*packet.Packet
+		for i := 0; i < 8; i++ {
+			pk := udp("198.51.100.77")
+			pk.SrcPort = uint16(1000 + i%3)
+			pk.TTL = uint8(1 + i%4) // some expire in DecIPTTL
+			pk.Payload = []byte(fmt.Sprintf("p%d", i))
+			pkts = append(pkts, pk)
+		}
+		return pkts
+	}
+	graph, gp := runModule(t, true, mk())
+	piped, pp := runModule(t, false, mk())
+	if len(graph) != len(piped) {
+		t.Fatalf("egress count: graph=%d pipeline=%d", len(graph), len(piped))
+	}
+	for i := range graph {
+		if graph[i] != piped[i] {
+			t.Errorf("egress %d: graph=%q pipeline=%q", i, graph[i], piped[i])
+		}
+	}
+	if gp.PipelineCompiled != 0 || gp.DataplaneFor(packet.MustParseIP("198.51.100.77")) != "graph-walk" {
+		t.Errorf("NoPipeline module compiled anyway (compiled=%d dataplane=%q)",
+			gp.PipelineCompiled, gp.DataplaneFor(packet.MustParseIP("198.51.100.77")))
+	}
+	if pp.PipelineCompiled != 1 || pp.PipelinePackets == 0 {
+		t.Errorf("pipeline module: compiled=%d packets=%d", pp.PipelineCompiled, pp.PipelinePackets)
+	}
+	if dp := pp.DataplaneFor(packet.MustParseIP("198.51.100.77")); dp != "pipeline" {
+		t.Errorf("dataplane = %q, want pipeline", dp)
+	}
+}
+
+// TestPipelineFallbackCounted registers a module whose config cannot
+// flatten (RoundRobinSwitch) and checks it falls back, once, with a
+// recorded reason — and still forwards traffic.
+func TestPipelineFallbackCounted(t *testing.T) {
+	const rr = `
+in :: FromNetfront();
+rrs :: RoundRobinSwitch(2);
+o1 :: ToNetfront(1);
+o2 :: ToNetfront(2);
+in -> rrs;
+rrs[0] -> o1;
+rrs[1] -> o2;
+`
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	addr := packet.MustParseIP("198.51.100.88")
+	if err := p.Register(ModuleSpec{Addr: addr, Config: rr}); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	out := func(iface int, pk *packet.Packet) { n++ }
+	for i := 0; i < 4; i++ {
+		p.Deliver(udp("198.51.100.88"), out)
+		sim.Run()
+	}
+	if n != 4 {
+		t.Fatalf("delivered %d, want 4", n)
+	}
+	if p.PipelineFallback != 1 || p.PipelineCompiled != 0 {
+		t.Fatalf("fallback=%d compiled=%d, want 1/0", p.PipelineFallback, p.PipelineCompiled)
+	}
+	if len(p.PipelineFallbackReasons()) != 1 {
+		t.Fatalf("reasons = %v", p.PipelineFallbackReasons())
+	}
+	if dp := p.DataplaneFor(addr); dp != "graph-walk" {
+		t.Fatalf("dataplane = %q, want graph-walk", dp)
+	}
+}

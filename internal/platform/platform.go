@@ -8,6 +8,7 @@ import (
 	"github.com/in-net/innet/internal/clicklang"
 	"github.com/in-net/innet/internal/netsim"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/pipeline"
 )
 
 // VMState is the lifecycle state of a guest.
@@ -61,6 +62,9 @@ type ModuleSpec struct {
 	Stateful bool
 	// ExtraCycles adds middlebox-specific per-packet cost.
 	ExtraCycles float64
+	// NoPipeline forces the graph-walk dataplane for this module even
+	// when its configuration would flatten (operator escape hatch).
+	NoPipeline bool
 
 	hasSource bool
 }
@@ -77,7 +81,12 @@ type VM struct {
 	LastActive netsim.Time
 
 	routers map[uint32]*click.Router
-	pending []pendingPacket
+	// progs caches the compiled run-to-completion program per module
+	// address; noCompile records modules whose configuration did not
+	// flatten so the compile is attempted only once.
+	progs     map[uint32]*pipeline.Exec
+	noCompile map[uint32]string
+	pending   []pendingPacket
 	// PacketsProcessed counts packets pushed through the VM.
 	PacketsProcessed uint64
 }
@@ -147,6 +156,15 @@ type Platform struct {
 	DroppedTimeout                  uint64
 	DroppedDown                     uint64
 	DroppedInFlight                 uint64
+	// Pipeline dataplane counters: compiles, fallbacks to the graph
+	// walk (with reasons), and packets run through compiled programs.
+	PipelineCompiled uint64
+	PipelineFallback uint64
+	PipelinePackets  uint64
+	pipelineReasons  map[string]uint64
+	// pipelineRetired carries the packet/batch/drop totals of
+	// destroyed VMs' programs so PipelineCounters stays monotonic.
+	pipelineRetired [3]uint64
 }
 
 // New builds a platform attached to a simulator.
@@ -530,7 +548,16 @@ func (p *Platform) process(vm *VM, pkt *packet.Packet, out func(iface int, pk *p
 			Now:      func() int64 { return p.sim.Now() },
 			Transmit: out,
 		}
-		_ = r.Inject(ctx, 0, pkt)
+		if x := p.programFor(vm, pkt.DstIP, r); x != nil {
+			// Compiled fast path: run to completion through the
+			// flattened program. The program shares the router's
+			// element instances, so ticker drains below stay coherent.
+			x.Transmit = out
+			_ = x.RunOne(0, pkt)
+			p.PipelinePackets++
+		} else {
+			_ = r.Inject(ctx, 0, pkt)
+		}
 		// Drive due timed elements (batchers etc.) immediately and
 		// schedule their next tick.
 		p.driveTickers(vm, r, ctx)
@@ -570,6 +597,90 @@ func (p *Platform) routerFor(vm *VM, addr uint32) (*click.Router, error) {
 	}
 	vm.routers[addr] = r
 	return r, nil
+}
+
+// programFor returns the compiled pipeline for addr's router,
+// compiling on first use. nil means the module runs on the graph walk:
+// either the spec opts out, or the configuration does not flatten (the
+// reason is recorded once and counted in PipelineFallback).
+func (p *Platform) programFor(vm *VM, addr uint32, r *click.Router) *pipeline.Exec {
+	spec := p.specs[addr]
+	if spec == nil || spec.NoPipeline {
+		return nil
+	}
+	if x := vm.progs[addr]; x != nil {
+		return x
+	}
+	if _, bad := vm.noCompile[addr]; bad {
+		return nil
+	}
+	prog, err := pipeline.Compile(r)
+	if err != nil {
+		if vm.noCompile == nil {
+			vm.noCompile = make(map[uint32]string)
+		}
+		vm.noCompile[addr] = err.Error()
+		p.PipelineFallback++
+		if p.pipelineReasons == nil {
+			p.pipelineReasons = make(map[string]uint64)
+		}
+		p.pipelineReasons[err.Error()]++
+		return nil
+	}
+	x := pipeline.NewExec(prog)
+	x.Now = func() int64 { return p.sim.Now() }
+	if vm.progs == nil {
+		vm.progs = make(map[uint32]*pipeline.Exec)
+	}
+	vm.progs[addr] = x
+	p.PipelineCompiled++
+	return x
+}
+
+// PipelineCounters sums the packet/batch/drop counters of every
+// compiled program on the platform: live programs of resident VMs
+// plus the totals retired with destroyed VMs, so the sums are
+// monotonic across evictions and crash/respawn cycles.
+func (p *Platform) PipelineCounters() (packets, batches, drops uint64) {
+	packets, batches, drops = p.pipelineRetired[0], p.pipelineRetired[1], p.pipelineRetired[2]
+	for _, vm := range p.vms {
+		for _, x := range vm.progs {
+			packets += x.Packets
+			batches += x.Batches
+			drops += x.Drops
+		}
+	}
+	return packets, batches, drops
+}
+
+// PipelineFallbackReasons snapshots why modules fell back to the
+// graph-walk dataplane (compile-error text -> count).
+func (p *Platform) PipelineFallbackReasons() map[string]uint64 {
+	out := make(map[string]uint64, len(p.pipelineReasons))
+	for k, v := range p.pipelineReasons {
+		out[k] = v
+	}
+	return out
+}
+
+// DataplaneFor reports which dataplane addr's resident VM uses:
+// "pipeline", "graph-walk", or "" when the module has no live router
+// yet.
+func (p *Platform) DataplaneFor(addr uint32) string {
+	vm := p.byAddr[addr]
+	if vm == nil {
+		return ""
+	}
+	if vm.progs[addr] != nil {
+		return "pipeline"
+	}
+	if _, bad := vm.noCompile[addr]; bad {
+		return "graph-walk"
+	}
+	if spec := p.specs[addr]; spec != nil && spec.NoPipeline {
+		return "graph-walk"
+	}
+	return ""
 }
 
 // driveTickers runs a router's schedulable elements, rescheduling as
@@ -649,6 +760,11 @@ func (p *Platform) ReclaimIdle(idleFor netsim.Time) int {
 func (p *Platform) destroy(vm *VM) {
 	if _, alive := p.vms[vm.ID]; !alive {
 		return // double-destroy is a no-op
+	}
+	for _, x := range vm.progs {
+		p.pipelineRetired[0] += x.Packets
+		p.pipelineRetired[1] += x.Batches
+		p.pipelineRetired[2] += x.Drops
 	}
 	delete(p.vms, vm.ID)
 	for _, s := range vm.Specs {

@@ -125,6 +125,9 @@ type shard struct {
 	// buffer parks packets while the platform is down; replayed in
 	// arrival order per shard on recovery.
 	buffer []*packet.Packet
+	// one is scratch for delivering a single packet through the batch
+	// sink without allocating (guarded by mu like the maps).
+	one [1]*packet.Packet
 	// Per-shard counters; aggregated by the Switch accessors.
 	// dispatched counts packets that reached a rule action (the
 	// switch's throughput counter); buffered mirrors len(buffer).
@@ -156,6 +159,12 @@ type Switch struct {
 	OnNewFlow func(p *packet.Packet)
 	// ToModule delivers ActToModule packets (the platform datapath).
 	ToModule func(module uint32, p *packet.Packet)
+	// ToModuleBatch, when set, takes precedence over ToModule: runs of
+	// consecutive same-module packets inside a ProcessBatch call are
+	// delivered as one slice (the compiled-pipeline fast path). The
+	// slice is only valid for the duration of the call. Per-module
+	// packet order is batch order, exactly as with ToModule.
+	ToModuleBatch func(module uint32, pkts []*packet.Packet)
 	// Output delivers ActOutput packets.
 	Output func(port int, p *packet.Packet)
 
@@ -282,6 +291,10 @@ func (s *Switch) SetDown(down bool) {
 	// Replay under the exclusive table lock: packets racing SetDown
 	// wait on the read lock, so everything buffered during the outage
 	// dispatches before anything that arrives after recovery.
+	var run *moduleRun
+	if s.ToModuleBatch != nil {
+		run = &moduleRun{}
+	}
 	for _, sh := range s.shards {
 		buf := sh.buffer
 		sh.buffer = nil
@@ -289,8 +302,9 @@ func (s *Switch) SetDown(down bool) {
 		s.buffered.Add(int64(-len(buf)))
 		for _, p := range buf {
 			sh.redispatched.Add(1)
-			s.dispatch(sh, p)
+			s.dispatch(sh, p, run)
 		}
+		s.flushRun(run)
 	}
 }
 
@@ -314,12 +328,32 @@ func (s *Switch) Process(p *packet.Packet) {
 	sh := s.shardFor(p.Tuple())
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	s.processOnShardLocked(sh, p)
+	s.processOnShardLocked(sh, p, nil)
+}
+
+// moduleRun accumulates a run of consecutive same-module packets for
+// one ToModuleBatch delivery.
+type moduleRun struct {
+	module uint32
+	pkts   []*packet.Packet
+}
+
+// flushRun hands the accumulated run to the batch sink and resets it.
+func (s *Switch) flushRun(run *moduleRun) {
+	if run == nil || len(run.pkts) == 0 {
+		return
+	}
+	s.ToModuleBatch(run.module, run.pkts)
+	run.pkts = run.pkts[:0]
 }
 
 // dispatch matches and applies one packet on a shard. The caller
-// holds the table lock (shared or exclusive) and the shard lock.
-func (s *Switch) dispatch(sh *shard, p *packet.Packet) {
+// holds the table lock (shared or exclusive) and the shard lock. run,
+// when non-nil, is the caller's batch accumulator: to-module packets
+// are parked there instead of delivered immediately (the caller
+// flushes at batch end), so a burst for one module crosses into the
+// datapath as a single batch.
+func (s *Switch) dispatch(sh *shard, p *packet.Packet, run *moduleRun) {
 	t := p.Tuple()
 	if !sh.seen[t] {
 		isNew := p.Protocol == packet.ProtoUDP ||
@@ -352,10 +386,24 @@ func (s *Switch) dispatch(sh *shard, p *packet.Packet) {
 	switch rule.Action {
 	case ActDrop:
 	case ActToModule:
-		if s.ToModule != nil {
+		switch {
+		case s.ToModuleBatch != nil && run != nil:
+			if len(run.pkts) > 0 && run.module != rule.Module {
+				s.flushRun(run)
+			}
+			run.module = rule.Module
+			run.pkts = append(run.pkts, p)
+		case s.ToModuleBatch != nil:
+			sh.one[0] = p
+			s.ToModuleBatch(rule.Module, sh.one[:1])
+			sh.one[0] = nil
+		case s.ToModule != nil:
 			s.ToModule(rule.Module, p)
 		}
 	case ActOutput:
+		// Keep output-vs-module ordering: anything parked for the
+		// datapath leaves before this packet does.
+		s.flushRun(run)
 		if s.Output != nil {
 			s.Output(rule.Port, p)
 		}
@@ -443,14 +491,21 @@ func (s *Switch) PerShard() []ShardStats {
 // table-lock acquisition, holding each shard lock across runs of
 // consecutive same-shard packets instead of re-taking it per packet.
 // Packets dispatch in batch order, so the ordering guarantees are
-// those of calling Process sequentially — the batch only amortizes
-// lock traffic (it allocates nothing).
+// those of calling Process sequentially — the batch amortizes lock
+// traffic, and with a ToModuleBatch sink it also coalesces runs of
+// same-module packets into single datapath deliveries. Without a batch
+// sink it allocates nothing; with one, at most one run buffer per
+// call.
 func (s *Switch) ProcessBatch(pkts []*packet.Packet) {
 	if len(pkts) == 0 {
 		return
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	var run *moduleRun
+	if s.ToModuleBatch != nil {
+		run = &moduleRun{pkts: make([]*packet.Packet, 0, len(pkts))}
+	}
 	var held *shard
 	for _, p := range pkts {
 		sh := s.shardFor(p.Tuple())
@@ -461,16 +516,20 @@ func (s *Switch) ProcessBatch(pkts []*packet.Packet) {
 			sh.mu.Lock()
 			held = sh
 		}
-		s.processOnShardLocked(sh, p)
+		s.processOnShardLocked(sh, p, run)
 	}
 	if held != nil {
 		held.mu.Unlock()
 	}
+	// The final run is flushed after the last shard lock is released:
+	// the packets already dispatched (counters, flow cache) and only
+	// delivery remains, so a slow datapath does not hold up the shard.
+	s.flushRun(run)
 }
 
 // processOnShardLocked is Process's body after the locks are held:
 // outage buffering or dispatch.
-func (s *Switch) processOnShardLocked(sh *shard, p *packet.Packet) {
+func (s *Switch) processOnShardLocked(sh *shard, p *packet.Packet, run *moduleRun) {
 	if s.down {
 		limit := s.BufferLimit
 		if limit <= 0 {
@@ -485,7 +544,7 @@ func (s *Switch) processOnShardLocked(sh *shard, p *packet.Packet) {
 		sh.buffered.Add(1)
 		return
 	}
-	s.dispatch(sh, p)
+	s.dispatch(sh, p, run)
 }
 
 // ShardOf reports which shard a five-tuple dispatches on (stable for
