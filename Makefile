@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication bench-admission bench-pipeline bench-all bench-gate smoke-telemetry experiments examples fuzz fmt vet clean golden chaos chaos-replication chaos-quorum
+.PHONY: all build test race cover bench bench-fast bench-telemetry bench-replication bench-admission bench-pipeline bench-all bench-gate smoke-telemetry lint-metrics experiments examples fuzz fmt vet clean golden chaos chaos-replication chaos-quorum
 
 # Commit id stamped into BENCH_HISTORY.jsonl entries; CI overrides it.
 COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -80,6 +80,11 @@ bench-gate:
 smoke-telemetry:
 	./scripts/smoke_telemetry.sh
 
+# Fail when a registered metric name breaks the innet_[a-z0-9_]+
+# convention or is missing from the docs/FORMATS.md §9 metrics table.
+lint-metrics:
+	./scripts/lint_metrics.sh
+
 # The paper's evaluation as printed tables (quick variant: seconds).
 experiments:
 	$(GO) run ./cmd/innet-bench -quick
@@ -112,9 +117,10 @@ chaos:
 
 # The replication chaos suite under the race detector: leader kills,
 # leader<->standby partitions and stream lag over real loopback TCP,
-# with differential convergence checks against unfaulted runs.
+# with differential convergence checks against unfaulted runs, plus
+# the flight-recorder sequence check (crash -> election -> failover).
 chaos-replication:
-	$(GO) test -race ./internal/faults/ ./internal/replication/ -run 'TestRepl|TestPromotion|TestDeployIdempotent' -count=1 -v
+	$(GO) test -race ./internal/faults/ ./internal/replication/ -run 'TestRepl|TestPromotion|TestDeployIdempotent|TestFlightRecorder' -count=1 -v
 
 # The quorum chaos suite under the race detector: 3- and 5-node
 # groups with elections — leader crash mid-deploy, symmetric and

@@ -59,6 +59,10 @@ func main() {
 		err = stats(client, args[1:])
 	case "trace":
 		err = trace(client, args[1:])
+	case "pathtrace":
+		err = pathtrace(client, args[1:])
+	case "events":
+		err = events(client, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "innetctl: unknown command %q\n", args[0])
 		usage()
@@ -89,6 +93,11 @@ commands:
                                        full Prometheus exposition)
   trace <module-id-or-name> | trace -n K
                                       (admission traces, stage by stage)
+  pathtrace <module-id-or-name> [-n K]
+                                      (sampled per-flow dataplane path
+                                       traces, hop by hop)
+  events [-n K]                       (flight-recorder fault events,
+                                       newest first)
 `)
 }
 
@@ -111,6 +120,8 @@ func deploy(c *api.Client, args []string) error {
 		reqFile     = fs.String("requirements", "", "requirements file (reach statements)")
 		whitelist   = fs.String("whitelist", "", "comma-separated authorized destinations")
 		transparent = fs.Bool("transparent", false, "request transparent interposition (operator only)")
+		traceEvery  = fs.Int("trace-every", 0,
+			"per-flow path-trace sampling for this module: trace one flow in every N (0 = platform default, negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +147,7 @@ func deploy(c *api.Client, args []string) error {
 			Trust:        api.TrustName(parsed.Trust),
 			Whitelist:    parsed.Whitelist,
 			Transparent:  parsed.Transparent,
+			TraceEvery:   *traceEvery,
 		})
 		if err != nil {
 			return err
@@ -150,6 +162,7 @@ func deploy(c *api.Client, args []string) error {
 		Stock:       *stock,
 		Trust:       *trust,
 		Transparent: *transparent,
+		TraceEvery:  *traceEvery,
 	}
 	if *configFile != "" {
 		data, err := os.ReadFile(*configFile)
@@ -190,10 +203,10 @@ func list(c *api.Client) error {
 		fmt.Println("no deployments")
 		return nil
 	}
-	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %-10s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "STATUS", "DATAPLANE", "SANDBOXED")
+	fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %-10s %-9s %s\n", "ID", "TENANT", "MODULE", "PLATFORM", "ADDR", "STATUS", "DATAPLANE", "SANDBOXED", "FALLBACK-REASON")
 	for _, m := range mods {
-		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %-10s %v\n",
-			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Status, m.Dataplane, m.Sandboxed)
+		fmt.Printf("%-8s %-12s %-12s %-12s %-16s %-10s %-10s %-9v %s\n",
+			m.ID, m.Tenant, m.ModuleName, m.Platform, m.Addr, m.Status, m.Dataplane, m.Sandboxed, m.FallbackReason)
 	}
 	return nil
 }
@@ -238,7 +251,20 @@ func health(c *api.Client) error {
 		for _, r := range reasons {
 			fmt.Printf("pipeline fallback (%d): %s\n", p.Reasons[r], r)
 		}
+		mods := make([]string, 0, len(p.Modules))
+		for m := range p.Modules {
+			mods = append(mods, m)
+		}
+		sort.Strings(mods)
+		for _, m := range mods {
+			if reason := p.Modules[m]; reason != "" {
+				fmt.Printf("module %s: graph-walk (%s)\n", m, reason)
+			} else {
+				fmt.Printf("module %s: compiled\n", m)
+			}
+		}
 	}
+	printDropRollup(h.DropReasons)
 	if cs := h.Cache; cs != nil {
 		fmt.Printf("admission cache: hits=%d misses=%d entries=%d evictions=%d invalidations=%d\n",
 			cs.Hits, cs.Misses, cs.Entries, cs.Evictions, cs.Invalidations)
@@ -288,6 +314,11 @@ func stats(c *api.Client, args []string) error {
 	if *raw {
 		fmt.Print(text)
 		return nil
+	}
+	// The unified drop rollup leads: it is the one table an operator
+	// asks for first when packets go missing.
+	if h, herr := c.Health(); herr == nil {
+		printDropRollup(h.DropReasons)
 	}
 	for _, line := range strings.Split(text, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -350,6 +381,104 @@ func trace(c *api.Client, args []string) error {
 			return fmt.Errorf("no trace for %q in the server's ring (deploys before the last %d admissions have aged out)", want, len(traces))
 		}
 		fmt.Println("no traces recorded yet")
+	}
+	return nil
+}
+
+// printDropRollup renders the unified site → reason → count drop
+// attribution (zero counts skipped; nothing printed when the daemon
+// has no hub wired).
+func printDropRollup(rollup map[string]map[string]uint64) {
+	sites := make([]string, 0, len(rollup))
+	for site := range rollup {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		reasons := make([]string, 0, len(rollup[site]))
+		for r := range rollup[site] {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			if n := rollup[site][r]; n > 0 {
+				fmt.Printf("drops %s/%s: %d\n", site, r, n)
+			}
+		}
+	}
+}
+
+// pathtrace prints sampled per-flow dataplane path traces for one
+// module, hop by hop.
+func pathtrace(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("pathtrace", flag.ExitOnError)
+	n := fs.Int("n", -1, "how many traces to fetch (0 = all retained)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("pathtrace wants exactly one module id or name")
+	}
+	res, err := c.PathTraces(fs.Arg(0), *n)
+	if err != nil {
+		return err
+	}
+	if len(res.Traces) == 0 {
+		fmt.Printf("no path traces for %s at %s yet (is the module's sampling rate on? see -trace-every / trace_every)\n",
+			res.Module, res.Addr)
+		return nil
+	}
+	for _, tr := range res.Traces {
+		fmt.Printf("trace %d flow=%x dataplane=%s (at %s)\n",
+			tr.Seq, tr.FlowHash, tr.Dataplane, tr.Time.Format(time.RFC3339))
+		for _, h := range tr.Hops {
+			elem := h.Elem
+			if elem == "" {
+				elem = "(egress)"
+			}
+			fused := ""
+			if h.FusedRun >= 0 {
+				fused = fmt.Sprintf("  [fused run %d]", h.FusedRun)
+			}
+			fmt.Printf("  %-18s in=%-3s out=%-3s %s%s\n",
+				elem, port(h.InPort), port(h.OutPort), h.Verdict, fused)
+		}
+	}
+	return nil
+}
+
+// port renders a port number, with -1 (not applicable) as "-".
+func port(p int) string {
+	if p < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", p)
+}
+
+// events prints the flight recorder, newest first.
+func events(c *api.Client, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	n := fs.Int("n", -1, "how many events to fetch (0 = the whole ring)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	evs, err := c.Events(*n)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		fmt.Println("no events recorded")
+		return nil
+	}
+	for _, e := range evs {
+		line := fmt.Sprintf("%6d  %s  %-18s %s", e.Seq, e.Time.Format(time.RFC3339), e.Type, e.Source)
+		if e.Ref != "" {
+			line += " " + e.Ref
+		}
+		if e.Detail != "" {
+			line += "  (" + e.Detail + ")"
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

@@ -10,6 +10,8 @@
 //	GET    /v1/classes      list available Click element classes
 //	GET    /v1/metrics      Prometheus text metrics (disable with -no-telemetry)
 //	GET    /v1/traces       recent admission traces as JSON
+//	GET    /v1/pathtrace    sampled per-flow path traces for one module (-simulate)
+//	GET    /v1/events       flight-recorder fault/transition events
 //
 // With -state-dir the controller is crash-safe: every deployment
 // lifecycle transition is written ahead to a checksummed journal
@@ -32,6 +34,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +43,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -103,6 +107,10 @@ func run() int {
 			"invalidate the whole admission cache on every topology mutation instead of delta re-verification")
 		pipelineWorkers = flag.Int("pipeline-workers", 1,
 			"run-to-completion pipeline workers per compiled module dataplane (rounded up to a power of two)")
+		traceEvery = flag.Int("trace-every", telemetry.DefaultTraceEvery,
+			"per-flow path-trace sampling: trace one flow in every N through each module's dataplane (negative disables; a module's own trace_every overrides)")
+		eventRing = flag.Int("event-ring", telemetry.DefaultEventRing,
+			"flight-recorder events retained in memory for GET /v1/events and postmortem dumps")
 	)
 	flag.Parse()
 
@@ -187,6 +195,23 @@ func run() int {
 			store.RegisterMetrics(reg)
 		}
 	}
+	// The flight recorder and the drop-attribution hub are always on:
+	// events are rare and the hub only reads counters at scrape time.
+	rec := telemetry.NewRecorder(*eventRing)
+	drops := telemetry.NewDrops()
+	ctl.SetRecorder(rec)
+	ctl.RegisterDrops(drops)
+	if store != nil {
+		store.SetRecorder(rec)
+	}
+	// A crash dumps the flight recorder next to the journal it may
+	// have wedged, so the postmortem survives the process.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpPostmortem(*stateDir, rec, fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
 	var repl *replication.Node
 	if replRole != controller.RoleSingle {
 		listenRepl := *replListen
@@ -212,7 +237,11 @@ func run() int {
 			FailoverAfter:   *failoverAfter,
 			ElectionTimeout: *electionTimeout,
 			Registry:        reg,
-			Logf:            log.Printf,
+			Rec:             rec,
+			OnFence: func(reason string) {
+				dumpPostmortem(*stateDir, rec, "fenced: "+reason)
+			},
+			Logf: log.Printf,
 		})
 		if err != nil {
 			log.Printf("innetd: %v", err)
@@ -221,6 +250,7 @@ func run() int {
 		// The node replaces the bare store as the controller's journal
 		// sink: every strict transition now replicates synchronously.
 		ctl.AttachJournal(repl)
+		repl.RegisterDrops(drops)
 		if err := repl.Start(); err != nil {
 			log.Printf("innetd: %v", err)
 			return 1
@@ -246,9 +276,14 @@ func run() int {
 			}
 		}
 		sim.RegisterMetrics(reg)
+		sim.RegisterDrops(drops)
+		sim.SetRecorder(rec)
+		sim.SetTraceEvery(*traceEvery)
 	}
+	drops.Attach(reg)
 	handler := api.NewServerWithSimulator(ctl, sim)
 	handler.AttachTelemetry(reg, tracer)
+	handler.AttachObservability(drops, rec)
 	if repl != nil {
 		handler.AttachReplication(repl)
 	}
@@ -307,6 +342,30 @@ func run() int {
 		log.Printf("innetd: drained, bye")
 		return 0
 	}
+}
+
+// dumpPostmortem writes the flight recorder's full contents (plus the
+// triggering cause) to <state-dir>/postmortem.json so the event
+// sequence leading into a crash or fencing survives the process. Best
+// effort: a daemon without -state-dir has nowhere durable to write.
+func dumpPostmortem(dir string, rec *telemetry.Recorder, cause string) {
+	if dir == "" || rec == nil {
+		return
+	}
+	data, err := json.MarshalIndent(struct {
+		Cause  string            `json:"cause"`
+		Time   time.Time         `json:"time"`
+		Events []telemetry.Event `json:"events"`
+	}{cause, time.Now(), rec.Recent(0)}, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(dir, "postmortem.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Printf("innetd: postmortem dump: %v", err)
+		return
+	}
+	log.Printf("innetd: wrote postmortem (%s) to %s", cause, path)
 }
 
 // checkStateDir verifies the journal directory exists, is a

@@ -32,6 +32,10 @@ type DeployRequest struct {
 	Trust        string   `json:"trust"` // "third-party" | "client" | "operator"
 	Whitelist    []string `json:"whitelist,omitempty"`
 	Transparent  bool     `json:"transparent,omitempty"`
+	// TraceEvery sets this module's per-flow path-trace sampling rate:
+	// one flow in every N is traced end to end. 0 inherits the
+	// platform default; negative disables tracing for the module.
+	TraceEvery int `json:"trace_every,omitempty"`
 }
 
 // DeployResponse describes a placed module.
@@ -91,6 +95,11 @@ type HealthResponse struct {
 	// deployments (workers, compiled vs graph-walk fallback counts,
 	// fallback reasons).
 	Pipeline *PipelineInfo `json:"pipeline,omitempty"`
+	// DropReasons is the unified drop-attribution rollup: subsystem
+	// site → taxonomy reason → total count, mirroring
+	// innet_drops_total{site,reason}. Present when the daemon has the
+	// drop hub wired.
+	DropReasons map[string]map[string]uint64 `json:"drop_reasons,omitempty"`
 }
 
 // PipelineInfo is the compiled-dataplane slice of GET /v1/health.
@@ -99,6 +108,9 @@ type PipelineInfo struct {
 	Compiled int            `json:"compiled"`
 	Fallback int            `json:"fallback"`
 	Reasons  map[string]int `json:"reasons,omitempty"`
+	// Modules maps each live module name to its fallback reason; a
+	// compiled module maps to "".
+	Modules map[string]string `json:"modules,omitempty"`
 }
 
 // ReplicationInfo is the replication slice of GET /v1/health.
@@ -162,6 +174,23 @@ type CacheInfo struct {
 // TracesResponse is the GET /v1/traces body.
 type TracesResponse struct {
 	Traces []telemetry.Trace `json:"traces"`
+}
+
+// PathTracesResponse is the GET /v1/pathtrace body: the most recent
+// sampled per-flow path traces for one deployed module.
+type PathTracesResponse struct {
+	// Module is the module name the query resolved.
+	Module string `json:"module"`
+	// Addr is the module's dataplane address.
+	Addr string `json:"addr"`
+	// Traces lists sampled traversals, newest first.
+	Traces []telemetry.PathTrace `json:"traces"`
+}
+
+// EventsResponse is the GET /v1/events body: the flight recorder's
+// most recent structured fault/transition events, newest first.
+type EventsResponse struct {
+	Events []telemetry.Event `json:"events"`
 }
 
 // QueryRequest is the POST /v1/query body: reach statements to check
@@ -508,6 +537,35 @@ func (c *Client) Traces(n int) ([]telemetry.Trace, error) {
 		return nil, err
 	}
 	return out.Traces, nil
+}
+
+// PathTraces fetches the n most recent sampled path traces for a
+// deployed module (0 = all retained; negative uses the server
+// default).
+func (c *Client) PathTraces(module string, n int) (*PathTracesResponse, error) {
+	path := "/v1/pathtrace?module=" + url.QueryEscape(module)
+	if n >= 0 {
+		path = fmt.Sprintf("%s&n=%d", path, n)
+	}
+	var out PathTracesResponse
+	if err := c.call(http.MethodGet, path, nil, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Events fetches the n most recent flight-recorder events (0 = the
+// whole ring; negative uses the server default).
+func (c *Client) Events(n int) ([]telemetry.Event, error) {
+	path := "/v1/events"
+	if n >= 0 {
+		path = fmt.Sprintf("%s?n=%d", path, n)
+	}
+	var out EventsResponse
+	if err := c.call(http.MethodGet, path, nil, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Events, nil
 }
 
 func decodeError(resp *http.Response) error {

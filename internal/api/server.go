@@ -58,6 +58,12 @@ type Server struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
 
+	// drops/recorder back GET /v1/health's drop rollup and GET
+	// /v1/events; nil leaves /v1/events answering 501. Set by
+	// AttachObservability before serving.
+	drops    *telemetry.Drops
+	recorder *telemetry.Recorder
+
 	// repl, when set, makes the server role-aware: mutating requests
 	// on a standby or fenced node are redirected (307 with Location)
 	// to the advertised leader, or refused (503 with Retry-After) when
@@ -92,6 +98,8 @@ func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server 
 	s.mux.HandleFunc("/v1/health", s.health)
 	s.mux.HandleFunc("/v1/metrics", s.metrics)
 	s.mux.HandleFunc("/v1/traces", s.traces)
+	s.mux.HandleFunc("/v1/pathtrace", s.pathtrace)
+	s.mux.HandleFunc("/v1/events", s.events)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -106,6 +114,15 @@ func NewServerWithSimulator(ctl *controller.Controller, sim *Simulator) *Server 
 func (s *Server) AttachTelemetry(r *telemetry.Registry, tr *telemetry.Tracer) {
 	s.reg = r
 	s.tracer = tr
+}
+
+// AttachObservability wires the unified drop-attribution hub and the
+// flight recorder into the server: GET /v1/health gains the
+// drop_reasons rollup and GET /v1/events serves the recorder's recent
+// events. Either argument may be nil. Call before serving.
+func (s *Server) AttachObservability(d *telemetry.Drops, rec *telemetry.Recorder) {
+	s.drops = d
+	s.recorder = rec
 }
 
 // SetDeployTimeout overrides the per-request admission deadline. Zero
@@ -193,7 +210,8 @@ func normalizeEndpoint(path string) string {
 	}
 	switch path {
 	case "/v1/modules", "/v1/classes", "/v1/query", "/v1/inject",
-		"/v1/health", "/v1/metrics", "/v1/traces", "/healthz":
+		"/v1/health", "/v1/metrics", "/v1/traces", "/v1/pathtrace",
+		"/v1/events", "/healthz":
 		return path
 	}
 	return "other"
@@ -229,20 +247,96 @@ func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotImplemented, fmt.Errorf("tracing is not enabled on this server"))
 		return
 	}
-	n := DefaultTraceFetch
-	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q (want a non-negative integer; 0 = all)", q))
-			return
-		}
-		n = v
+	n, ok := fetchN(w, r)
+	if !ok {
+		return
 	}
 	out := s.tracer.Recent(n)
 	if out == nil {
 		out = []telemetry.Trace{}
 	}
 	writeJSON(w, http.StatusOK, TracesResponse{Traces: out})
+}
+
+// fetchN parses the shared n query parameter (how many entries to
+// return; 0 = all retained) with DefaultTraceFetch as the absent
+// default. Reports false after writing the 400 itself.
+func fetchN(w http.ResponseWriter, r *http.Request) (int, bool) {
+	n := DefaultTraceFetch
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad n %q (want a non-negative integer; 0 = all)", q))
+			return 0, false
+		}
+		n = v
+	}
+	return n, true
+}
+
+func (s *Server) pathtrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.sim == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("path tracing needs the embedded dataplane (start innetd with -simulate)"))
+		return
+	}
+	module := r.URL.Query().Get("module")
+	if module == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing module query parameter"))
+		return
+	}
+	n, ok := fetchN(w, r)
+	if !ok {
+		return
+	}
+	// Resolve by deployment ID first, then by module name — both are
+	// unique, and operators hold whichever the deploy response gave
+	// them.
+	dep, found := s.ctl.Get(module)
+	if !found {
+		for _, d := range s.ctl.Deployments() {
+			if d.ModuleName == module {
+				dep, found = d, true
+				break
+			}
+		}
+	}
+	if !found {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no deployment %q", module))
+		return
+	}
+	traces := s.sim.PathTraces(dep.Platform, dep.Addr, n)
+	if traces == nil {
+		traces = []telemetry.PathTrace{}
+	}
+	writeJSON(w, http.StatusOK, PathTracesResponse{
+		Module: dep.ModuleName,
+		Addr:   packet.IPString(dep.Addr),
+		Traces: traces,
+	})
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.recorder == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("the flight recorder is not enabled on this server"))
+		return
+	}
+	n, ok := fetchN(w, r)
+	if !ok {
+		return
+	}
+	out := s.recorder.Recent(n)
+	if out == nil {
+		out = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{Events: out})
 }
 
 // decodeBody reads a size-capped JSON body into v, writing the error
@@ -296,6 +390,7 @@ func (s *Server) modules(w http.ResponseWriter, r *http.Request) {
 			Trust:        trust,
 			Whitelist:    req.Whitelist,
 			Transparent:  req.Transparent,
+			TraceEvery:   req.TraceEvery,
 		})
 		if err != nil {
 			status := http.StatusInternalServerError
@@ -507,9 +602,13 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		Compiled: ps.Compiled,
 		Fallback: ps.Fallback,
 		Reasons:  ps.Reasons,
+		Modules:  ps.Modules,
 	}
 	if s.sim != nil {
 		resp.Drops = s.sim.Drops()
+	}
+	if s.drops != nil {
+		resp.DropReasons = s.drops.Snapshot()
 	}
 	if err := s.ctl.JournalErr(); err != nil {
 		resp.Errors = append(resp.Errors, "journal: "+err.Error())

@@ -110,6 +110,56 @@ func (s *Simulator) RegisterMetrics(r *telemetry.Registry) {
 	}
 }
 
+// RegisterDrops contributes every simulated platform's drop counters
+// (platform lifecycle drops plus compiled-pipeline per-reason drops)
+// and every vswitch's dispatch drops to the unified attribution hub.
+// Platform reads take s.mu like RegisterMetrics; vswitch reads are
+// wait-free atomics.
+func (s *Simulator) RegisterDrops(d *telemetry.Drops) {
+	if d == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, p := range s.platforms {
+		p.RegisterDrops(d, &s.mu)
+		s.switches[name].RegisterDrops(d)
+	}
+}
+
+// SetRecorder points every simulated platform's fault events at one
+// shared flight recorder. Call before traffic flows.
+func (s *Simulator) SetRecorder(rec *telemetry.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.platforms {
+		p.Rec = rec
+	}
+}
+
+// SetTraceEvery sets the default per-flow path-trace sampling rate on
+// every simulated platform (a module's own TraceEvery still wins).
+func (s *Simulator) SetTraceEvery(every int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.platforms {
+		p.TraceEvery = every
+	}
+}
+
+// PathTraces returns the n most recent sampled path traces for the
+// module at addr on the named platform (newest first; n <= 0 = all
+// retained).
+func (s *Simulator) PathTraces(platformName string, addr uint32, n int) []telemetry.PathTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.platforms[platformName]
+	if !ok {
+		return nil
+	}
+	return p.PathTraces(addr, n)
+}
+
 // Drops reports each platform's total dropped-packet count (the sum
 // of its Dropped* counters), for /v1/health.
 func (s *Simulator) Drops() map[string]uint64 {

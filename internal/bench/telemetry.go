@@ -19,6 +19,7 @@ import (
 
 	"github.com/in-net/innet/internal/controller"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/pipeline"
 	"github.com/in-net/innet/internal/security"
 	"github.com/in-net/innet/internal/telemetry"
 	"github.com/in-net/innet/internal/topology"
@@ -51,6 +52,18 @@ type TelemetryResult struct {
 	AdmissionDisabledOpsPerSec float64 `json:"admission_disabled_ops_per_sec"`
 	AdmissionEnabledOpsPerSec  float64 `json:"admission_enabled_ops_per_sec"`
 	AdmissionOverheadPct       float64 `json:"admission_overhead_pct"`
+
+	// Compiled-pipeline dispatch with flow-sampled path tracing dark
+	// vs armed at the default 1-in-N rate, burst heads rotated through
+	// all flows so the sampler fires at its steady-state frequency.
+	// The acceptance bar is ≤5% overhead.
+	PathTraceEvery       int     `json:"pathtrace_every"`
+	PathTraceBatch       int     `json:"pathtrace_batch"`
+	PathTraceDisabledPPS float64 `json:"pathtrace_disabled_pps"`
+	PathTraceEnabledPPS  float64 `json:"pathtrace_enabled_pps"`
+	PathTraceOverheadPct float64 `json:"pathtrace_overhead_pct"`
+	// PathTraces counts complete traces the armed side committed.
+	PathTraces uint64 `json:"pathtraces"`
 
 	GOMAXPROCS int `json:"gomaxprocs"`
 	NumCPU     int `json:"num_cpu"`
@@ -160,6 +173,53 @@ func measureAdmissionTelemetry(enabled bool, cycles int) float64 {
 	return float64(cycles) / time.Since(start).Seconds()
 }
 
+// measurePipelinePathTrace pushes n pre-stamped packets through the
+// compiled Exec in bursts of batch — measurePipelineCompiled's
+// workload — optionally with flow-sampled path tracing armed at the
+// default rate. The burst window slides through a doubled flow slice
+// so every flow takes the head slot in turn: the armed side pays the
+// real steady state (one AffinityHash per burst, and a full traced
+// sweep whenever the head flow lands on the 1-in-every residue)
+// rather than a fixed head that either always samples or never does.
+// Returns the elapsed send time and the number of traces committed.
+func measurePipelinePathTrace(n, batch int, enabled bool) (time.Duration, uint64) {
+	prog, err := pipeline.CompileConfig(pipelineBenchConfig)
+	if err != nil {
+		panic(err)
+	}
+	x := pipeline.NewExec(prog)
+	var now int64
+	var tx uint64
+	x.Now = func() int64 { return now }
+	x.Transmit = func(iface int, p *packet.Packet) { tx++ }
+	var seq atomic.Uint64
+	if enabled {
+		x.EnablePathTrace(telemetry.NewPathRing(telemetry.DefaultPathRing, &seq), 0)
+	}
+	// Far more flows than a burst: with the window sliding one flow per
+	// round, an expected nflows/every ≈ 4 flows land on the sampling
+	// residue, so the armed side really does traced runs instead of
+	// only paying the per-burst hash.
+	nflows := 8 * telemetry.DefaultTraceEvery / 2
+	pkts := pipelineFlows(nflows)
+	all := append(append(make([]*packet.Packet, 0, 2*nflows), pkts...), pkts...)
+	rounds := n / batch
+	for i := 0; i < 4096/batch+1; i++ {
+		w := all[i%nflows : i%nflows+batch]
+		resetTTLs(w)
+		now += int64(1000 * batch)
+		x.Run(0, w)
+	}
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		w := all[i%nflows : i%nflows+batch]
+		resetTTLs(w)
+		now += int64(1000 * batch)
+		x.Run(0, w)
+	}
+	return time.Since(start), seq.Load()
+}
+
 // TelemetryMeasure runs the paired overhead experiments. Both sides
 // of each pair run back to back within a trial and the trial with the
 // highest aggregate throughput supplies the figures (same methodology
@@ -221,6 +281,36 @@ func TelemetryMeasure(quick bool) *TelemetryResult {
 	}
 	r.AdmissionDisabledOpsPerSec, r.AdmissionEnabledOpsPerSec = bestAdm.off, bestAdm.on
 	r.AdmissionOverheadPct = (bestAdm.off - bestAdm.on) / bestAdm.off * 100
+
+	// Path-trace pair: same interleaved-round discipline as dispatch so
+	// drift lands on both sides of the ratio.
+	r.PathTraceEvery = telemetry.DefaultTraceEvery
+	r.PathTraceBatch = 32
+	ptPer := pkts / rounds
+	type ptTrial struct {
+		off, on time.Duration
+		traces  uint64
+	}
+	var bestPT ptTrial
+	measurePipelinePathTrace(r.PathTraceBatch, r.PathTraceBatch, false) // warm-up
+	for i := 0; i < trials; i++ {
+		var cur ptTrial
+		for j := 0; j < rounds; j++ {
+			off, _ := measurePipelinePathTrace(ptPer, r.PathTraceBatch, false)
+			on, traces := measurePipelinePathTrace(ptPer, r.PathTraceBatch, true)
+			cur.off += off
+			cur.on += on
+			cur.traces += traces
+		}
+		if bestPT.off == 0 || cur.off+cur.on < bestPT.off+bestPT.on {
+			bestPT = cur
+		}
+	}
+	ptSent := float64((ptPer / r.PathTraceBatch) * r.PathTraceBatch * rounds)
+	r.PathTraceDisabledPPS = ptSent / bestPT.off.Seconds()
+	r.PathTraceEnabledPPS = ptSent / bestPT.on.Seconds()
+	r.PathTraceOverheadPct = (r.PathTraceDisabledPPS - r.PathTraceEnabledPPS) / r.PathTraceDisabledPPS * 100
+	r.PathTraces = bestPT.traces
 	return r
 }
 
@@ -247,9 +337,13 @@ func TelemetryTable(r *TelemetryResult) *Table {
 	t.AddRow("admission deploy+kill (ops/s)",
 		f1(r.AdmissionDisabledOpsPerSec), f1(r.AdmissionEnabledOpsPerSec),
 		fmt.Sprintf("%.1f%%", r.AdmissionOverheadPct))
+	t.AddRow(fmt.Sprintf("pipeline pathtrace 1/%d (Mpps)", r.PathTraceEvery),
+		f2(r.PathTraceDisabledPPS/1e6), f2(r.PathTraceEnabledPPS/1e6),
+		fmt.Sprintf("%.1f%%", r.PathTraceOverheadPct))
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("enabled side scraped the full exposition %d times (every %v) during dispatch", r.Scrapes, benchScrapeInterval),
 		fmt.Sprintf("%d shards, %d senders, GOMAXPROCS=%d, NumCPU=%d", r.DispatchShards, r.DispatchGoroutines, r.GOMAXPROCS, r.NumCPU),
-		"admission side: stage histograms + span tracer attached, cache disabled (full pipeline per cycle)")
+		"admission side: stage histograms + span tracer attached, cache disabled (full pipeline per cycle)",
+		fmt.Sprintf("pathtrace side: compiled Exec, burst %d with rotating head, %d traces committed", r.PathTraceBatch, r.PathTraces))
 	return t
 }

@@ -32,6 +32,11 @@ type Context struct {
 	// DropHook, if non-nil, observes every dropped packet (packets
 	// pushed to an unconnected port or discarded by an element).
 	DropHook func(p *packet.Packet)
+	// PathHook, if non-nil, observes every hop a packet takes through
+	// the graph walk: the element it leaves, the output port it used
+	// and the input port it arrives on. The sampled path tracer arms
+	// it per traced packet; when unset each hop pays one nil check.
+	PathHook func(elem string, outPort, inPort int, p *packet.Packet)
 	// Pool recycles dropped packets when non-nil.
 	Pool *packet.Pool
 }
@@ -129,6 +134,9 @@ func (b *Base) SetOutput(p int, t Target) error {
 func (b *Base) Out(ctx *Context, p int, pk *packet.Packet) {
 	if p < len(b.outs) && b.outs[p].Elem != nil {
 		t := b.outs[p]
+		if ctx.PathHook != nil {
+			ctx.PathHook(b.name, p, t.Port, pk)
+		}
 		t.Elem.Push(ctx, t.Port, pk)
 		return
 	}

@@ -163,6 +163,13 @@ func (c *Controller) epochLocked() string {
 // digest table stale. Call after every mutation of the deployment set
 // or platform health.
 func (c *Controller) bumpEpochLocked() {
+	if !c.epochDirty || !c.digestsDirty {
+		// First invalidation since the last recompute of either staleness
+		// surface (the epoch hash in wholesale mode, the digest table in
+		// delta mode): one event per burst of mutations, so the recorder
+		// is not flooded.
+		c.recordLocked("cache-invalidate", "topology mutation", "")
+	}
 	c.epochDirty = true
 	c.digestsDirty = true
 }

@@ -53,6 +53,10 @@ type Request struct {
 	// Transparent requests interposition on traffic not addressed to
 	// the module; operator-only.
 	Transparent bool
+	// TraceEvery is the module's path-trace sampling rate (one flow in
+	// N); 0 inherits the platform default, negative disables tracing
+	// for this module.
+	TraceEvery int
 }
 
 // Stock module catalog (§4.1: "a reverse-HTTP proxy appliance, an
@@ -232,10 +236,11 @@ func (d *Deployment) Dataplane() string {
 // control plane and the (simulated) dataplane.
 func (d *Deployment) PlatformSpec() platform.ModuleSpec {
 	return platform.ModuleSpec{
-		Addr:     d.Addr,
-		Config:   d.Config,
-		Kind:     platform.ClickOS,
-		Stateful: d.Stateful(),
+		Addr:       d.Addr,
+		Config:     d.Config,
+		Kind:       platform.ClickOS,
+		Stateful:   d.Stateful(),
+		TraceEvery: d.req.TraceEvery,
 	}
 }
 
@@ -363,6 +368,9 @@ type Controller struct {
 	tracer *telemetry.Tracer
 	tel    *admissionTelemetry
 	span   *telemetry.Span
+	// rec, when set, receives flight-recorder events for platform
+	// health flips, failovers and cache invalidations.
+	rec *telemetry.Recorder
 
 	// Placed, Rejections count controller decisions.
 	Placed     int
@@ -792,6 +800,7 @@ func (c *Controller) MarkPlatformDown(name string) []*Deployment {
 		return nil
 	}
 	c.platformDown[name] = true
+	c.recordLocked("platform-down", "", name)
 	c.bumpEpochLocked()
 	// One platform-down record covers the whole sweep: replay folds
 	// the same active→degraded transition.
@@ -816,6 +825,7 @@ func (c *Controller) MarkPlatformUp(name string) {
 		return
 	}
 	delete(c.platformDown, name)
+	c.recordLocked("platform-up", "", name)
 	c.bumpEpochLocked()
 	c.journalBestEffortLocked(journal.Record{Type: journal.EvPlatformUp, Platform: name})
 	for _, d := range c.deployments {
@@ -879,6 +889,7 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 			c.bumpEpochLocked()
 			c.FailedMigrations++
 			c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrateFailed, ID: id, Reason: err.Error()})
+			c.recordLocked("migration-failed", err.Error(), id)
 			c.endSpanLocked("migration-failed")
 			failed = append(failed, d)
 			continue
@@ -888,6 +899,7 @@ func (c *Controller) Failover(name string) (migrated []Migration, failed []*Depl
 		c.bumpEpochLocked()
 		c.Migrations++
 		c.journalBestEffortLocked(journal.Record{Type: journal.EvMigrate, Dep: depRecord(nd)})
+		c.recordLocked("module-failover", d.Platform+" -> "+nd.Platform, id)
 		c.span.SetRef(nd.Platform)
 		c.endSpanLocked("migrated")
 		migrated = append(migrated, Migration{From: d, To: nd})
@@ -1057,6 +1069,9 @@ type PipelineStats struct {
 	Compiled int            `json:"compiled"`
 	Fallback int            `json:"fallback"`
 	Reasons  map[string]int `json:"reasons,omitempty"`
+	// Modules maps each live module name to its fallback reason; a
+	// compiled module maps to "".
+	Modules map[string]string `json:"modules,omitempty"`
 }
 
 // PipelineStatsSnapshot computes PipelineStats over the current
@@ -1066,11 +1081,16 @@ func (c *Controller) PipelineStatsSnapshot() PipelineStats {
 	defer c.mu.Unlock()
 	st := PipelineStats{Workers: c.opts.PipelineWorkers}
 	for _, d := range c.deployments {
+		if st.Modules == nil {
+			st.Modules = make(map[string]string)
+		}
 		if d.PipelineCompiled {
 			st.Compiled++
+			st.Modules[d.ModuleName] = ""
 			continue
 		}
 		st.Fallback++
+		st.Modules[d.ModuleName] = d.PipelineFallback
 		if st.Reasons == nil {
 			st.Reasons = make(map[string]int)
 		}

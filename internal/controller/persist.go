@@ -86,6 +86,7 @@ func depRecord(d *Deployment) *journal.DeploymentRecord {
 		Trust:           int(d.req.Trust),
 		Whitelist:       append([]string(nil), d.req.Whitelist...),
 		Transparent:     d.req.Transparent,
+		ReqTraceEvery:   d.req.TraceEvery,
 	}
 }
 
@@ -130,6 +131,7 @@ func requestFromRecord(rec *journal.DeploymentRecord) Request {
 		Trust:        security.TrustClass(rec.Trust),
 		Whitelist:    append([]string(nil), rec.Whitelist...),
 		Transparent:  rec.Transparent,
+		TraceEvery:   rec.ReqTraceEvery,
 	}
 }
 

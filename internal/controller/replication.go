@@ -108,7 +108,8 @@ func sameRequest(a, b Request) bool {
 	if a.Tenant != b.Tenant || a.ModuleName != b.ModuleName ||
 		a.Config != b.Config || a.Stock != b.Stock ||
 		a.Requirements != b.Requirements || a.Trust != b.Trust ||
-		a.Transparent != b.Transparent || len(a.Whitelist) != len(b.Whitelist) {
+		a.Transparent != b.Transparent || a.TraceEvery != b.TraceEvery ||
+		len(a.Whitelist) != len(b.Whitelist) {
 		return false
 	}
 	for i := range a.Whitelist {

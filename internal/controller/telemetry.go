@@ -125,6 +125,38 @@ func (c *Controller) AttachTelemetry(r *telemetry.Registry, tr *telemetry.Tracer
 		func() float64 { return float64(c.MemoStats().Entries) })
 }
 
+// SetRecorder wires a flight recorder into the controller. Like
+// AttachTelemetry it is meant to be called once, before serving.
+func (c *Controller) SetRecorder(r *telemetry.Recorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec = r
+}
+
+// recordLocked appends one flight-recorder event. Caller holds c.mu;
+// a controller with no recorder pays one nil check.
+func (c *Controller) recordLocked(typ, detail, ref string) {
+	if c.rec != nil {
+		c.rec.Record(typ, "controller", detail, ref)
+	}
+}
+
+// RegisterDrops contributes the controller's drop site to the unified
+// drop-attribution hub: admission rejections are "drops" of whole
+// deployment requests rather than packets, but they share the
+// innet_drops_total{site,reason} surface so one query covers every
+// place the system refuses work.
+func (c *Controller) RegisterDrops(d *telemetry.Drops) {
+	if d == nil {
+		return
+	}
+	d.Source("admission", "rejected", func() uint64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return uint64(c.Rejections)
+	})
+}
+
 // Tracer returns the attached trace ring (nil when tracing is off) so
 // the API layer can serve /v1/traces without holding a second handle.
 func (c *Controller) Tracer() *telemetry.Tracer {

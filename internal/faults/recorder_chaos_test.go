@@ -1,0 +1,84 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"github.com/in-net/innet/internal/telemetry"
+)
+
+// findEvent returns the lowest-Seq event of the given type recorded on
+// rec, or nil.
+func findEvent(rec *telemetry.Recorder, typ string) *telemetry.Event {
+	var found *telemetry.Event
+	for _, ev := range rec.Recent(0) {
+		if ev.Type == typ && (found == nil || ev.Seq < found.Seq) {
+			e := ev
+			found = &e
+		}
+	}
+	return found
+}
+
+// Crash the 3-node group's leader and drive a platform failover on the
+// new leader: its flight recorder must tell the whole story in order —
+// election won, platform marked down, module failed over — exactly the
+// sequence a postmortem dump would show an operator.
+func TestFlightRecorderLeaderCrashSequence(t *testing.T) {
+	g := newReplGroup(t, 3, ReplGroupOptions{FailoverAfter: 150 * time.Millisecond})
+
+	d, err := g.Nodes[0].Ctl.Deploy(replRequest(0))
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	platform := d.Platform
+
+	g.Crash(0)
+
+	idx := awaitLeader(t, g)
+	if idx == 0 {
+		t.Fatal("crashed node reported as leader")
+	}
+	rec := g.Nodes[idx].Rec
+
+	// The election the crash forced must be on the new leader's record.
+	waitRepl(t, "election-won event on new leader", func() bool {
+		return findEvent(rec, "election-won") != nil
+	})
+	won := findEvent(rec, "election-won")
+	if won.Source != "replication" {
+		t.Fatalf("election-won source = %q, want replication", won.Source)
+	}
+
+	// Operator reacts to the dead platform on the new leader.
+	lead := g.Nodes[idx].Ctl
+	if marked := lead.MarkPlatformDown(platform); len(marked) == 0 {
+		t.Fatalf("MarkPlatformDown(%s) marked no deployments", platform)
+	}
+	migrated, failed := lead.Failover(platform)
+	if len(migrated) == 0 && len(failed) == 0 {
+		t.Fatal("Failover produced neither migrations nor failures")
+	}
+
+	down := findEvent(rec, "platform-down")
+	if down == nil {
+		t.Fatal("no platform-down event recorded")
+	}
+	if down.Source != "controller" || down.Ref != platform {
+		t.Fatalf("platform-down = source %q ref %q, want controller/%s",
+			down.Source, down.Ref, platform)
+	}
+	move := findEvent(rec, "module-failover")
+	if move == nil {
+		move = findEvent(rec, "migration-failed")
+	}
+	if move == nil {
+		t.Fatal("no module-failover or migration-failed event recorded")
+	}
+
+	// The recorder's sequence numbers must order the story correctly.
+	if !(won.Seq < down.Seq && down.Seq < move.Seq) {
+		t.Fatalf("event sequence out of order: election-won=%d platform-down=%d failover=%d",
+			won.Seq, down.Seq, move.Seq)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/in-net/innet/internal/controller"
 	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/replication"
+	"github.com/in-net/innet/internal/telemetry"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -124,6 +125,9 @@ func (g *ReplGroup) bootReplica(i int, dir string, role controller.Role, listen 
 	}
 	name := fmt.Sprintf("node%d", i)
 	logf := g.opts.Logf
+	rec := telemetry.NewRecorder(0)
+	ctl.SetRecorder(rec)
+	store.SetRecorder(rec)
 	node, err := replication.NewNode(store, ctl, replication.Config{
 		Role:            role,
 		ListenAddr:      listen,
@@ -133,6 +137,7 @@ func (g *ReplGroup) bootReplica(i int, dir string, role controller.Role, listen 
 		HeartbeatEvery:  g.opts.HeartbeatEvery,
 		RedialEvery:     g.opts.RedialEvery,
 		Dial:            g.gate.dialFrom(i),
+		Rec:             rec,
 		Logf: func(format string, args ...any) {
 			if logf != nil {
 				logf(name+": "+format, args...)
@@ -149,7 +154,7 @@ func (g *ReplGroup) bootReplica(i int, dir string, role controller.Role, listen 
 		store.Close()
 		return nil, err
 	}
-	return &ReplNode{Name: name, Dir: dir, Ctl: ctl, Store: store, Node: node}, nil
+	return &ReplNode{Name: name, Dir: dir, Ctl: ctl, Store: store, Node: node, Rec: rec}, nil
 }
 
 // wirePeers gives every live replica every other replica's address.

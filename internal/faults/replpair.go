@@ -9,6 +9,7 @@ import (
 	"github.com/in-net/innet/internal/controller"
 	"github.com/in-net/innet/internal/journal"
 	"github.com/in-net/innet/internal/replication"
+	"github.com/in-net/innet/internal/telemetry"
 	"github.com/in-net/innet/internal/topology"
 )
 
@@ -20,6 +21,10 @@ type ReplNode struct {
 	Ctl   *controller.Controller
 	Store *journal.Store
 	Node  *replication.Node
+	// Rec is the node's flight recorder: controller, journal and
+	// replication events all land here, so chaos tests can assert the
+	// fault sequence a postmortem would show.
+	Rec *telemetry.Recorder
 }
 
 // ReplPairOptions shapes a replicated pair. Zero values get
@@ -83,6 +88,9 @@ func NewReplPair(opts ReplPairOptions) (*ReplPair, error) {
 			return nil, err
 		}
 		logf := opts.Logf
+		rec := telemetry.NewRecorder(0)
+		ctl.SetRecorder(rec)
+		store.SetRecorder(rec)
 		node, err := replication.NewNode(store, ctl, replication.Config{
 			Role:           role,
 			ListenAddr:     "127.0.0.1:0",
@@ -91,6 +99,7 @@ func NewReplPair(opts ReplPairOptions) (*ReplPair, error) {
 			HeartbeatEvery: opts.HeartbeatEvery,
 			RedialEvery:    opts.RedialEvery,
 			Dial:           p.gate.dial,
+			Rec:            rec,
 			Logf: func(format string, args ...any) {
 				if logf != nil {
 					logf(name+": "+format, args...)
@@ -107,7 +116,7 @@ func NewReplPair(opts ReplPairOptions) (*ReplPair, error) {
 			store.Close()
 			return nil, err
 		}
-		return &ReplNode{Name: name, Dir: dir, Ctl: ctl, Store: store, Node: node}, nil
+		return &ReplNode{Name: name, Dir: dir, Ctl: ctl, Store: store, Node: node, Rec: rec}, nil
 	}
 	var err error
 	if p.B, err = mk("standby", opts.StandbyDir, controller.RoleStandby); err != nil {

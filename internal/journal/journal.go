@@ -106,6 +106,7 @@ type DeploymentRecord struct {
 	Trust           int      `json:"trust,omitempty"`
 	Whitelist       []string `json:"whitelist,omitempty"`
 	Transparent     bool     `json:"transparent,omitempty"`
+	ReqTraceEvery   int      `json:"req_trace_every,omitempty"`
 }
 
 // Clone returns a deep copy.

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"github.com/in-net/innet/internal/telemetry"
 )
 
 // SyncPolicy selects journal durability.
@@ -93,6 +95,20 @@ type Store struct {
 	}
 	// seq mirrors state.Seq for lock-free scraping.
 	seq atomic.Uint64
+
+	// rec, when set, receives flight-recorder events for rollbacks and
+	// wedges — the two faults an operator wants a timeline for.
+	rec *telemetry.Recorder
+}
+
+// SetRecorder attaches a flight recorder; journal rollbacks and wedge
+// transitions are recorded as events from then on.
+func (s *Store) SetRecorder(r *telemetry.Recorder) { s.rec = r }
+
+func (s *Store) record(typ, detail string) {
+	if s.rec != nil {
+		s.rec.Record(typ, "journal", detail, s.dir)
+	}
 }
 
 // Open loads (or initializes) a store in dir. The directory must
@@ -339,12 +355,17 @@ func (s *Store) write(b []byte) (int, error) {
 // past the leftover garbage would be unrecoverable on replay.
 func (s *Store) rollback(cause error) {
 	s.ops.rollbacks.Add(1)
+	s.record("journal-rollback", cause.Error())
 	if err := s.f.Truncate(s.goodOff); err != nil {
-		s.wedged.Store(&wedgeCause{err: fmt.Errorf("append failed (%v) and truncate to last good offset %d failed (%v)", cause, s.goodOff, err)})
+		c := &wedgeCause{err: fmt.Errorf("append failed (%v) and truncate to last good offset %d failed (%v)", cause, s.goodOff, err)}
+		s.wedged.Store(c)
+		s.record("journal-wedged", c.err.Error())
 		return
 	}
 	if _, err := s.f.Seek(s.goodOff, 0); err != nil {
-		s.wedged.Store(&wedgeCause{err: fmt.Errorf("append failed (%v) and seek to last good offset %d failed (%v)", cause, s.goodOff, err)})
+		c := &wedgeCause{err: fmt.Errorf("append failed (%v) and seek to last good offset %d failed (%v)", cause, s.goodOff, err)}
+		s.wedged.Store(c)
+		s.record("journal-wedged", c.err.Error())
 	}
 }
 

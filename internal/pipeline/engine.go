@@ -9,6 +9,7 @@ import (
 	"github.com/in-net/innet/internal/click"
 	"github.com/in-net/innet/internal/clicklang"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/telemetry"
 )
 
 // AffinityHash maps a five-tuple and its exact reverse to the same
@@ -155,6 +156,21 @@ func (w *engineWorker) loop(e *Engine) {
 
 // Workers returns the (rounded) worker count.
 func (e *Engine) Workers() int { return e.n }
+
+// EnablePathTrace arms flow-sampled path tracing on every worker:
+// each records into its own ring (no cross-worker synchronization),
+// and the rings share a sequence counter so scrape-time MergeRecent
+// interleaves them in capture order. Must be called before the first
+// Dispatch. Returns the per-worker rings.
+func (e *Engine) EnablePathTrace(perRing, every int) []*telemetry.PathRing {
+	seq := new(atomic.Uint64)
+	rings := make([]*telemetry.PathRing, len(e.workers))
+	for i, w := range e.workers {
+		rings[i] = telemetry.NewPathRing(perRing, seq)
+		w.x.EnablePathTrace(rings[i], every)
+	}
+	return rings
+}
 
 // Router exposes worker w's private element graph for introspection
 // (stats, tests). Workers mutate their graphs concurrently with

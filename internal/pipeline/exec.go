@@ -5,6 +5,7 @@ import (
 
 	"github.com/in-net/innet/internal/click"
 	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/telemetry"
 )
 
 // Exec runs a Program to completion over packet batches. It owns the
@@ -30,11 +31,23 @@ type Exec struct {
 	Pool *packet.Pool
 
 	// Drops counts packets dropped by the program (unwired ports and
-	// element decisions).
-	Drops uint64
+	// element decisions); DropsBy splits the same total by taxonomy
+	// reason (indexed by DropReason).
+	Drops   uint64
+	DropsBy [NumDropReasons]uint64
 	// Packets and Batches count work pushed through Run.
 	Packets uint64
 	Batches uint64
+
+	// Path-trace state (see trace.go). ptRing nil = tracing detached:
+	// Run pays one nil check, the hooks one nil pointer compare.
+	ptRing  *telemetry.PathRing
+	ptEvery int
+	ptCur   *packet.Packet // the in-flight traced packet, else nil
+	ptHops  []telemetry.PathHop
+	ptIn    int // arrival port of ptCur at its next stage
+	ptOne   [1]*packet.Packet
+	ptPort  [1]int32
 }
 
 // NewExec returns an execution context for prog.
@@ -58,13 +71,7 @@ func NewExec(prog *Program) *Exec {
 			x.transmit(iface, pk)
 		},
 		DropHook: func(pk *packet.Packet) {
-			x.Drops++
-			if f := x.DropHook; f != nil {
-				f(pk)
-			}
-			if x.Pool != nil {
-				x.Pool.Put(pk)
-			}
+			x.dropAs(pk, DropOther)
 		},
 	}
 	return x
@@ -84,6 +91,15 @@ func (x *Exec) Run(src int, pkts []*packet.Packet) error {
 	x.Packets += uint64(len(pkts))
 	x.Batches++
 	si := x.prog.srcs[src]
+	if x.ptRing != nil && len(pkts) > 0 {
+		if h := AffinityHash(pkts[0].Tuple()); telemetry.Sampled(h, x.ptEvery) {
+			x.traceRun(si, pkts[0], h)
+			pkts = pkts[1:]
+			if len(pkts) == 0 {
+				return nil
+			}
+		}
+	}
 	// All stage buffers are empty between Runs (sweep drains them), so
 	// the source stage's kernel can consume the caller's batch directly
 	// — no copy through its input buffer — and the sweep can start at
@@ -139,6 +155,12 @@ func (x *Exec) emitTo(r ref, pk *packet.Packet) {
 		x.drop(pk)
 		return
 	}
+	if pk == x.ptCur {
+		x.ptIn = int(r.port)
+		if n := len(x.ptHops); n > 0 && x.ptHops[n-1].Verdict == "" {
+			x.ptHops[n-1].Verdict = "forward"
+		}
+	}
 	x.bufs[r.idx] = append(x.bufs[r.idx], pk)
 	if pp := x.ports[r.idx]; pp != nil {
 		x.ports[r.idx] = append(pp, r.port)
@@ -148,6 +170,11 @@ func (x *Exec) emitTo(r ref, pk *packet.Packet) {
 // emit forwards a packet out of stage st on output port p.
 func (x *Exec) emit(st *stage, p int, pk *packet.Packet) {
 	if p >= 0 && p < len(st.next) {
+		if pk == x.ptCur {
+			if n := len(x.ptHops); n > 0 && x.ptHops[n-1].Verdict == "" {
+				x.ptHops[n-1].OutPort = p
+			}
+		}
 		x.emitTo(st.next[p], pk)
 		return
 	}
@@ -155,7 +182,15 @@ func (x *Exec) emit(st *stage, p int, pk *packet.Packet) {
 }
 
 func (x *Exec) drop(pk *packet.Packet) {
+	x.dropAs(pk, DropUnwired)
+}
+
+func (x *Exec) dropAs(pk *packet.Packet, reason DropReason) {
 	x.Drops++
+	x.DropsBy[reason]++
+	if pk == x.ptCur {
+		x.traceDropHop(reason)
+	}
 	if f := x.DropHook; f != nil {
 		f(pk)
 	}
@@ -173,6 +208,9 @@ func (x *Exec) now() int64 {
 
 func (x *Exec) transmit(iface int, pk *packet.Packet) {
 	if f := x.Transmit; f != nil {
+		if pk == x.ptCur {
+			x.traceTxHop(iface)
+		}
 		f(iface, pk)
 		return
 	}

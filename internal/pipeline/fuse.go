@@ -39,6 +39,7 @@ const (
 // loop never chases an interface.
 type fop struct {
 	code opcode
+	name string // element instance name, for the path tracer
 	cnt  *elements.Counter
 	chk  *elements.CheckIPHeader
 	ttl  *elements.DecIPTTL
@@ -147,6 +148,7 @@ func (p *Program) fuse() {
 		}
 		var ops []fop
 		if kind == fuseMid {
+			op.name = head.name
 			ops = append(ops, op)
 		}
 		cur := head
@@ -168,6 +170,7 @@ func (p *Program) fuse() {
 			if nkind == fuseNo || nkind == fuseNop {
 				break
 			}
+			nop.name = nst.name
 			ops = append(ops, nop)
 			folded = append(folded, j.idx)
 			if nkind == fuseTerm {
@@ -222,7 +225,7 @@ pkts:
 				op.cnt.Bytes += uint64(pk.Len())
 			case opFilter:
 				if !op.pred(x, pk) {
-					x.drop(pk)
+					x.dropAs(pk, DropFilter)
 					continue pkts
 				}
 			case opPaint:
@@ -241,7 +244,7 @@ pkts:
 				continue pkts
 			case opDiscard:
 				op.dsc.Count++
-				x.drop(pk)
+				x.dropAs(pk, DropDiscard)
 				continue pkts
 			}
 		}

@@ -32,7 +32,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
 			for _, pk := range in {
 				e.Count++
-				x.drop(pk)
+				x.dropAs(pk, DropDiscard)
 			}
 		}, false, ""
 
@@ -101,7 +101,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 				if e.Decide(pk) {
 					x.emit(st, 0, pk)
 				} else {
-					x.drop(pk)
+					x.dropAs(pk, DropFilter)
 				}
 			}
 		}, false, ""
@@ -112,7 +112,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 				if i := e.Route(pk); i >= 0 {
 					x.emit(st, i, pk)
 				} else {
-					x.drop(pk)
+					x.dropAs(pk, DropNoRoute)
 				}
 			}
 		}, false, ""
@@ -181,7 +181,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 			if out, ok := e.Rewrite(int(port), pk); ok {
 				x.emit(st, out, pk)
 			} else {
-				x.drop(pk)
+				x.dropAs(pk, DropNoRoute)
 			}
 		}), true, ""
 
@@ -191,7 +191,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 				if out := e.Lookup(pk); out >= 0 {
 					x.emit(st, out, pk)
 				} else {
-					x.drop(pk)
+					x.dropAs(pk, DropNoRoute)
 				}
 			}
 		}, false, ""
@@ -201,7 +201,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 			if out, ok := e.Admit(x.now(), int(port), pk); ok {
 				x.emit(st, out, pk)
 			} else {
-				x.drop(pk)
+				x.dropAs(pk, DropFilter)
 			}
 		}), true, ""
 
@@ -215,7 +215,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 			if e.Admit(x.now(), int(port), pk) {
 				x.emit(st, int(port), pk)
 			} else {
-				x.drop(pk)
+				x.dropAs(pk, DropFilter)
 			}
 		}), true, ""
 
@@ -223,7 +223,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 		return func(x *Exec, st *stage, in []*packet.Packet, _ []int32) {
 			for _, pk := range in {
 				if !e.Enqueue(pk) {
-					x.drop(pk)
+					x.dropAs(pk, DropOverflow)
 				}
 			}
 		}, false, ""
@@ -248,7 +248,7 @@ func kernelFor(el click.Element) (kernel, bool, string) {
 				if e.Admit(x.now(), pk) {
 					x.emit(st, 0, pk)
 				} else {
-					x.drop(pk)
+					x.dropAs(pk, DropFilter)
 				}
 			}
 		}, false, ""
@@ -295,6 +295,18 @@ func forward(fn func(x *Exec, pk *packet.Packet)) kernel {
 		}
 		if fn == nil {
 			// Pure passthrough (FromNetfront): bulk-copy the batch.
+			if x.ptCur != nil {
+				for _, pk := range in {
+					if pk == x.ptCur {
+						if n := len(x.ptHops); n > 0 && x.ptHops[n-1].Verdict == "" {
+							x.ptHops[n-1].OutPort = 0
+							x.ptHops[n-1].Verdict = "forward"
+						}
+						x.ptIn = int(r.port)
+						break
+					}
+				}
+			}
 			x.bufs[r.idx] = append(x.bufs[r.idx], in...)
 			if pp := x.ports[r.idx]; pp != nil {
 				for range in {

@@ -69,6 +69,7 @@ type stage struct {
 	el       click.Element
 	name     string
 	class    string
+	idx      int32 // own stage index (fused-run id in path traces)
 	next     []ref // per output port; missing ports drop
 	out0     ref   // next[0] (or drop), for single-output fast paths
 	run      kernel
@@ -206,6 +207,7 @@ func Compile(r *click.Router) (*Program, error) {
 		el := els[di]
 		st := &prog.stages[si]
 		st.el = el
+		st.idx = int32(si)
 		st.name = el.Name()
 		st.class = el.Class()
 		w := el.(wiring)

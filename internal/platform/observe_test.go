@@ -1,0 +1,169 @@
+package platform
+
+import (
+	"testing"
+
+	_ "github.com/in-net/innet/internal/elements"
+	"github.com/in-net/innet/internal/netsim"
+	"github.com/in-net/innet/internal/packet"
+	"github.com/in-net/innet/internal/pipeline"
+	"github.com/in-net/innet/internal/telemetry"
+)
+
+// TestPathTracesCompiledAndGraph samples every flow (TraceEvery=1)
+// through both dataplanes of the same config and checks the captured
+// traces name the stages and carry the dataplane tag.
+func TestPathTracesCompiledAndGraph(t *testing.T) {
+	for _, tc := range []struct {
+		noPipeline bool
+		dataplane  string
+	}{
+		{false, "pipeline"},
+		{true, "graph"},
+	} {
+		sim := netsim.New(1)
+		p := newPlatform(sim)
+		p.TraceEvery = 1
+		addr := packet.MustParseIP("198.51.100.77")
+		err := p.Register(ModuleSpec{Addr: addr, Config: statefulChain, NoPipeline: tc.noPipeline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := func(int, *packet.Packet) {}
+		for i := 0; i < 3; i++ {
+			p.Deliver(udp("198.51.100.77"), out)
+			sim.Run()
+		}
+		traces := p.PathTraces(addr, 0)
+		if len(traces) != 3 {
+			t.Fatalf("noPipeline=%v: got %d traces, want 3", tc.noPipeline, len(traces))
+		}
+		tr := traces[0]
+		if tr.Dataplane != tc.dataplane {
+			t.Fatalf("dataplane = %q, want %q", tr.Dataplane, tc.dataplane)
+		}
+		elems := make(map[string]bool)
+		for _, h := range tr.Hops {
+			elems[h.Elem] = true
+		}
+		for _, want := range []string{"in", "chk", "ttl", "rl"} {
+			if !elems[want] {
+				t.Fatalf("noPipeline=%v: trace missing element %q: %+v", tc.noPipeline, want, tr.Hops)
+			}
+		}
+		if last := tr.Hops[len(tr.Hops)-1]; last.Verdict != "tx:0" {
+			t.Fatalf("noPipeline=%v: terminal verdict = %q, want tx:0", tc.noPipeline, last.Verdict)
+		}
+	}
+}
+
+// TestPathTraceKnobs: negative disables, module knob overrides the
+// platform default.
+func TestPathTraceKnobs(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	p.TraceEvery = -1 // platform-wide off
+	offAddr := packet.MustParseIP("198.51.100.1")
+	onAddr := packet.MustParseIP("198.51.100.2")
+	if err := p.Register(ModuleSpec{Addr: offAddr, Config: passthrough}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(ModuleSpec{Addr: onAddr, Config: passthrough, TraceEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := func(int, *packet.Packet) {}
+	for i := 0; i < 2; i++ {
+		p.Deliver(udp("198.51.100.1"), out)
+		p.Deliver(udp("198.51.100.2"), out)
+		sim.Run()
+	}
+	if got := p.PathTraces(offAddr, 0); len(got) != 0 {
+		t.Fatalf("disabled module captured %d traces", len(got))
+	}
+	if got := p.PathTraces(onAddr, 0); len(got) != 2 {
+		t.Fatalf("opted-in module captured %d traces, want 2", len(got))
+	}
+}
+
+// TestPathRingSurvivesVMChurn: traces captured before a crash are
+// still readable after the respawned guest captures more.
+func TestPathRingSurvivesVMChurn(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	p.TraceEvery = 1
+	rec := telemetry.NewRecorder(16)
+	p.Rec = rec
+	addr := packet.MustParseIP("198.51.100.77")
+	if err := p.Register(ModuleSpec{Addr: addr, Config: statefulChain}); err != nil {
+		t.Fatal(err)
+	}
+	out := func(int, *packet.Packet) {}
+	p.Deliver(udp("198.51.100.77"), out)
+	sim.Run()
+	if !p.CrashVM(addr) {
+		t.Fatal("no VM to crash")
+	}
+	sim.Run() // respawn fires
+	p.Deliver(udp("198.51.100.77"), out)
+	sim.Run()
+	if got := len(p.PathTraces(addr, 0)); got != 2 {
+		t.Fatalf("got %d traces across the crash, want 2", got)
+	}
+	// The flight recorder saw the crash and the respawn, in order.
+	var crashSeq, respawnSeq uint64
+	for _, ev := range rec.Recent(0) {
+		switch ev.Type {
+		case "vm-crash":
+			crashSeq = ev.Seq
+			if ev.Detail != "crash" || ev.Ref != "198.51.100.77" {
+				t.Fatalf("crash event wrong: %+v", ev)
+			}
+		case "vm-respawn":
+			respawnSeq = ev.Seq
+		}
+	}
+	if crashSeq == 0 || respawnSeq == 0 || respawnSeq < crashSeq {
+		t.Fatalf("event order: crash=%d respawn=%d", crashSeq, respawnSeq)
+	}
+}
+
+// TestPlatformDropAttribution wires the platform into a Drops hub and
+// checks pipeline filter drops and platform datapath drops both show
+// up under their sites.
+func TestPlatformDropAttribution(t *testing.T) {
+	sim := netsim.New(1)
+	p := newPlatform(sim)
+	d := telemetry.NewDrops()
+	p.RegisterDrops(d, nil)
+	rec := telemetry.NewRecorder(16)
+	p.Rec = rec
+	addr := packet.MustParseIP("198.51.100.77")
+	if err := p.Register(ModuleSpec{Addr: addr, Config: statefulChain}); err != nil {
+		t.Fatal(err)
+	}
+	out := func(int, *packet.Packet) {}
+	// RateLimiter(3) admits 3, then drops with reason "filter".
+	for i := 0; i < 5; i++ {
+		p.Deliver(udp("198.51.100.77"), out)
+		sim.Run()
+	}
+	// And one packet for nobody at all.
+	p.Deliver(udp("203.0.113.9"), out)
+	sim.Run()
+	snap := d.Snapshot()
+	filtered := snap["pipeline"]["filter"]
+	if filtered < 1 {
+		t.Fatalf("pipeline/filter drops = %d, want >=1 (snapshot %v)", filtered, snap)
+	}
+	if got := snap["platform"]["no_module"]; got != 1 {
+		t.Fatalf("platform/no_module drops = %d, want 1", got)
+	}
+	if by := p.PipelineDrops(); by[pipeline.DropFilter] != filtered {
+		t.Fatalf("PipelineDrops = %v, hub saw %d", by, filtered)
+	}
+	// Retirement keeps the per-reason sums monotonic across a crash.
+	p.CrashVM(addr)
+	if by := p.PipelineDrops(); by[pipeline.DropFilter] != filtered {
+		t.Fatalf("PipelineDrops after crash = %v, want %d", by, filtered)
+	}
+}

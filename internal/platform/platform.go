@@ -9,6 +9,7 @@ import (
 	"github.com/in-net/innet/internal/netsim"
 	"github.com/in-net/innet/internal/packet"
 	"github.com/in-net/innet/internal/pipeline"
+	"github.com/in-net/innet/internal/telemetry"
 )
 
 // VMState is the lifecycle state of a guest.
@@ -65,6 +66,10 @@ type ModuleSpec struct {
 	// NoPipeline forces the graph-walk dataplane for this module even
 	// when its configuration would flatten (operator escape hatch).
 	NoPipeline bool
+	// TraceEvery is the module's path-trace sampling rate: one flow in
+	// every N flow-hash residues is traced. 0 uses the platform
+	// default; negative disables tracing for this module.
+	TraceEvery int
 
 	hasSource bool
 }
@@ -134,6 +139,16 @@ type Platform struct {
 	RespawnBase    netsim.Time
 	RespawnMax     netsim.Time
 
+	// TraceEvery is the platform-wide default path-trace sampling rate
+	// (one flow in N); 0 means telemetry.DefaultTraceEvery, negative
+	// disables tracing unless a module opts in. Rings live on the
+	// platform keyed by module address so traces survive VM churn.
+	TraceEvery int
+	pathRings  map[uint32]*telemetry.PathRing
+	// Rec, when set, receives flight-recorder events for VM crashes,
+	// respawns, evictions, outages and compile fallbacks.
+	Rec *telemetry.Recorder
+
 	down bool
 	// respawn tracks consecutive failures per module address (backoff
 	// exponent); failBoots holds armed boot-failure injections;
@@ -163,8 +178,10 @@ type Platform struct {
 	PipelinePackets  uint64
 	pipelineReasons  map[string]uint64
 	// pipelineRetired carries the packet/batch/drop totals of
-	// destroyed VMs' programs so PipelineCounters stays monotonic.
-	pipelineRetired [3]uint64
+	// destroyed VMs' programs so PipelineCounters stays monotonic;
+	// pipelineRetiredBy does the same for the per-reason drop split.
+	pipelineRetired   [3]uint64
+	pipelineRetiredBy [pipeline.NumDropReasons]uint64
 }
 
 // New builds a platform attached to a simulator.
@@ -239,6 +256,7 @@ func (p *Platform) Unregister(addr uint32) {
 	delete(p.failBoots, addr)
 	delete(p.checkpoints, addr)
 	delete(p.orphans, addr)
+	delete(p.pathRings, addr)
 	if vm := p.byAddr[addr]; vm != nil {
 		delete(p.byAddr, addr)
 		for i, s := range vm.Specs {
@@ -448,6 +466,7 @@ func (p *Platform) evictForMemory(needMB int) {
 			p.checkpointVM(vm)
 		}
 		freed += vm.MemMB
+		p.record("vm-evicted", "memory pressure", vmRef(vm))
 		p.destroy(vm)
 		p.Evictions++
 	}
@@ -483,7 +502,7 @@ func (p *Platform) finishBoot(vm *VM) {
 				delete(p.failBoots, s.Addr)
 			}
 			p.BootFailures++
-			p.failVM(vm)
+			p.failVM(vm, "boot failure")
 			return
 		}
 	}
@@ -552,9 +571,14 @@ func (p *Platform) process(vm *VM, pkt *packet.Packet, out func(iface int, pk *p
 			// Compiled fast path: run to completion through the
 			// flattened program. The program shares the router's
 			// element instances, so ticker drains below stay coherent.
+			// Path tracing, when armed, samples inside RunOne.
 			x.Transmit = out
 			_ = x.RunOne(0, pkt)
 			p.PipelinePackets++
+		} else if every := p.traceEveryFor(spec); every > 0 &&
+			telemetry.Sampled(pipeline.AffinityHash(pkt.Tuple()), every) {
+			p.injectTraced(r, ctx, pkt, p.pathRing(pkt.DstIP),
+				pipeline.AffinityHash(pkt.Tuple()))
 		} else {
 			_ = r.Inject(ctx, 0, pkt)
 		}
@@ -625,10 +649,14 @@ func (p *Platform) programFor(vm *VM, addr uint32, r *click.Router) *pipeline.Ex
 			p.pipelineReasons = make(map[string]uint64)
 		}
 		p.pipelineReasons[err.Error()]++
+		p.record("compile-fallback", err.Error(), packet.IPString(addr))
 		return nil
 	}
 	x := pipeline.NewExec(prog)
 	x.Now = func() int64 { return p.sim.Now() }
+	if every := p.traceEveryFor(spec); every > 0 {
+		x.EnablePathTrace(p.pathRing(addr), every)
+	}
 	if vm.progs == nil {
 		vm.progs = make(map[uint32]*pipeline.Exec)
 	}
@@ -765,6 +793,9 @@ func (p *Platform) destroy(vm *VM) {
 		p.pipelineRetired[0] += x.Packets
 		p.pipelineRetired[1] += x.Batches
 		p.pipelineRetired[2] += x.Drops
+		for i, n := range x.DropsBy {
+			p.pipelineRetiredBy[i] += n
+		}
 	}
 	delete(p.vms, vm.ID)
 	for _, s := range vm.Specs {
@@ -793,13 +824,14 @@ func (p *Platform) CrashVM(addr uint32) bool {
 		return false
 	}
 	p.Crashes++
-	p.failVM(vm)
+	p.failVM(vm, "crash")
 	return true
 }
 
 // failVM implements the shared crash/boot-failure path: tear the
 // guest down, strand its buffered packets and schedule respawns.
-func (p *Platform) failVM(vm *VM) {
+func (p *Platform) failVM(vm *VM, cause string) {
+	p.record("vm-crash", cause, vmRef(vm))
 	pend := vm.pending
 	vm.pending = nil
 	vm.State = VMFailed
@@ -837,6 +869,7 @@ func (p *Platform) scheduleRespawn(addr uint32) {
 			return // traffic already re-instantiated it
 		}
 		p.Respawns++
+		p.record("vm-respawn", "", packet.IPString(addr))
 		if p.instantiate(spec) == nil {
 			p.scheduleRespawn(addr) // no memory yet: keep backing off
 		}
@@ -861,6 +894,7 @@ func (p *Platform) Fail() {
 	}
 	p.down = true
 	p.Outages++
+	p.record("platform-outage", "", "")
 	ids := make([]int, 0, len(p.vms))
 	for id := range p.vms {
 		ids = append(ids, id)
@@ -890,6 +924,7 @@ func (p *Platform) Fail() {
 func (p *Platform) Recover() {
 	p.down = false
 	p.respawn = make(map[uint32]int)
+	p.record("platform-recover", "", "")
 }
 
 // Down reports whether the platform is in a simulated outage.

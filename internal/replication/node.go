@@ -105,6 +105,12 @@ type Config struct {
 	OnApply func(journal.Record)
 	// Registry receives the replication telemetry families (nil = dark).
 	Registry *telemetry.Registry
+	// Rec, when set, receives flight-recorder events for fencings and
+	// election wins.
+	Rec *telemetry.Recorder
+	// OnFence, when set, runs (asynchronously) after this node fences
+	// itself — innetd dumps a postmortem from it.
+	OnFence func(reason string)
 	// Logf receives protocol events (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -213,7 +219,30 @@ type Node struct {
 	electionsWon     atomic.Uint64
 	electionsLost    atomic.Uint64
 	votesGranted     atomic.Uint64
-	failoverHist     *telemetry.Histogram
+	// fencedRefusals counts appends rejected because the node is
+	// fenced — the replication entry in the drop-attribution hub.
+	fencedRefusals atomic.Uint64
+	failoverHist   *telemetry.Histogram
+	reg            *telemetry.Registry
+}
+
+// record emits a flight-recorder event when a recorder is attached.
+// The node's replication listen address serves as the ref.
+func (n *Node) record(typ, detail string) {
+	if n.cfg.Rec != nil {
+		n.cfg.Rec.Record(typ, "replication", detail, n.cfg.ListenAddr)
+	}
+}
+
+// RegisterDrops wires the node's fenced-append refusals into the
+// unified drop-attribution hub under site "replication". These are
+// refused writes, not packets, but they share the operator question
+// drops answer: where did my request go.
+func (n *Node) RegisterDrops(d *telemetry.Drops) {
+	if d == nil {
+		return
+	}
+	d.Source("replication", "fenced", n.fencedRefusals.Load)
 }
 
 // NewNode wires a replication node around a store and its controller.
@@ -310,7 +339,9 @@ func (n *Node) AddPeer(addr string) {
 			return
 		}
 	}
-	n.peers = append(n.peers, &peer{addr: addr, termConnected: n.term})
+	p := &peer{addr: addr, termConnected: n.term}
+	n.peers = append(n.peers, p)
+	n.registerPeerLag(p)
 	if n.role == controller.RoleLeader && !n.fenced {
 		n.startPeersLocked()
 	}
@@ -336,6 +367,7 @@ func (n *Node) AppendSync(r journal.Record) error { return n.append(r, true) }
 func (n *Node) append(r journal.Record, syncAck bool) error {
 	n.mu.Lock()
 	if n.fenced {
+		n.fencedRefusals.Add(1)
 		n.mu.Unlock()
 		return ErrFenced
 	}
@@ -538,9 +570,13 @@ func (n *Node) fenceLocked(successorURL, reason string) {
 		}
 	}
 	n.logf("replication: fenced: %s", reason)
+	n.record("fenced", reason)
 	// Async: fencing can fire inside AppendSync while the controller's
 	// own mutex is held; SetRole takes that mutex.
 	go n.ctl.SetRole(controller.RoleStandby)
+	if f := n.cfg.OnFence; f != nil {
+		go f(reason)
+	}
 }
 
 // Promote makes a follower the leader. In a pair this is direct: bump
@@ -611,6 +647,7 @@ func (n *Node) finishPromotion(term uint64, down time.Duration) {
 	if n.failoverHist != nil {
 		n.failoverHist.Observe(down.Seconds())
 	}
+	n.record("election-won", fmt.Sprintf("term %d after %v leader silence", term, down))
 	n.logf("replication: promoted to leader, term %d (leader silent for %v)", term, down)
 }
 
@@ -858,6 +895,10 @@ func (n *Node) registerMetrics(r *telemetry.Registry) {
 	if r == nil {
 		return
 	}
+	n.reg = r
+	for _, p := range n.peers {
+		n.registerPeerLag(p)
+	}
 	r.GaugeFunc("innet_replication_term",
 		"Current leadership term (0 = never replicated).",
 		func() float64 {
@@ -906,6 +947,26 @@ func (n *Node) registerMetrics(r *telemetry.Registry) {
 	r.CounterFunc("innet_replication_votes_granted_total",
 		"Votes this node granted to candidates (excluding self-votes).",
 		func() float64 { return float64(n.votesGranted.Load()) })
+}
+
+// registerPeerLag exports one peer's acknowledgement lag as
+// innet_repl_peer_lag{peer=addr}: this node's journal seq minus the
+// peer's acked watermark. AddPeer dedups addresses, so each peer
+// registers exactly once.
+func (n *Node) registerPeerLag(p *peer) {
+	if n.reg == nil {
+		return
+	}
+	n.reg.GaugeFunc("innet_repl_peer_lag",
+		"Journal records a replication peer trails this node by.",
+		func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if seq := n.store.Seq(); p.acked < seq {
+				return float64(seq - p.acked)
+			}
+			return 0
+		}, "peer", p.addr)
 }
 
 // marshalState renders a snapshot for the resync message.

@@ -39,3 +39,15 @@ func (s *Switch) RegisterMetrics(r *telemetry.Registry, labelPairs ...string) {
 		"Dispatch shards in this switch.",
 		func() float64 { return float64(s.Shards()) }, labelPairs...)
 }
+
+// RegisterDrops wires the switch's two drop classes into the unified
+// drop-attribution hub under site "vswitch": flow-table misses
+// (no_rule) and outage-buffer overflow (buffer_overflow). The readers
+// are the lock-free shard sums dispatch already maintains.
+func (s *Switch) RegisterDrops(d *telemetry.Drops) {
+	if d == nil {
+		return
+	}
+	d.Source("vswitch", "no_rule", s.Misses)
+	d.Source("vswitch", "buffer_overflow", s.DroppedDown)
+}

@@ -30,8 +30,10 @@ for _ in $(seq 1 50); do
 done
 
 # "deployed d-1 on Platform3 at 198.51.100.10 (...)" — field 6 is the addr.
+# trace_every=1 samples every flow so the inject below must leave a
+# complete path trace.
 DEPLOYED="$("$BIN/innetctl" -s "$BASE" deploy -tenant smoke -name smokedns \
-    -stock geo-dns -trust third-party)"
+    -stock geo-dns -trust third-party -trace-every 1)"
 echo "$DEPLOYED"
 MODADDR="$(awk '{print $6}' <<<"$DEPLOYED")"
 "$BIN/innetctl" -s "$BASE" inject -dst "$MODADDR" -dport 53 -count 3
@@ -68,8 +70,48 @@ grep -q '"verdict":"admitted"' <<<"$TRACES" || {
     fail=1
 }
 
+# A complete per-flow path trace: stage hops plus a terminal verdict
+# (tx:N out an interface, a drop:reason, or parked in a queue).
+PATHTRACE="$(curl -fsS "$BASE/v1/pathtrace?module=smokedns&n=3")"
+grep -q '"hops":\[' <<<"$PATHTRACE" || {
+    echo "smoke: /v1/pathtrace has no hops for smokedns" >&2
+    fail=1
+}
+grep -qE '"verdict":"(tx:[0-9]+|drop:[a-z_]+|queued)"' <<<"$PATHTRACE" || {
+    echo "smoke: /v1/pathtrace trace has no terminal verdict" >&2
+    fail=1
+}
+
+# An attributed drop: a deploy of an unknown stock is rejected at
+# admission, which must surface in the unified drop rollup and in the
+# innet_drops_total exposition.
+if "$BIN/innetctl" -s "$BASE" deploy -tenant smoke -name smokebad \
+    -stock no-such-stock -trust third-party >/dev/null 2>&1; then
+    echo "smoke: bogus-stock deploy unexpectedly succeeded" >&2
+    fail=1
+fi
+HEALTH="$(curl -fsS "$BASE/v1/health")"
+grep -q '"admission":{"rejected":[1-9]' <<<"$HEALTH" || {
+    echo "smoke: /v1/health drop_reasons has no admission rejection" >&2
+    fail=1
+}
+METRICS2="$(curl -fsS "$BASE/v1/metrics")"
+grep -qE 'innet_drops_total\{[^}]*site="admission"[^}]*\} [1-9]' <<<"$METRICS2" || {
+    echo "smoke: innet_drops_total has no attributed admission drop" >&2
+    fail=1
+}
+
+# Flight recorder: the deploys above must have left structured events.
+EVENTS="$(curl -fsS "$BASE/v1/events?n=10")"
+grep -q '"type":' <<<"$EVENTS" || {
+    echo "smoke: /v1/events is empty after deploys" >&2
+    fail=1
+}
+
 "$BIN/innetctl" -s "$BASE" stats >/dev/null
 "$BIN/innetctl" -s "$BASE" trace smokedns
+"$BIN/innetctl" -s "$BASE" pathtrace smokedns >/dev/null
+"$BIN/innetctl" -s "$BASE" events >/dev/null
 
 if [ "$fail" -ne 0 ]; then
     echo "smoke: FAILED" >&2
